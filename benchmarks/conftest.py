@@ -1,0 +1,46 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the same rows/series the paper reports.  The experiments take
+seconds to minutes each, so every benchmark runs exactly once
+(``pedantic(rounds=1, iterations=1)``) — the interesting output is the
+printed report and the shape assertions, not the timing statistics.
+
+Scale: benchmarks use the QUICK profile for contiguity experiments and
+the DEFAULT (calibrated) profile for the hardware figures unless
+``REPRO_BENCH_SCALE`` overrides it (``test`` | ``quick`` | ``default``).
+"""
+
+import os
+
+import pytest
+
+from repro.sim.config import DEFAULT_SCALE, QUICK_SCALE, TEST_SCALE
+
+_SCALES = {
+    "test": TEST_SCALE,
+    "quick": QUICK_SCALE,
+    "default": DEFAULT_SCALE,
+}
+
+
+def _pick(env_default: str):
+    name = os.environ.get("REPRO_BENCH_SCALE", env_default)
+    return _SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def contiguity_scale():
+    """Scale for allocation/contiguity experiments (Figs 1,7-12, tables)."""
+    return _pick("quick")
+
+
+@pytest.fixture(scope="session")
+def hw_scale():
+    """Scale for the calibrated hardware figures (Fig 13/14, Table VII)."""
+    return _pick("quick")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,217 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each benchmark isolates one knob of CA paging or SpOT and checks the
+direction the paper's design argues for.
+"""
+
+import pytest
+
+from repro.experiments import common
+from repro.hw.mmu_sim import MmuSimulator
+from repro.hw.translation import TranslationView
+from repro.hw.walk import WalkLatencyModel
+from repro.sim.config import HardwareConfig
+from repro.sim.machine import build_machine
+from repro.sim.runner import RunOptions, run_native
+from repro.units import HUGE_PAGES
+
+from conftest import run_once
+
+
+def _contiguity_under_pressure(scale, policy_kwargs, hog=0.4, workload="xsbench"):
+    machine = build_machine("ca", common.system_config(scale), **policy_kwargs)
+    machine.hog(hog)
+    wl = common.workload(workload, scale)
+    return run_native(machine, wl, RunOptions(sample_every=None))
+
+
+def _spot_state(scale, workload_name="svm"):
+    """A CA memory state + trace for SpOT parameter sweeps."""
+    machine = build_machine("ca", common.system_config(scale))
+    wl = common.workload(workload_name, scale)
+    r = run_native(machine, wl, RunOptions(sample_every=None, exit_after=False))
+    return machine, wl, r
+
+
+class TestPlacementPolicyAblation:
+    def test_placement_policies(self, benchmark, contiguity_scale):
+        """next-fit (paper) vs first-fit vs best-fit placement."""
+
+        def run():
+            results = {}
+            for placement in ("next_fit", "first_fit", "best_fit"):
+                r = _contiguity_under_pressure(
+                    contiguity_scale, {"placement": placement}
+                )
+                results[placement] = r.final.mappings_99
+            return results
+
+        results = run_once(benchmark, run)
+        print(f"\nmaps99 by placement: {results}")
+        # All placements must produce usable contiguity; next-fit (the
+        # paper's choice for racing deferral) must not be the worst by
+        # a large margin.
+        worst = max(results.values())
+        assert results["next_fit"] <= worst
+        assert all(v < 500 for v in results.values())
+
+
+class TestOffsetFifoAblation:
+    def test_single_offset_vs_64(self, benchmark, contiguity_scale):
+        """Sub-VMA placements need the 64-offset FIFO under pressure."""
+
+        def run():
+            results = {}
+            for max_offsets in (1, 64):
+                machine = build_machine("ca", common.system_config(contiguity_scale))
+                machine.hog(0.4)
+                kern = machine.kernel
+                wl = common.workload("pagerank", contiguity_scale)
+                proc = kern.create_process("t")
+                vmas = []
+                for plan in wl.vma_plans:
+                    vma = kern.mmap(proc, plan.n_pages, name=plan.name)
+                    vma.max_offsets = max_offsets
+                    vmas.append(vma)
+                for step in wl.alloc_steps():
+                    if step.kind == "anon":
+                        kern.touch_range(
+                            proc,
+                            vmas[step.index].start_vpn + step.start_page,
+                            step.n_pages,
+                        )
+                results[max_offsets] = len(proc.space.runs)
+                kern.exit_process(proc)
+            return results
+
+        results = run_once(benchmark, run)
+        print(f"\nruns by max_offsets: {results}")
+        # One offset per VMA cannot describe a footprint scattered over
+        # many sub-VMA placements: fragmentation must not improve.
+        assert results[64] <= results[1]
+
+
+class TestSortedFreelistAblation:
+    def test_sorted_max_order_restrains_fragmentation(
+        self, benchmark, contiguity_scale
+    ):
+        """The paper sorts the MAX_ORDER list so fallback 4K allocations
+        chew one end of memory instead of scattering (§III-C)."""
+
+        def run():
+            from repro.mm.free_stats import free_block_histogram
+
+            largest = {}
+            for sorted_list in (False, True):
+                cfg = common.system_config(
+                    contiguity_scale, sorted_max_order=sorted_list
+                )
+                machine = build_machine("thp", cfg)
+                kern = machine.kernel
+                # Allocate and free many 4K pages between hugepage
+                # allocations: the fallback-fragmentation pattern.
+                procs = []
+                for i in range(4):
+                    proc = kern.create_process(f"p{i}")
+                    vma = kern.mmap(proc, HUGE_PAGES * 8)
+                    kern.touch_range(proc, vma.start_vpn, vma.n_pages)
+                    small = kern.create_process(f"s{i}")
+                    svma = kern.mmap(small, 64)
+                    kern.touch_range(small, svma.start_vpn, 64)
+                    procs.append((proc, small))
+                for proc, small in procs[::2]:
+                    kern.exit_process(proc)
+                largest[sorted_list] = free_block_histogram(
+                    machine.mem
+                ).largest_run_pages()
+            return largest
+
+        largest = run_once(benchmark, run)
+        print(f"\nlargest free run, sorted vs not: {largest}")
+        assert largest[True] >= largest[False]
+
+
+class TestSpotAblations:
+    def test_confidence_counter(self, benchmark, hw_scale):
+        """The 2-bit counter trades a few correct predictions for far
+        fewer pipeline flushes on irregular workloads."""
+
+        def run():
+            machine, wl, r = _spot_state(hw_scale, "hashjoin")
+            trace = wl.trace(100_000)
+            out = {}
+            for conf in (True, False):
+                hw = HardwareConfig(spot_confidence=conf)
+                view = TranslationView.native(r.process)
+                sim = MmuSimulator(view, hw).run(
+                    trace, r.vma_start_vpns, workload=wl
+                )
+                out[conf] = (sim.spot_mispredict, sim.spot_correct)
+            machine.kernel.exit_process(r.process)
+            return out
+
+        out = run_once(benchmark, run)
+        print(f"\n(mispredicts, correct) with/without confidence: {out}")
+        assert out[True][0] <= out[False][0]
+
+    def test_table_size_sweep(self, benchmark, hw_scale):
+        """More entries help until the hot-PC set fits (paper: 32-64)."""
+
+        def run():
+            machine, wl, r = _spot_state(hw_scale, "svm")
+            trace = wl.trace(100_000)
+            correct = {}
+            for entries in (4, 32, 128):
+                hw = HardwareConfig(spot_entries=entries, spot_ways=4)
+                view = TranslationView.native(r.process)
+                sim = MmuSimulator(view, hw).run(
+                    trace, r.vma_start_vpns, workload=wl
+                )
+                correct[entries] = sim.spot_breakdown()["correct"]
+            machine.kernel.exit_process(r.process)
+            return correct
+
+        correct = run_once(benchmark, run)
+        print(f"\ncorrect fraction by table size: {correct}")
+        assert correct[32] >= correct[4]
+        # Diminishing returns past the hot-PC set.
+        assert correct[128] <= correct[32] + 0.05
+
+    def test_contig_threshold_sweep(self, benchmark, hw_scale):
+        """The fill filter (32 pages in the paper): too high starves
+        the table, zero admits thrash."""
+
+        def run():
+            machine, wl, r = _spot_state(hw_scale, "svm")
+            trace = wl.trace(100_000)
+            out = {}
+            for threshold in (1, 32, 1 << 30):
+                view = TranslationView.native(
+                    r.process, contig_threshold=threshold
+                )
+                sim = MmuSimulator(view, HardwareConfig()).run(
+                    trace, r.vma_start_vpns, workload=wl
+                )
+                out[threshold] = sim.spot_breakdown()["correct"]
+            machine.kernel.exit_process(r.process)
+            return out
+
+        out = run_once(benchmark, run)
+        print(f"\ncorrect fraction by contig threshold: {out}")
+        # An absurdly high threshold blocks every fill: no predictions.
+        assert out[1 << 30] == 0.0
+        assert out[32] > 0.5
+
+    def test_five_level_nested_costs(self, benchmark, hw_scale):
+        """5-level paging (intro): nested walks get ~45% costlier,
+        SpOT's hidden fraction grows accordingly."""
+
+        def run():
+            model = WalkLatencyModel()
+            cost4 = model.cycles(model.nested_references(3, 3))
+            cost5 = model.cycles(model.nested_references(4, 4))
+            return cost4, cost5
+
+        cost4, cost5 = run_once(benchmark, run)
+        print(f"\nnested THP walk: 4-level {cost4:.0f} vs 5-level {cost5:.0f} cycles")
+        assert 1.3 < cost5 / cost4 < 1.8

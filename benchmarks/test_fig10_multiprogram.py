@@ -1,0 +1,17 @@
+"""Fig. 10: two concurrent SVM instances."""
+
+from repro.experiments import fig10
+
+from conftest import run_once
+
+
+def test_fig10_multiprogrammed_svm(benchmark, contiguity_scale):
+    result = run_once(benchmark, fig10.run, scale=contiguity_scale)
+    print("\n" + result.report())
+    ca = result.final_mappings("ca")
+    thp = result.final_mappings("thp")
+    # Next-fit keeps the two CA footprints apart: both instances end
+    # with very few mappings, far below default paging.
+    assert max(ca) * 2 <= max(thp)
+    # Neither CA instance starves the other (within 3x of each other).
+    assert max(ca) <= 3 * max(1, min(ca))

@@ -1,0 +1,17 @@
+"""Fig. 11: software runtime overheads normalized to THP."""
+
+from repro.experiments import fig11
+
+from conftest import run_once
+
+
+def test_fig11_software_overheads(benchmark, contiguity_scale):
+    result = run_once(benchmark, fig11.run, scale=contiguity_scale)
+    print("\n" + result.report())
+    # CA paging and eager paging add (almost) no runtime overhead.
+    assert result.mean_overhead("ca") < 0.01
+    assert result.mean_overhead("eager") < 0.02
+    # Ranger pays for its migrations (paper: ~3%).
+    assert 0.005 < result.mean_overhead("ranger") < 0.10
+    # TLB-friendly workloads are unaffected by CA paging (paper §VI-A).
+    assert abs(result.normalized[("tlb_friendly", "ca")] - 1.0) < 0.01

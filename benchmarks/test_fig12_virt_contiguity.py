@@ -1,0 +1,18 @@
+"""Fig. 12: virtualized (2D) contiguity."""
+
+from repro.experiments import fig12
+
+from conftest import run_once
+
+
+def test_fig12_virtualized_contiguity(benchmark, contiguity_scale):
+    result = run_once(benchmark, fig12.run, scale=contiguity_scale)
+    print("\n" + result.report())
+    # CA in both dimensions cuts mappings-for-99% by roughly an order
+    # of magnitude versus default paging (paper: ~90 vs ~thousands).
+    assert result.mappings_99("ca") * 4 < result.mappings_99("thp")
+    # Mean coverage of the 32 largest 2D mappings stays high with CA
+    # (paper: ~86%).
+    assert result.mean_coverage_32("ca") > 0.75
+    # ... and clearly above default paging's.
+    assert result.mean_coverage_32("ca") > result.mean_coverage_32("thp")

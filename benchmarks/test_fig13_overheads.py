@@ -1,0 +1,25 @@
+"""Fig. 13: execution-time overheads of address translation."""
+
+from repro.experiments import fig13
+
+from conftest import run_once
+
+
+def test_fig13_translation_overheads(benchmark, hw_scale):
+    result = run_once(benchmark, fig13.run, scale=hw_scale)
+    print("\n" + result.report())
+
+    # 4K paging is far worse than THP in both worlds.
+    assert result.mean("4K") > result.mean("THP") * 5
+    assert result.mean("4K+4K") > result.mean("THP+THP") * 5
+    # Nested paging magnifies the THP overhead (paper: ~2.4x).
+    assert result.mean("THP+THP") > result.mean("THP") * 1.5
+    # SpOT removes most of the nested-THP overhead (paper: 16.5 -> 0.9%).
+    assert result.mean("SpOT") < result.mean("THP+THP") * 0.5
+    # vRMM is nearly free; DS eliminates the penalty inside the segment.
+    assert result.mean("vRMM") < 0.01
+    assert result.mean("DS") < 0.01
+    # Ordering on every workload: SpOT never beats vRMM/DS, all beat vTHP.
+    for wl in {w for w, _ in result.overheads}:
+        assert result.overheads[(wl, "vRMM")] <= result.overheads[(wl, "SpOT")] + 1e-9
+        assert result.overheads[(wl, "SpOT")] <= result.overheads[(wl, "THP+THP")] + 1e-9

@@ -1,0 +1,19 @@
+"""Fig. 14: SpOT prediction-outcome breakdown."""
+
+from repro.experiments import fig14
+
+from conftest import run_once
+
+
+def test_fig14_spot_breakdown(benchmark, hw_scale):
+    result = run_once(benchmark, fig14.run, scale=hw_scale)
+    print("\n" + result.report())
+    for wl, b in result.breakdown.items():
+        # Fractions are a proper distribution of all misses.
+        assert abs(sum(b.values()) - 1.0) < 1e-9
+        # The confidence mechanism keeps flushes rare: mispredictions
+        # stay in the single digits everywhere (paper: max ~4%).
+        assert b["mispredict"] < 0.15
+    # Streaming workloads predict almost everything correctly.
+    assert result.correct("pagerank") > 0.9
+    assert result.correct("svm") > 0.85

@@ -1,0 +1,32 @@
+"""Fig. 1(b,c): motivation — regenerate and check the paper's shapes."""
+
+from repro.experiments import fig1
+
+from conftest import run_once
+
+
+def test_fig1b_eager_decays_under_aging(benchmark, contiguity_scale):
+    """Eager paging loses coverage over consecutive runs; CA sustains it."""
+    result = run_once(benchmark, fig1.run_fig1b, scale=contiguity_scale, runs=8)
+    print("\n" + result.report())
+    # Paper shape: the 32-largest (scaled: 8-largest) coverage of eager
+    # paging decays run over run while CA paging resists longer.
+    assert result.decay("eager") > 0.15
+    assert result.decay("ca") < result.decay("eager")
+    # CA starts (and stays longer) at full coverage.
+    assert result.coverage_by_run["ca"][0] > 0.95
+
+
+def test_fig1c_ranger_coalesces_late(benchmark, contiguity_scale):
+    """Ranger's migrations lag the allocation phase; CA is instant."""
+    result = run_once(benchmark, fig1.run_fig1c, scale=contiguity_scale)
+    print("\n" + result.report())
+    ca = result.series_by_policy["ca"]
+    ranger = result.series_by_policy["ranger"]
+    # CA has high coverage already during allocation.
+    mid_ca = ca[len(ca) // 2][1]
+    mid_ranger = ranger[len(ranger) // 2][1]
+    assert mid_ca > 0.9
+    assert mid_ranger < mid_ca
+    # Ranger eventually catches up in the steady state.
+    assert ranger[-1][1] > 0.8

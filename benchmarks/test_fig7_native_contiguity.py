@@ -1,0 +1,23 @@
+"""Fig. 7: native contiguity without memory pressure."""
+
+from repro.experiments import fig7
+
+from conftest import run_once
+
+
+def test_fig7_native_contiguity(benchmark, contiguity_scale):
+    result = run_once(benchmark, fig7.run, scale=contiguity_scale)
+    print("\n" + result.report())
+
+    # Orders of magnitude: CA needs far fewer mappings than THP/Ingens.
+    assert result.mappings_99("ca") * 5 < result.mappings_99("thp")
+    assert result.mappings_99("ca") * 5 < result.mappings_99("ingens")
+    # CA is comparable to eager pre-allocation and the ideal bound.
+    assert result.mappings_99("ca") <= result.mappings_99("eager") * 3
+    # Ranger lands between the defaults and the allocation-time schemes.
+    assert result.mappings_99("ranger") < result.mappings_99("thp")
+
+    # Per-workload: CA's coverage of the 128 largest mappings is full
+    # (the paper's ~99% coverage with ~27 mappings).
+    for wl in ("svm", "pagerank", "hashjoin", "xsbench"):
+        assert result.row(wl, "ca").average.coverage_128 > 0.95

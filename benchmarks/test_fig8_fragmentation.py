@@ -1,0 +1,33 @@
+"""Fig. 8: contiguity under external fragmentation (hog sweep)."""
+
+from repro.experiments import fig8
+
+from conftest import run_once
+
+
+def test_fig8_fragmentation_sweep(benchmark, contiguity_scale):
+    result = run_once(benchmark, fig8.run, scale=contiguity_scale)
+    print("\n" + result.report())
+
+    # THP is indifferent to >2MB-granularity fragmentation.
+    thp_0 = result.geomean_row(0.0, "thp")[2]
+    thp_50 = result.geomean_row(0.50, "thp")[2]
+    assert abs(thp_50 - thp_0) < 0.3 * thp_0 + 5
+
+    # Eager paging degrades with pressure; CA stays ahead of it.
+    eager_0 = result.geomean_row(0.0, "eager")[2]
+    eager_50 = result.geomean_row(0.50, "eager")[2]
+    assert eager_50 > eager_0 * 1.5
+    ca_50_cov32 = result.geomean_row(0.50, "ca")[0]
+    eager_50_cov32 = result.geomean_row(0.50, "eager")[0]
+    assert ca_50_cov32 >= eager_50_cov32 - 0.02
+
+    # CA still covers nearly everything with 128 mappings at hog-50
+    # (the paper reports ~94%).
+    assert result.geomean_row(0.50, "ca")[1] > 0.9
+
+    # CA tracks the ideal baseline across the sweep.
+    for pressure in (0.0, 0.25, 0.50):
+        ca = result.geomean_row(pressure, "ca")[0]
+        ideal = result.geomean_row(pressure, "ideal")[0]
+        assert ca >= ideal - 0.1

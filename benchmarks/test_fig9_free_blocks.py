@@ -1,0 +1,16 @@
+"""Fig. 9: free-block size distribution after a benchmark batch."""
+
+from repro.experiments import fig9
+
+from conftest import run_once
+
+
+def test_fig9_fragmentation_restraint(benchmark, contiguity_scale):
+    result = run_once(benchmark, fig9.run, scale=contiguity_scale)
+    print("\n" + result.report())
+    # CA leaves a significantly larger share of free memory in the
+    # biggest bucket than default paging.
+    assert result.huge_fraction("ca") > result.huge_fraction("thp") + 0.1
+    # Sanity: fractions are proper distributions.
+    for hist in result.histograms.values():
+        assert abs(sum(hist.fractions().values()) - 1.0) < 1e-6

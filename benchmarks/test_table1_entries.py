@@ -1,0 +1,19 @@
+"""Table I: vRMM ranges and vHC anchor entries for 99% coverage."""
+
+from repro.experiments import table1
+
+from conftest import run_once
+
+
+def test_table1_entry_counts(benchmark, contiguity_scale):
+    result = run_once(benchmark, table1.run, scale=contiguity_scale)
+    print("\n" + result.report())
+    ca_ranges, ca_vhc = result.geomean("ca")
+    thp_ranges, thp_vhc = result.geomean("thp")
+    # CA paging cuts the range count by about an order of magnitude.
+    assert ca_ranges * 4 < thp_ranges
+    # Alignment restrictions make vHC need more entries than vRMM.
+    assert ca_vhc > ca_ranges
+    # Per-workload sanity: every CA row beats its THP row on ranges.
+    for wl in {r.workload for r in result.rows}:
+        assert result.row(wl, "ca").ranges <= result.row(wl, "thp").ranges

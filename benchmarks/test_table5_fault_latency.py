@@ -1,0 +1,20 @@
+"""Table V: fault counts and 99th-percentile latency."""
+
+from repro.experiments import table5
+
+from conftest import run_once
+
+
+def test_table5_faults_and_latency(benchmark, contiguity_scale):
+    result = run_once(benchmark, table5.run, scale=contiguity_scale)
+    print("\n" + result.report())
+    thp = result.rows["thp"]
+    ca = result.rows["ca"]
+    eager = result.rows["eager"]
+    # Demand paging: THP and CA take the same number of faults.
+    assert ca.total_faults == thp.total_faults
+    # CA's placement search barely moves the tail (paper: 515 -> 526us).
+    assert ca.p99_latency_us < thp.p99_latency_us * 1.2
+    # Eager: orders of magnitude fewer faults, but a huge tail.
+    assert eager.total_faults * 5 < thp.total_faults
+    assert eager.p99_latency_us > thp.p99_latency_us * 20

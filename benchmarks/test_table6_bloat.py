@@ -1,0 +1,21 @@
+"""Table VI: memory bloat relative to 4K demand paging."""
+
+from repro.experiments import table6
+
+from conftest import run_once
+
+
+def test_table6_bloat(benchmark, contiguity_scale):
+    result = run_once(benchmark, table6.run, scale=contiguity_scale)
+    print("\n" + result.report())
+    for wl in ("svm", "pagerank", "hashjoin", "xsbench", "bt"):
+        # CA builds on THP and does not change page-size decisions.
+        assert result.bloat[(wl, "ca")] == result.bloat[(wl, "thp")]
+        # Ingens promotes only utilized regions: bloat <= THP.
+        assert result.bloat[(wl, "ingens")] <= result.bloat[(wl, "thp")]
+        # Eager backs whole VMAs: bloat >= THP everywhere.
+        assert result.bloat[(wl, "eager")] >= result.bloat[(wl, "thp")]
+    # hashjoin's over-reserved arena is the standout (paper: ~47%).
+    assert result.bloat_fraction("hashjoin", "eager") > 0.25
+    # THP-level bloat stays tiny (paper: <= 0.1%).
+    assert result.bloat_fraction("pagerank", "thp") < 0.02

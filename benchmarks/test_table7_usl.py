@@ -1,0 +1,18 @@
+"""Table VII: unsafe-load estimation."""
+
+from repro.experiments import table7
+
+from conftest import run_once
+
+
+def test_table7_usl_estimation(benchmark, hw_scale):
+    result = run_once(benchmark, table7.run, scale=hw_scale)
+    print("\n" + result.report())
+    g = result.geomean_row()
+    # TLB misses trigger speculation far less often than branches...
+    assert g["dtlb_misses_per_instruction"] * 10 < g["branches_per_instruction"]
+    # ...so SpOT's unsafe-load mass stays well below Spectre's even
+    # though each SpOT window is ~4x longer (paper: ~3% vs ~16.5%).
+    assert g["spot_usl_per_instruction"] * 3 < g["spectre_usl_per_instruction"]
+    # And it stays small in absolute terms (mitigation cost < 2%).
+    assert g["spot_usl_per_instruction"] < 0.10

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: CA paging vs default THP on one machine.
+
+Builds two aged machines — one running stock THP placement, one running
+contiguity-aware paging — runs the same synthetic PageRank workload on
+each, and compares how physically contiguous the footprint ended up and
+what that means for the TLB.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments import common
+from repro.hw.mmu_sim import MmuSimulator
+from repro.hw.translation import TranslationView
+from repro.sim.config import HardwareConfig, QUICK_SCALE
+from repro.sim.runner import RunOptions, run_native
+from repro.units import human_pages
+
+
+def main() -> None:
+    scale = QUICK_SCALE
+    workload = common.workload("pagerank", scale)
+    print(f"workload: {workload.name}, footprint "
+          f"{human_pages(workload.footprint_pages)} (scaled from "
+          f"{workload.paper_gb:.0f} paper-GB)\n")
+
+    for policy in ("thp", "ca"):
+        machine = common.native_machine(policy, scale)
+        result = run_native(
+            machine, workload, RunOptions(sample_every=None, exit_after=False)
+        )
+
+        print(f"=== {policy} ===")
+        print(f"  contiguous mappings        : {result.final.total_runs}")
+        print(f"  mappings covering 99%      : {result.final.mappings_99}")
+        print(f"  largest mapping            : "
+              f"{human_pages(max(result.run_sizes))}")
+        print(f"  page faults                : {result.faults.total_faults} "
+              f"(p99 {result.faults.p99_latency_us:.0f} us)")
+
+        # Feed a memory-access trace through the TLB simulator.
+        view = TranslationView.native(result.process)
+        sim = MmuSimulator(view, HardwareConfig())
+        mmu = sim.run(workload.trace(100_000), result.vma_start_vpns,
+                      workload=workload)
+        overheads = mmu.overheads()
+        print(f"  TLB miss rate              : {mmu.miss_rate:.3%}")
+        print(f"  translation overhead (THP) : {overheads['paging']:.2%}")
+        print(f"  ... with SpOT attached     : {overheads['spot']:.3%} "
+              f"({mmu.spot_breakdown()['correct']:.0%} predicted)\n")
+        machine.kernel.exit_process(result.process)
+
+    print("Note that plain TLB behaviour is identical: contiguity does not")
+    print("change miss rates.  The payoff appears when contiguity-aware")
+    print("hardware (here SpOT's offset predictor) sits on the miss path -")
+    print("it can hide almost every walk on the CA state, but far fewer on")
+    print("the scattered THP state.  See virtualized_spot.py for the full")
+    print("nested-paging story where the stakes are ~2.4x higher.")
+
+
+if __name__ == "__main__":
+    main()

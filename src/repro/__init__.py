@@ -1,0 +1,116 @@
+"""contiguity-repro: trace-driven reproduction of *Enhancing and
+Exploiting Contiguity for Fast Memory Virtualization* (ISCA 2020).
+
+The library implements the paper's two contributions and every
+substrate they depend on:
+
+- **CA paging** (:class:`repro.policies.CAPaging`) — contiguity-aware
+  physical memory allocation inside a Linux-like kernel model
+  (:mod:`repro.mm`, :mod:`repro.vm`, :mod:`repro.sim`), alongside the
+  paper's baselines (THP, Ingens, eager paging, Translation Ranger,
+  ideal paging);
+- **SpOT** (:class:`repro.hw.SpotPredictor`) — speculative offset-based
+  address translation on the last-level TLB miss path, emulated
+  trace-driven together with vRMM, Direct Segments and hybrid
+  coalescing (:mod:`repro.hw`);
+- **nested paging** (:mod:`repro.virt`) — KVM-like two-dimensional
+  translation with independent guest/host placement policies.
+
+Quick start::
+
+    from repro import (
+        QUICK_SCALE, RunOptions, build_machine, make_workload, run_native,
+    )
+
+    machine = build_machine("ca", scale=QUICK_SCALE)
+    workload = make_workload("pagerank", QUICK_SCALE)
+    result = run_native(machine, workload, RunOptions())
+    print(result.describe())
+
+Every figure and table of the paper regenerates from
+:mod:`repro.experiments` (see DESIGN.md for the index).
+"""
+
+from repro.metrics.contiguity import (
+    ContiguitySample,
+    coverage_of_k_largest,
+    mappings_for_coverage,
+    sample_contiguity,
+)
+from repro.policies import (
+    CAPaging,
+    DefaultPaging,
+    EagerPaging,
+    IdealPaging,
+    IngensPaging,
+    PlacementPolicy,
+    RangerPaging,
+    make_policy,
+)
+from repro.sim.config import (
+    BIG_SCALE,
+    DEFAULT_SCALE,
+    QUICK_SCALE,
+    TEST_SCALE,
+    HardwareConfig,
+    ScaleProfile,
+    SystemConfig,
+)
+from repro.sim.kernel import Kernel
+from repro.sim.machine import Machine
+from repro.sim.results import RunResult
+from repro.sim.runner import RunOptions, run_native, run_virtualized
+from repro.virt.hypervisor import VirtualMachine
+from repro.virt.introspect import nested_runs, two_d_runs
+from repro.workloads import PAPER_SUITE, Workload, make_workload
+
+__version__ = "1.0.0"
+
+
+def build_machine(policy, scale=None, config=None, aged=True, **policy_kwargs):
+    """Build a machine by policy name with an optional scale profile.
+
+    Thin wrapper over :func:`repro.sim.machine.build_machine` that also
+    accepts a :class:`ScaleProfile` instead of a full config.
+    """
+    from repro.sim.machine import build_machine as _build
+
+    if config is None:
+        config = SystemConfig.from_scale(scale or QUICK_SCALE)
+    return _build(policy, config, aged=aged, **policy_kwargs)
+
+
+__all__ = [
+    "BIG_SCALE",
+    "CAPaging",
+    "ContiguitySample",
+    "DEFAULT_SCALE",
+    "DefaultPaging",
+    "EagerPaging",
+    "HardwareConfig",
+    "IdealPaging",
+    "IngensPaging",
+    "Kernel",
+    "Machine",
+    "PAPER_SUITE",
+    "PlacementPolicy",
+    "QUICK_SCALE",
+    "RangerPaging",
+    "RunOptions",
+    "RunResult",
+    "ScaleProfile",
+    "SystemConfig",
+    "TEST_SCALE",
+    "VirtualMachine",
+    "Workload",
+    "build_machine",
+    "coverage_of_k_largest",
+    "make_policy",
+    "make_workload",
+    "mappings_for_coverage",
+    "nested_runs",
+    "run_native",
+    "run_virtualized",
+    "sample_contiguity",
+    "two_d_runs",
+]

@@ -1,0 +1,165 @@
+"""Command-line interface: regenerate the paper from a shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig7 --scale quick
+    python -m repro run fig13 fig14 --scale default
+    python -m repro suite --scale quick
+
+Each experiment prints the same rows/series the paper reports; see
+EXPERIMENTS.md for paper-vs-measured commentary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+from repro.sim.config import BIG_SCALE, DEFAULT_SCALE, QUICK_SCALE
+
+#: Experiment name -> (module, description).
+EXPERIMENTS: dict[str, str] = {
+    "fig1": "motivation: eager decay across runs, ranger latency",
+    "table1": "vRMM ranges & vHC anchors for 99% coverage",
+    "fig7": "native contiguity, no memory pressure",
+    "fig8": "contiguity under hog fragmentation",
+    "fig9": "free-block size distribution after runs",
+    "fig10": "multi-programmed 2x SVM",
+    "fig11": "software runtime overheads vs THP",
+    "table5": "page-fault count + 99th latency",
+    "table6": "memory bloat vs 4K demand paging",
+    "fig12": "virtualized (2D) contiguity",
+    "fig13": "translation overheads: 4K/THP/SpOT/vRMM/DS",
+    "fig14": "SpOT prediction breakdown",
+    "table7": "unsafe-load (USL) estimation",
+    # Extensions beyond the paper's figures (§VII claims made testable).
+    "ext_shadow": "extension: nested vs shadow paging under CA+SpOT",
+    "ext_multivm": "extension: two consolidated VMs on one host",
+    "ext_vhc": "extension: hybrid coalescing run, not just counted",
+}
+
+# The unit-test profile is deliberately absent: its machines are too
+# small to hold the workload suite.
+SCALES = {
+    "quick": QUICK_SCALE,
+    "default": DEFAULT_SCALE,
+    "big": BIG_SCALE,
+}
+
+
+def _run_experiment(name: str, scale, json_dir=None, scale_name: str = "") -> None:
+    module = importlib.import_module(f"repro.experiments.{name}")
+    started = time.time()
+    results = {}
+    if name == "fig1":
+        # fig1 has two sub-experiments with their own run functions.
+        results["fig1b"] = module.run_fig1b(scale=scale)
+        results["fig1c"] = module.run_fig1c(scale=scale)
+        print("Fig 1b: coverage across consecutive PageRank runs")
+        print(results["fig1b"].report())
+        print("\nFig 1c: coverage during XSBench execution")
+        print(results["fig1c"].report())
+    else:
+        results[name] = module.run(scale=scale)
+        print(results[name].report())
+    if json_dir is not None:
+        from repro.experiments.serialize import save_result
+
+        for key, result in results.items():
+            out = save_result(
+                json_dir / f"{key}.json", key, result,
+                scale=scale_name, seconds=round(time.time() - started, 1),
+            )
+            print(f"[saved {out}]")
+    print(f"\n[{name} done in {time.time() - started:.1f}s]")
+
+
+def _cmd_list(_args) -> int:
+    width = max(len(n) for n in EXPERIMENTS)
+    for name, description in EXPERIMENTS.items():
+        print(f"{name.ljust(width)}  {description}")
+    return 0
+
+
+def _json_dir(args):
+    if not getattr(args, "json", None):
+        return None
+    from pathlib import Path
+
+    path = Path(args.json)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _cmd_run(args) -> int:
+    scale = SCALES[args.scale]
+    json_dir = _json_dir(args)
+    for name in args.experiment:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; try `python -m repro list`",
+                  file=sys.stderr)
+            return 2
+        print(f"=== {name}: {EXPERIMENTS[name]} (scale={args.scale}) ===")
+        _run_experiment(name, scale, json_dir, args.scale)
+        print()
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    scale = SCALES[args.scale]
+    json_dir = _json_dir(args)
+    for name in EXPERIMENTS:
+        print(f"=== {name}: {EXPERIMENTS[name]} (scale={args.scale}) ===")
+        _run_experiment(name, scale, json_dir, args.scale)
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the ISCA'20 contiguity paper's evaluation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        func=_cmd_list
+    )
+
+    run_p = sub.add_parser("run", help="run one or more experiments")
+    run_p.add_argument("experiment", nargs="+", help="experiment name(s)")
+    run_p.add_argument(
+        "--scale", choices=sorted(SCALES), default="quick",
+        help="scale profile (default: quick)",
+    )
+    run_p.add_argument(
+        "--json", metavar="DIR",
+        help="also write each result as JSON into this directory",
+    )
+    run_p.set_defaults(func=_cmd_run)
+
+    suite_p = sub.add_parser("suite", help="run every experiment")
+    suite_p.add_argument(
+        "--scale", choices=sorted(SCALES), default="quick",
+        help="scale profile (default: quick)",
+    )
+    suite_p.add_argument(
+        "--json", metavar="DIR",
+        help="also write each result as JSON into this directory",
+    )
+    suite_p.set_defaults(func=_cmd_suite)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the contiguity reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class OutOfMemoryError(ReproError):
+    """The physical allocator could not satisfy a request."""
+
+
+class BuddyError(ReproError):
+    """Inconsistent buddy-allocator operation (double free, bad order...)."""
+
+
+class MappingError(ReproError):
+    """Invalid page-table operation (remap, unmap of absent page...)."""
+
+
+class AddressSpaceError(ReproError):
+    """Invalid VMA operation (overlap, fault outside any VMA...)."""
+
+
+class ConfigError(ReproError):
+    """Invalid simulator configuration."""
+
+
+class VirtualizationError(ReproError):
+    """Invalid hypervisor / nested-paging operation."""

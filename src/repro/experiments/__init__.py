@@ -1,0 +1,27 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each module exposes ``run(...)`` returning a typed result and a
+``main()`` that prints the same rows/series the paper reports.  The
+benchmarks under ``benchmarks/`` and the examples under ``examples/``
+are thin wrappers over these.
+
+| module    | reproduces                                             |
+|-----------|--------------------------------------------------------|
+| fig1      | motivation: eager under fragmentation, ranger latency  |
+| table1    | vRMM ranges & vHC anchors for 99% coverage             |
+| fig7      | native contiguity, no memory pressure                  |
+| fig8      | contiguity under hog fragmentation (geomean)           |
+| fig9      | free-block size distribution after runs                |
+| fig10     | multi-programmed 2x SVM coverage                       |
+| fig11     | software runtime overheads vs THP                      |
+| table5    | page-fault count + 99th latency                        |
+| table6    | memory bloat vs 4K demand paging                       |
+| fig12     | virtualized (2D) contiguity                            |
+| fig13     | translation overheads: 4K/THP/SpOT/vRMM/DS             |
+| fig14     | SpOT prediction breakdown                              |
+| table7    | unsafe-load (USL) estimation                           |
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

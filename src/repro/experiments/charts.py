@@ -1,0 +1,103 @@
+"""ASCII charts: render experiment results as terminal "figures".
+
+The experiment modules print the paper's rows; these helpers render the
+corresponding bars so a terminal run visually resembles the figure.
+Log-scale support matters here: Fig. 13 spans four orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+#: Glyphs for bar fills.
+FULL = "█"
+PARTIAL = "▏▎▍▌▋▊▉"
+
+
+def _bar(value: float, v_max: float, width: int, log: bool,
+         v_min: float) -> str:
+    if v_max <= 0 or value <= 0:
+        return ""
+    if log:
+        # Half a decade of margin below the minimum so the smallest
+        # positive value still renders a visible sliver.
+        lo = math.log10(max(v_min, 1e-12)) - 0.5
+        hi = math.log10(v_max)
+        frac = 1.0 if hi <= lo else (math.log10(max(value, v_min)) - lo) / (hi - lo)
+    else:
+        frac = value / v_max
+    frac = min(1.0, max(0.0, frac))
+    cells = frac * width
+    whole = int(cells)
+    rem = cells - whole
+    partial = PARTIAL[int(rem * len(PARTIAL))] if rem > 1 / len(PARTIAL) else ""
+    return FULL * whole + partial
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 40,
+    fmt: str = "{:.2%}",
+    log: bool = False,
+) -> str:
+    """One horizontal bar per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    positives = [v for v in values if v > 0]
+    v_max = max(positives, default=0.0)
+    v_min = min(positives, default=1e-12)
+    label_w = max((len(l) for l in labels), default=0)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = _bar(value, v_max, width, log, v_min)
+        lines.append(f"{label.rjust(label_w)} | {bar} {fmt.format(value)}")
+    if log and positives:
+        lines.append(f"{' ' * label_w} | (log scale)")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[str],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+    width: int = 36,
+    fmt: str = "{:.2%}",
+    log: bool = False,
+) -> str:
+    """Bars per group, one line per series (Fig. 13-style panels)."""
+    lines = [title] if title else []
+    for gi, group in enumerate(groups):
+        lines.append(f"{group}:")
+        labels = list(series)
+        values = [series[s][gi] for s in labels]
+        chart = bar_chart(labels, values, width=width, fmt=fmt, log=log)
+        lines.extend("  " + line for line in chart.splitlines())
+    return "\n".join(lines)
+
+
+def stacked_fraction_chart(
+    labels: Sequence[str],
+    parts: dict[str, Sequence[float]],
+    glyphs: str = "█▓░",
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Stacked 100% bars (Fig. 14-style outcome breakdowns)."""
+    names = list(parts)
+    if len(names) > len(glyphs):
+        raise ValueError(f"at most {len(glyphs)} parts supported")
+    label_w = max((len(l) for l in labels), default=0)
+    lines = [title] if title else []
+    for i, label in enumerate(labels):
+        total = sum(parts[name][i] for name in names)
+        bar = ""
+        for name, glyph in zip(names, glyphs):
+            frac = parts[name][i] / total if total else 0.0
+            bar += glyph * round(frac * width)
+        lines.append(f"{label.rjust(label_w)} | {bar[:width].ljust(width)}|")
+    legend = "  ".join(f"{g}={n}" for n, g in zip(names, glyphs))
+    lines.append(f"{' ' * label_w}   {legend}")
+    return "\n".join(lines)

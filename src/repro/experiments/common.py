@@ -1,0 +1,95 @@
+"""Shared experiment plumbing: machine/VM builders, tables, geomeans."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.sim.config import (
+    DEFAULT_SCALE,
+    QUICK_SCALE,
+    TEST_SCALE,
+    HardwareConfig,
+    ScaleProfile,
+    SystemConfig,
+)
+from repro.sim.machine import Machine, build_machine
+from repro.virt.hypervisor import VirtualMachine
+from repro.units import order_pages
+from repro.workloads import make_workload
+from repro.workloads.base import Workload
+
+#: Workload order used everywhere (Table III order).
+SUITE = ("svm", "pagerank", "hashjoin", "xsbench", "bt")
+#: The paper's allocation baselines in Fig. 7/8 order.
+CONTIGUITY_POLICIES = ("thp", "ingens", "eager", "ranger", "ca", "ideal")
+
+
+def system_config(scale: ScaleProfile, **overrides) -> SystemConfig:
+    """Machine shape for a scale profile."""
+    return SystemConfig.from_scale(scale, **overrides)
+
+
+def native_machine(policy: str, scale: ScaleProfile, **overrides) -> Machine:
+    """An aged native machine running the given policy."""
+    return build_machine(policy, system_config(scale, **overrides))
+
+
+def virtual_machine(
+    host_policy: str,
+    guest_policy: str,
+    scale: ScaleProfile,
+    **overrides,
+) -> VirtualMachine:
+    """A machine-sized VM (the paper gives the VM all host memory)."""
+    host = native_machine(host_policy, scale, **overrides)
+    guest_pages = sum(host.config.node_pages)
+    guest_pages -= guest_pages % order_pages(host.config.max_order)
+    return VirtualMachine(host, guest_pages, guest_policy)
+
+
+def workload(name: str, scale: ScaleProfile, seed: int = 0) -> Workload:
+    """Instantiate a suite workload."""
+    return make_workload(name, scale, seed=seed)
+
+
+def geomean(values: Iterable[float], floor: float = 1e-9) -> float:
+    """Geometric mean with a zero floor."""
+    vals = [max(float(v), floor) for v in values]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table (the experiment report format)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def pct(x: float) -> str:
+    """Percentage cell."""
+    return f"{100 * x:.1f}%"
+
+
+__all__ = [
+    "CONTIGUITY_POLICIES",
+    "DEFAULT_SCALE",
+    "QUICK_SCALE",
+    "SUITE",
+    "TEST_SCALE",
+    "HardwareConfig",
+    "format_table",
+    "geomean",
+    "native_machine",
+    "pct",
+    "system_config",
+    "virtual_machine",
+    "workload",
+]

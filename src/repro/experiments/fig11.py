@@ -1,0 +1,77 @@
+"""Fig. 11: software runtime overheads normalized to THP.
+
+The isolated cost of each allocation technique when no novel
+translation hardware reaps its contiguity: fault handling (incl.
+placement searches and eager zeroing), page migrations and the TLB
+shootdowns they trigger, charged against a fixed useful-work budget.
+
+Paper shapes: CA and eager add ~0% runtime; Ranger costs ~3% on average
+(migrations + shootdowns); Ingens pays for its promotions.  The
+TLB-friendly control workload is unaffected by CA paging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments import common
+from repro.metrics.faults import SoftwareOverhead
+from repro.sim.config import ScaleProfile
+from repro.sim.runner import USEFUL_US_PER_PAGE, RunOptions, run_native
+
+
+@dataclass
+class Fig11Result:
+    """Normalized runtime per (workload, policy); THP == 1.0."""
+
+    normalized: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def mean_overhead(self, policy: str) -> float:
+        """Average runtime overhead of a policy vs THP (0.03 = +3%)."""
+        vals = [v for (wl, p), v in self.normalized.items() if p == policy]
+        return sum(vals) / len(vals) - 1.0
+
+    def report(self) -> str:
+        workloads = sorted({wl for wl, _ in self.normalized})
+        policies = sorted({p for _, p in self.normalized})
+        rows = []
+        for wl in workloads:
+            rows.append(
+                [wl] + [f"{self.normalized[(wl, p)]:.3f}" for p in policies]
+            )
+        rows.append(
+            ["mean"] + [f"{1.0 + self.mean_overhead(p):.3f}" for p in policies]
+        )
+        return common.format_table(["workload"] + list(policies), rows)
+
+
+def run(
+    scale: ScaleProfile | None = None,
+    workloads: tuple[str, ...] = common.SUITE + ("tlb_friendly",),
+    policies: tuple[str, ...] = ("thp", "ca", "eager", "ranger", "ingens"),
+) -> Fig11Result:
+    """Measure modelled kernel time per run; normalize to THP's."""
+    scale = scale or common.QUICK_SCALE
+    result = Fig11Result()
+    baselines: dict[str, SoftwareOverhead] = {}
+    useful: dict[str, float] = {}
+    for policy in ("thp",) + tuple(p for p in policies if p != "thp"):
+        for name in workloads:
+            machine = common.native_machine(policy, scale)
+            wl = common.workload(name, scale)
+            r = run_native(machine, wl, RunOptions(sample_every=None))
+            if policy == "thp":
+                baselines[name] = r.software
+                useful[name] = wl.footprint_pages * USEFUL_US_PER_PAGE
+            result.normalized[(name, policy)] = r.software.normalized_runtime(
+                baselines[name], useful[name]
+            )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

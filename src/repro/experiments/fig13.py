@@ -1,0 +1,141 @@
+"""Fig. 13: execution-time overheads of address translation.
+
+Per workload, the full bar set:
+
+- native 4K and native THP (performance-counter analogue: TLB sim on a
+  native memory state),
+- virtualized 4K+4K and THP+THP (nested paging),
+- SpOT, vRMM and DS, all emulated on the CA+CA virtualized state, with
+  the Table IV linear model on top.
+
+Paper shapes: nested THP ~16.5% on average (up to ~28% for SVM); SpOT
+cuts it to ~0.9%; vRMM < 0.1%; DS ~0; SpOT benefits least where CA
+contiguity is stressed (BT's NUMA spill) or misses are irregular
+(SVM's out-of-mapping tail, hashjoin's random probes).
+
+The 4K bars come from the same memory state viewed at 4 KiB TLB-entry
+granularity.  The trace is page-level, so 4K bars overstate absolute
+overhead (every page touch is a distinct 4K entry); they are reported
+for shape only — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments import common
+from repro.hw.mmu_sim import MmuSimResult, MmuSimulator
+from repro.hw.translation import TranslationView
+from repro.hw.walk import WalkLatencyModel
+from repro.metrics.perf_model import WalkCosts
+from repro.sim.config import HardwareConfig, ScaleProfile
+from repro.sim.runner import RunOptions, run_native, run_virtualized
+
+#: Default trace length per configuration.
+TRACE_LEN = 200_000
+
+#: Bar names in figure order.
+BARS = ("4K", "THP", "4K+4K", "THP+THP", "SpOT", "vRMM", "DS")
+
+
+@dataclass
+class Fig13Result:
+    """Overheads per (workload, bar) plus raw sim counters."""
+
+    overheads: dict[tuple[str, str], float] = field(default_factory=dict)
+    sims: dict[tuple[str, str], MmuSimResult] = field(default_factory=dict)
+    costs: WalkCosts = field(default_factory=WalkCosts)
+
+    def mean(self, bar: str) -> float:
+        vals = [v for (wl, b), v in self.overheads.items() if b == bar]
+        return sum(vals) / len(vals)
+
+    def report(self) -> str:
+        workloads = sorted({wl for wl, _ in self.overheads})
+        rows = []
+        for wl in workloads:
+            rows.append(
+                [wl] + [common.pct(self.overheads[(wl, b)]) for b in BARS]
+            )
+        rows.append(["mean"] + [common.pct(self.mean(b)) for b in BARS])
+        return common.format_table(["workload"] + list(BARS), rows)
+
+    def chart(self) -> str:
+        """The figure itself: per-workload bar panels (log scale)."""
+        from repro.experiments.charts import grouped_bar_chart
+
+        workloads = sorted({wl for wl, _ in self.overheads})
+        series = {
+            bar: [self.overheads[(wl, bar)] for wl in workloads]
+            for bar in BARS
+        }
+        return grouped_bar_chart(
+            workloads, series,
+            title="Fig 13: translation overhead vs T_ideal", log=True,
+        )
+
+
+def run(
+    scale: ScaleProfile | None = None,
+    workloads: tuple[str, ...] = common.SUITE,
+    hw: HardwareConfig | None = None,
+    trace_len: int = TRACE_LEN,
+) -> Fig13Result:
+    """Build memory states, run the TLB sims, apply the Table IV model."""
+    scale = scale or common.DEFAULT_SCALE
+    hw = hw or HardwareConfig()
+    costs = WalkLatencyModel().walk_costs()
+    result = Fig13Result(costs=costs)
+
+    thp_vm = common.virtual_machine("thp", "thp", scale)
+    ca_vm = common.virtual_machine("ca", "ca", scale)
+    options = RunOptions(sample_every=None, exit_after=False)
+
+    for name in workloads:
+        wl = common.workload(name, scale)
+        trace = wl.trace(trace_len)
+
+        # Native state (default THP machine).
+        native = common.native_machine("thp", scale)
+        rn = run_native(native, wl, options)
+        for bar, force_4k in (("THP", False), ("4K", True)):
+            view = TranslationView.native(rn.process, force_4k=force_4k)
+            sim = MmuSimulator(view, hw).run(trace, rn.vma_start_vpns, workload=wl)
+            result.sims[(name, bar)] = sim
+            result.overheads[(name, bar)] = sim.overheads(costs)["paging"]
+        native.kernel.exit_process(rn.process)
+
+        # Virtualized default state.
+        rv = run_virtualized(thp_vm, wl, options)
+        for bar, force_4k in (("THP+THP", False), ("4K+4K", True)):
+            view = TranslationView.virtualized(thp_vm, rv.process, force_4k=force_4k)
+            sim = MmuSimulator(view, hw).run(trace, rv.vma_start_vpns, workload=wl)
+            result.sims[(name, bar)] = sim
+            result.overheads[(name, bar)] = sim.overheads(costs)["paging"]
+        thp_vm.guest_exit_process(rv.process)
+        thp_vm.guest_kernel.drop_caches()
+
+        # CA+CA state: the schemes under test.
+        rc = run_virtualized(ca_vm, wl, options)
+        view = TranslationView.virtualized(ca_vm, rc.process)
+        sim = MmuSimulator(view, hw).run(trace, rc.vma_start_vpns, workload=wl)
+        schemes = sim.overheads(costs)
+        result.sims[(name, "SpOT")] = sim
+        result.overheads[(name, "SpOT")] = schemes["spot"]
+        result.overheads[(name, "vRMM")] = schemes["vrmm"]
+        result.overheads[(name, "DS")] = schemes["ds"]
+        ca_vm.guest_exit_process(rc.process)
+        ca_vm.guest_kernel.drop_caches()
+
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    result = run()
+    print(result.report())
+    print()
+    print(result.chart())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,97 @@
+"""Fig. 14: SpOT prediction breakdown per workload.
+
+For every last-level TLB miss under CA+CA virtualized execution:
+fraction predicted correctly, mispredicted, or not predicted (the
+confidence counters declined to speculate).
+
+Paper shapes: correct predictions exceed 99% for PageRank; the worst
+misprediction rate belongs to hashjoin's random probes and stays in the
+single digits; irregular workloads show up as *no-prediction* mass
+(the thrash filter and confidence counters doing their job), not as
+pipeline flushes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments import common
+from repro.hw.mmu_sim import MmuSimulator
+from repro.hw.translation import TranslationView
+from repro.sim.config import HardwareConfig, ScaleProfile
+from repro.sim.runner import RunOptions, run_virtualized
+
+TRACE_LEN = 200_000
+
+
+@dataclass
+class Fig14Result:
+    """Per-workload (correct, mispredict, no_prediction) fractions."""
+
+    breakdown: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def correct(self, workload: str) -> float:
+        return self.breakdown[workload]["correct"]
+
+    def mispredict(self, workload: str) -> float:
+        return self.breakdown[workload]["mispredict"]
+
+    def report(self) -> str:
+        rows = [
+            (
+                wl,
+                common.pct(b["correct"]),
+                common.pct(b["mispredict"]),
+                common.pct(b["no_prediction"]),
+            )
+            for wl, b in self.breakdown.items()
+        ]
+        return common.format_table(
+            ("workload", "correct", "mispredict", "no prediction"), rows
+        )
+
+    def chart(self) -> str:
+        """The figure itself: stacked outcome bars per workload."""
+        from repro.experiments.charts import stacked_fraction_chart
+
+        labels = list(self.breakdown)
+        parts = {
+            outcome: [self.breakdown[wl][outcome] for wl in labels]
+            for outcome in ("correct", "mispredict", "no_prediction")
+        }
+        return stacked_fraction_chart(
+            labels, parts, title="Fig 14: SpOT outcomes per TLB miss"
+        )
+
+
+def run(
+    scale: ScaleProfile | None = None,
+    workloads: tuple[str, ...] = common.SUITE,
+    hw: HardwareConfig | None = None,
+    trace_len: int = TRACE_LEN,
+) -> Fig14Result:
+    """CA+CA virtualized states, SpOT outcome counting."""
+    scale = scale or common.DEFAULT_SCALE
+    hw = hw or HardwareConfig()
+    result = Fig14Result()
+    vm = common.virtual_machine("ca", "ca", scale)
+    for name in workloads:
+        wl = common.workload(name, scale)
+        r = run_virtualized(vm, wl, RunOptions(sample_every=None, exit_after=False))
+        view = TranslationView.virtualized(vm, r.process)
+        sim = MmuSimulator(view, hw).run(wl.trace(trace_len), r.vma_start_vpns, workload=wl)
+        result.breakdown[name] = sim.spot_breakdown()
+        vm.guest_exit_process(r.process)
+        vm.guest_kernel.drop_caches()
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    result = run()
+    print(result.report())
+    print()
+    print(result.chart())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

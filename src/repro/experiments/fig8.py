@@ -1,0 +1,92 @@
+"""Fig. 8: contiguity under external fragmentation (the hog sweep).
+
+The hog microbenchmark pins 0% → 50% of memory at >2 MiB granularity,
+then each workload runs on the fragmented single-node machine (the
+paper turns NUMA off for this experiment).  Reported: geomean coverage
+of the 32/128 largest mappings and #mappings for 99%, across the suite
+minus BT (whose footprint does not fit the hogged machine).
+
+Paper shapes: THP/Ingens are indifferent (plenty of free 2 MiB pages
+remain); eager paging degrades sharply (it needs big *aligned* blocks);
+CA stays near ideal by harvesting unaligned free contiguity; Ranger is
+nearly immune (it migrates after allocation) and wins the 32-mapping
+metric, while CA matches it at 128 mappings and 99% coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments import common
+from repro.sim.config import ScaleProfile
+from repro.sim.results import RunResult
+from repro.sim.runner import RunOptions, run_native
+
+#: Memory-pressure levels of the paper's sweep.
+PRESSURES = (0.0, 0.10, 0.25, 0.50)
+#: BT does not fit the hogged machine (167 GB footprint).
+WORKLOADS = ("svm", "pagerank", "hashjoin", "xsbench")
+
+
+@dataclass
+class Fig8Result:
+    """Geomean contiguity per (pressure, policy)."""
+
+    runs: dict[tuple[float, str, str], RunResult] = field(default_factory=dict)
+
+    def geomean_row(self, pressure: float, policy: str) -> tuple[float, float, float]:
+        keys = [k for k in self.runs if k[0] == pressure and k[1] == policy]
+        return (
+            common.geomean(self.runs[k].average.coverage_32 for k in keys),
+            common.geomean(self.runs[k].average.coverage_128 for k in keys),
+            common.geomean(self.runs[k].average.mappings_99 for k in keys),
+        )
+
+    def report(self) -> str:
+        rows = []
+        pressures = sorted({k[0] for k in self.runs})
+        policies = sorted({k[1] for k in self.runs})
+        for pressure in pressures:
+            for policy in policies:
+                c32, c128, m99 = self.geomean_row(pressure, policy)
+                rows.append(
+                    (f"hog-{int(100 * pressure)}", policy,
+                     common.pct(c32), common.pct(c128), f"{m99:.0f}")
+                )
+        return common.format_table(
+            ("pressure", "policy", "cov32", "cov128", "maps99"), rows
+        )
+
+
+def run(
+    scale: ScaleProfile | None = None,
+    pressures: tuple[float, ...] = PRESSURES,
+    policies: tuple[str, ...] = common.CONTIGUITY_POLICIES,
+    workloads: tuple[str, ...] = WORKLOADS,
+) -> Fig8Result:
+    """Run the sweep on single-node (NUMA-off) machines."""
+    scale = scale or common.QUICK_SCALE
+    result = Fig8Result()
+    # NUMA off: one node with the whole machine's memory (paper §VI-A).
+    node_pages = (sum(scale.node_pages()),)
+    for pressure in pressures:
+        for policy in policies:
+            for name in workloads:
+                machine = common.native_machine(
+                    policy, scale, node_pages=node_pages
+                )
+                if pressure:
+                    machine.hog(pressure)
+                wl = common.workload(name, scale)
+                result.runs[(pressure, policy, name)] = run_native(
+                    machine, wl, RunOptions(sample_every=32)
+                )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,85 @@
+"""Fig. 9: free-block size distribution after a benchmark batch.
+
+A set of workloads runs to completion (leaving page-cache files
+behind), then the machine's *unaligned* free runs are bucketed by size.
+CA paging leaves far more free memory in the largest bucket: its
+allocations (and the contiguous page-cache placements) come and go
+without shattering the free space — the fragmentation-restraint claim.
+
+Bucket boundaries are expressed as fractions of a node so they make
+sense at any scale; at the paper's scale they correspond to Fig. 9's
+2M/64M/1G cut-offs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments import common
+from repro.mm.free_stats import FreeBlockHistogram, free_block_histogram
+from repro.sim.config import ScaleProfile
+from repro.sim.runner import RunOptions, run_native
+from repro.units import PAGE_SIZE
+
+
+def scaled_buckets(node_pages: int) -> tuple[tuple[str, int], ...]:
+    """Fig. 9 buckets, scaled: <=0.4%, 0.4-12.5%, 12.5-50%, >50% of a node."""
+    return (
+        ("small", max(1, node_pages // 256) * PAGE_SIZE),
+        ("medium", (node_pages // 8) * PAGE_SIZE),
+        ("large", (node_pages // 2) * PAGE_SIZE),
+        ("huge", 1 << 62),
+    )
+
+
+@dataclass
+class Fig9Result:
+    """Free-run histogram per policy."""
+
+    histograms: dict[str, FreeBlockHistogram] = field(default_factory=dict)
+
+    def huge_fraction(self, policy: str) -> float:
+        """Share of free memory in the largest bucket."""
+        return self.histograms[policy].fraction("huge")
+
+    def report(self) -> str:
+        rows = []
+        for policy, hist in self.histograms.items():
+            rows.append(
+                [policy]
+                + [common.pct(hist.fraction(b)) for b in ("small", "medium", "large", "huge")]
+            )
+        return common.format_table(
+            ("policy", "small", "medium", "large", "huge(>50% node)"), rows
+        )
+
+
+def run(
+    scale: ScaleProfile | None = None,
+    policies: tuple[str, ...] = ("thp", "ca"),
+    workloads: tuple[str, ...] = ("svm", "pagerank", "xsbench"),
+) -> Fig9Result:
+    """Run the batch per policy, then scan free memory."""
+    scale = scale or common.QUICK_SCALE
+    result = Fig9Result()
+    for policy in policies:
+        machine = common.native_machine(policy, scale)
+        for name in workloads:
+            wl = common.workload(name, scale)
+            scratch = max(1, wl.footprint_pages // 50)
+            run_native(
+                machine,
+                wl,
+                RunOptions(sample_every=None, scratch_file_pages=scratch),
+            )
+        buckets = scaled_buckets(machine.config.node_pages[0])
+        result.histograms[policy] = free_block_histogram(machine.mem, buckets)
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,66 @@
+"""Serialization of experiment results to plain JSON-able structures.
+
+Result objects are dataclasses holding dataclasses, numpy scalars and
+dicts keyed by tuples (``(workload, policy)``); this module flattens
+all of that so results can be archived next to EXPERIMENTS.md and
+diffed across runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+#: Separator used to flatten tuple keys ("svm|ca").
+KEY_SEP = "|"
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert a result object into JSON-compatible data."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: to_jsonable(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {_key(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if hasattr(obj, "item") and callable(obj.item):  # numpy scalar
+        return obj.item()
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    # Fall back to the object's public attributes (non-dataclass results).
+    public = {
+        name: to_jsonable(value)
+        for name, value in vars(obj).items()
+        if not name.startswith("_")
+    }
+    if public:
+        return public
+    return repr(obj)
+
+
+def _key(key: Any) -> str:
+    if isinstance(key, tuple):
+        return KEY_SEP.join(str(part) for part in key)
+    return str(key)
+
+
+def save_result(path: str | Path, name: str, result: Any, **meta) -> Path:
+    """Write one experiment's result (with metadata) as JSON."""
+    path = Path(path)
+    payload = {
+        "experiment": name,
+        "meta": meta,
+        "result": to_jsonable(result),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_result(path: str | Path) -> dict:
+    """Read back a saved result payload."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,71 @@
+"""Table V: total page faults and 99th-percentile fault latency.
+
+Aggregated over the benchmark suite: demand-paging techniques (THP, CA)
+take the same number of faults with near-identical tail latency (CA
+adds only its placement search); eager paging takes orders of magnitude
+fewer faults but each zeroes a huge pre-allocated block, inflating the
+99th percentile by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments import common
+from repro.metrics.faults import percentile
+from repro.sim.config import ScaleProfile
+from repro.sim.runner import RunOptions, run_native
+
+
+@dataclass
+class Table5Row:
+    """One policy's aggregate fault behaviour."""
+
+    policy: str
+    total_faults: int
+    p99_latency_us: float
+
+
+@dataclass
+class Table5Result:
+    rows: dict[str, Table5Row] = field(default_factory=dict)
+
+    def report(self) -> str:
+        table = [
+            (r.policy, r.total_faults, f"{r.p99_latency_us:.0f}")
+            for r in self.rows.values()
+        ]
+        return common.format_table(("policy", "total faults", "p99 latency (us)"), table)
+
+
+def run(
+    scale: ScaleProfile | None = None,
+    workloads: tuple[str, ...] = common.SUITE,
+    policies: tuple[str, ...] = ("thp", "ca", "eager"),
+) -> Table5Result:
+    """Aggregate fault events across the suite per policy."""
+    scale = scale or common.QUICK_SCALE
+    result = Table5Result()
+    for policy in policies:
+        latencies: list[float] = []
+        total = 0
+        for name in workloads:
+            machine = common.native_machine(policy, scale)
+            wl = common.workload(name, scale)
+            r = run_native(machine, wl, RunOptions(sample_every=None))
+            total += r.faults.total_faults
+            latencies.extend(r.fault_latencies_us)
+        result.rows[policy] = Table5Row(
+            policy=policy,
+            total_faults=total,
+            p99_latency_us=percentile(latencies, 99.0),
+        )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

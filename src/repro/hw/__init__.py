@@ -1,0 +1,40 @@
+"""Hardware emulation: TLBs and the translation schemes of Fig. 13.
+
+The paper emulates SpOT/vRMM/DS by instrumenting real TLB misses with
+BadgerTrap and feeding counts into the linear model of Table IV.  We do
+the trace-driven equivalent:
+
+- :mod:`repro.hw.tlb` — set-associative L1/L2 TLB hierarchy,
+- :mod:`repro.hw.translation` — a vectorized view of the effective
+  (1D or 2D) translations of a memory state,
+- :mod:`repro.hw.walk` — page-walk latency model (native/nested, MMU
+  caches) that derives the AvgC constants,
+- :mod:`repro.hw.spot` — the SpOT prediction table (§IV),
+- :mod:`repro.hw.rmm` — vRMM range TLB + range-table coverage,
+- :mod:`repro.hw.direct_segment` — DS dual direct mode,
+- :mod:`repro.hw.hybrid_coalescing` — vHC anchor-entry model (Table I),
+- :mod:`repro.hw.mmu_sim` — the simulator gluing it all together.
+"""
+
+from repro.hw.direct_segment import DirectSegment
+from repro.hw.hybrid_coalescing import anchor_distance_for, vhc_entries_for_coverage
+from repro.hw.mmu_sim import MmuSimResult, MmuSimulator
+from repro.hw.rmm import RangeTlb
+from repro.hw.spot import SpotPredictor
+from repro.hw.tlb import SetAssocTlb, TlbHierarchy
+from repro.hw.translation import TranslationView
+from repro.hw.walk import WalkLatencyModel
+
+__all__ = [
+    "DirectSegment",
+    "MmuSimResult",
+    "MmuSimulator",
+    "RangeTlb",
+    "SetAssocTlb",
+    "SpotPredictor",
+    "TlbHierarchy",
+    "TranslationView",
+    "WalkLatencyModel",
+    "anchor_distance_for",
+    "vhc_entries_for_coverage",
+]

@@ -1,0 +1,41 @@
+"""Direct Segments, dual direct mode (Gandhi et al., the DS baseline).
+
+One [base, limit, offset] segment per VM translates gVA→hPA directly
+for the primary region; paging handles the rest.  Translation inside
+the segment is free (no TLB, no walk); misses outside pay a nested
+4K-table walk (Table IV's ``O_DS``).  The price is rigidity: the
+segment is reserved at VM boot and paging (demand allocation, COW,
+reclaim) is disabled inside it — which is the paper's argument for
+CA+SpOT despite DS's near-zero overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DsStats:
+    """Direct-segment counters."""
+
+    inside: int = 0
+    outside: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.inside + self.outside
+
+
+class DirectSegment:
+    """Dual-direct-mode segment check on the TLB miss path."""
+
+    def __init__(self) -> None:
+        self.stats = DsStats()
+
+    def on_miss(self, in_segment: bool) -> bool:
+        """One last-level TLB miss; True when the segment covered it."""
+        if in_segment:
+            self.stats.inside += 1
+            return True
+        self.stats.outside += 1
+        return False

@@ -1,0 +1,73 @@
+"""vHC: virtualized Hybrid TLB Coalescing (Table I's right columns).
+
+Hybrid coalescing (Park et al.) stores *anchor* entries in the page
+table at a fixed, per-process power-of-two stride (the anchor
+distance); each anchor covers however much contiguity follows it.  The
+paper's point (§IV-A): because anchors are virtually aligned, covering
+an unaligned contiguous mapping takes one entry per crossed anchor
+stride — ~38x more entries than vRMM ranges under CA paging — so
+alignment-free schemes (ranges, SpOT offsets) exploit CA contiguity far
+better.
+
+These helpers reproduce Table I's entry counts from a memory state's
+run sizes.
+"""
+
+from __future__ import annotations
+
+from repro.vm.mapping_runs import MappingRun
+
+
+def anchor_distance_for(run_sizes: list[int]) -> int:
+    """The OS's dynamic anchor distance: ~average contiguity, power of 2.
+
+    Hybrid coalescing adapts the distance to the process's average
+    mapping length so anchors neither drown sparse mappings nor cap
+    dense ones.
+    """
+    if not run_sizes:
+        return 1
+    avg = sum(run_sizes) / len(run_sizes)
+    distance = 1
+    while distance * 2 <= avg:
+        distance *= 2
+    return distance
+
+
+def anchors_for_run(run: MappingRun, distance: int) -> int:
+    """Anchor entries needed to cover one contiguous mapping.
+
+    Every ``distance``-aligned boundary the run overlaps needs its own
+    anchor entry (virtual alignment restriction).
+    """
+    if run.n_pages <= 0:
+        return 0
+    first = run.start_vpn // distance
+    last = (run.end_vpn - 1) // distance
+    return int(last - first + 1)
+
+
+def vhc_entries_for_coverage(
+    runs: list[MappingRun],
+    footprint_pages: int,
+    coverage: float = 0.99,
+    distance: int | None = None,
+) -> int:
+    """Table I right column: vHC anchors to map 99% of the footprint.
+
+    Runs are taken largest-first (like the ranges count) and each
+    contributes its anchor-entry cost.
+    """
+    if footprint_pages <= 0:
+        return 0
+    if distance is None:
+        distance = anchor_distance_for([r.n_pages for r in runs])
+    goal = coverage * footprint_pages
+    covered = 0
+    entries = 0
+    for run in sorted(runs, key=lambda r: r.n_pages, reverse=True):
+        entries += anchors_for_run(run, distance)
+        covered += run.n_pages
+        if covered >= goal:
+            return entries
+    return entries + 1

@@ -1,0 +1,168 @@
+"""The trace-driven MMU simulator (the BadgerTrap analogue).
+
+Feeds a workload's access trace through the TLB hierarchy; every
+last-level miss is offered to the emulated schemes (SpOT, vRMM, DS)
+exactly like the paper's BadgerTrap fault handlers instrument real
+misses.  The result carries all the counters Table IV's model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.direct_segment import DirectSegment
+from repro.hw.rmm import RangeTlb
+from repro.hw.spot import CORRECT, MISPREDICT, NO_PREDICTION, SpotPredictor
+from repro.hw.tlb import TlbHierarchy
+from repro.hw.translation import ResolvedTrace, TranslationView
+from repro.metrics.perf_model import PerfModel, WalkCosts
+from repro.sim.config import HardwareConfig
+from repro.workloads.base import AccessTrace, Workload
+
+#: Ideal cycles per instruction (zero translation overhead).
+IDEAL_CPI = 0.5
+
+
+@dataclass
+class MmuSimResult:
+    """Counters of one simulated configuration."""
+
+    accesses: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    walks: int = 0
+    virtualized: bool = True
+    huge: bool = True
+    # SpOT outcomes
+    spot_correct: int = 0
+    spot_mispredict: int = 0
+    spot_no_prediction: int = 0
+    # vRMM / DS
+    rmm_uncovered: int = 0
+    ds_outside: int = 0
+    #: Ideal execution cycles (denominator of every overhead).
+    t_ideal_cycles: float = 1.0
+    #: Mechanistically measured average walk cost (cycles), when the
+    #: simulator ran with a :class:`~repro.hw.pwc.WalkSimulator`.
+    measured_avg_walk_cycles: float | None = None
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def miss_rate(self) -> float:
+        """Last-level TLB misses per access."""
+        return self.walks / max(1, self.accesses)
+
+    def spot_breakdown(self) -> dict[str, float]:
+        """Fig. 14: outcome fractions of all misses."""
+        total = max(1, self.walks)
+        return {
+            CORRECT: self.spot_correct / total,
+            MISPREDICT: self.spot_mispredict / total,
+            NO_PREDICTION: self.spot_no_prediction / total,
+        }
+
+    def overheads(self, costs: WalkCosts | None = None) -> dict[str, float]:
+        """Table IV: translation overhead per scheme, vs T_ideal."""
+        model = PerfModel(self.t_ideal_cycles, costs or WalkCosts())
+        return {
+            "paging": model.paging_overhead(self.walks, self.virtualized, self.huge),
+            "spot": model.spot_overhead(
+                self.spot_no_prediction, self.spot_mispredict,
+                self.virtualized, self.huge,
+            ),
+            "vrmm": model.vrmm_overhead(self.rmm_uncovered, self.virtualized),
+            "ds": model.ds_overhead(self.ds_outside, self.virtualized),
+        }
+
+
+@dataclass
+class MmuSimulator:
+    """One simulated MMU configuration.
+
+    Parameters
+    ----------
+    view:
+        Effective translations of the memory state under test.
+    hw:
+        TLB geometry and scheme parameters.
+    """
+
+    view: TranslationView
+    hw: HardwareConfig = field(default_factory=HardwareConfig)
+    #: Optional mechanistic walk coster (:class:`repro.hw.pwc.WalkSimulator`);
+    #: when set, each miss is fed through it and the result reports the
+    #: measured average walk cost alongside the fixed-model overheads.
+    walk_sim: object | None = None
+
+    def __post_init__(self) -> None:
+        self.tlb = TlbHierarchy.from_config(self.hw)
+        self.spot = SpotPredictor(
+            self.hw.spot_entries,
+            self.hw.spot_ways,
+            use_confidence=self.hw.spot_confidence,
+        )
+        self.rmm = RangeTlb(self.hw.range_tlb_entries)
+        self.ds = DirectSegment()
+
+    def run(
+        self,
+        trace: AccessTrace,
+        vma_start_vpns: list[int],
+        workload: Workload | None = None,
+    ) -> MmuSimResult:
+        """Simulate a trace; returns all per-scheme counters."""
+        resolved = self.view.resolve(trace, vma_start_vpns)
+        result = MmuSimResult(
+            accesses=len(resolved),
+            virtualized=self.view.virtualized,
+            huge=bool(resolved.entry_huge.any()),
+        )
+        self._loop(resolved, result)
+        if workload is not None:
+            instructions = workload.instruction_count(len(resolved))
+            result.t_ideal_cycles = max(1.0, instructions * IDEAL_CPI)
+        if self.walk_sim is not None:
+            result.measured_avg_walk_cycles = self.walk_sim.stats.avg_cycles
+        return result
+
+    def _loop(self, t: ResolvedTrace, result: MmuSimResult) -> None:
+        access = self.tlb.access
+        spot_done = self.spot.on_walk_complete
+        rmm_on = self.rmm.on_miss
+        ds_on = self.ds.on_miss
+        pcs = t.pc.tolist()
+        bases = t.entry_base.tolist()
+        huges = t.entry_huge.tolist()
+        vpns = t.vpn.tolist()
+        ppns = t.ppn.tolist()
+        contigs = t.contig.tolist()
+        segs = t.in_segment.tolist()
+        run_starts = t.run_start.tolist()
+        run_lens = t.run_len.tolist()
+        for i in range(len(pcs)):
+            level = access(bases[i], huges[i])
+            if level == "l1":
+                result.l1_hits += 1
+                continue
+            if level == "l2":
+                result.l2_hits += 1
+                continue
+            result.walks += 1
+            vpn = vpns[i]
+            if self.walk_sim is not None:
+                self.walk_sim.walk(vpn, huges[i])
+            # SpOT: predict + background verification walk.
+            outcome = spot_done(pcs[i], vpn, ppns[i], contigs[i])
+            if outcome == CORRECT:
+                result.spot_correct += 1
+            elif outcome == MISPREDICT:
+                result.spot_mispredict += 1
+            else:
+                result.spot_no_prediction += 1
+            # vRMM: range TLB / range table coverage.
+            if rmm_on(vpn, run_starts[i], run_lens[i]) == "uncovered":
+                result.rmm_uncovered += 1
+            # DS: segment check.
+            if not ds_on(segs[i]):
+                result.ds_outside += 1

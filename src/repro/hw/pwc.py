@@ -1,0 +1,133 @@
+"""Paging-structure caches (PWC) and a mechanistic walk simulator.
+
+The fixed AvgC constants of :mod:`repro.hw.walk` reproduce the paper's
+*measured averages*; this module derives them mechanistically instead,
+the way Bhargava et al. (the paper's ref [1], the original 2D-walk
+analysis) model it:
+
+- a **PWC** caches upper-level page-table entries keyed by the virtual
+  address prefix, letting a walk skip the levels it has cached;
+- under nested paging, each guest-level reference is itself a guest-
+  physical access that needs translating, served by a **nested TLB**
+  (nTLB) caching gPA→hPA translations of page-table pages; misses there
+  pay a nested sub-walk.
+
+:class:`WalkSimulator` charges each last-level TLB miss its actual
+reference count given the PWC/nTLB state, so average walk cost becomes
+a per-workload *output* instead of an input.  ``MmuSimulator`` accepts
+one through :class:`~repro.sim.config.HardwareConfig` replacement of
+the fixed-cost model in experiments that want it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.tlb import SetAssocTlb
+from repro.vm.page_table import LEVEL_BITS
+
+#: Cost of one page-table memory reference that misses all MMU caches
+#: (an L2/LLC mix, as in the fixed model).
+REF_CYCLES = 9.0
+#: Fixed TLB-miss handling cost (queueing, fill) added per walk.
+WALK_FIXED_CYCLES = 18.0
+
+
+class PageWalkCache:
+    """Caches interior page-table entries by (level, VA prefix).
+
+    ``deepest_hit`` returns how many upper levels a walk may skip: a
+    hit at level L means the walker can start from level L-1.
+    """
+
+    def __init__(self, entries: int = 32, ways: int = 4):
+        self._cache = SetAssocTlb(entries, ways)
+
+    @staticmethod
+    def _key(vpn: int, level: int) -> tuple[int, int]:
+        # The prefix that selects the level-(level-1) table.
+        return (level, vpn >> (LEVEL_BITS * (level - 1)))
+
+    def deepest_hit(self, vpn: int, levels: int) -> int:
+        """Levels skippable for this walk (0 = walk from the root)."""
+        for level in range(2, levels + 1):
+            # Prefer the deepest (closest to the leaf) cached entry.
+            if self._cache.lookup(self._key(vpn, level)):
+                return levels - level + 1
+        return 0
+
+    def fill(self, vpn: int, levels: int) -> None:
+        """Install the interior entries this walk traversed."""
+        for level in range(2, levels + 1):
+            self._cache.insert(self._key(vpn, level))
+
+
+@dataclass
+class WalkStats:
+    """Aggregate reference counts across simulated walks."""
+
+    walks: int = 0
+    references: int = 0
+    cycles: float = 0.0
+
+    @property
+    def avg_cycles(self) -> float:
+        """Measured average walk latency (the AvgC analogue)."""
+        return self.cycles / self.walks if self.walks else 0.0
+
+    @property
+    def avg_references(self) -> float:
+        return self.references / self.walks if self.walks else 0.0
+
+
+class WalkSimulator:
+    """Mechanistic per-miss walk costing with PWC and nTLB.
+
+    Parameters
+    ----------
+    virtualized:
+        Nested (2D) walks when True; native walks otherwise.
+    levels:
+        Radix depth per dimension (4 default, 5 for LA57).
+    """
+
+    def __init__(
+        self,
+        virtualized: bool = False,
+        levels: int = 4,
+        pwc_entries: int = 32,
+        ntlb_entries: int = 64,
+        ref_cycles: float = REF_CYCLES,
+    ):
+        self.virtualized = virtualized
+        self.levels = levels
+        self.ref_cycles = ref_cycles
+        self.pwc = PageWalkCache(pwc_entries)
+        # nTLB: translations of guest page-table pages (gPA -> hPA).
+        self.ntlb = SetAssocTlb(ntlb_entries, 4) if virtualized else None
+        self.stats = WalkStats()
+
+    def walk(self, vpn: int, huge: bool) -> float:
+        """Charge one last-level TLB miss; returns its cycles."""
+        levels = self.levels - (1 if huge else 0)
+        skipped = self.pwc.deepest_hit(vpn, levels)
+        guest_refs = levels - skipped
+        refs = 0
+        for step in range(guest_refs):
+            refs += 1  # the guest-dimension reference itself
+            if self.ntlb is not None:
+                # Translating the guest table page's gPA: nTLB hit is
+                # free, a miss pays a nested sub-walk (host levels).
+                key = (vpn >> (LEVEL_BITS * step), step)
+                if not self.ntlb.lookup(key):
+                    refs += self.levels - (1 if huge else 0)
+                    self.ntlb.insert(key)
+        if self.virtualized:
+            # The final gPA of the data page also needs translating.
+            refs += 1
+        self.pwc.fill(vpn, levels)
+        cycles = WALK_FIXED_CYCLES + refs * self.ref_cycles
+        self.stats.walks += 1
+        self.stats.references += refs
+        self.stats.cycles += cycles
+        return cycles

@@ -1,0 +1,154 @@
+"""SpOT: Speculative Offset-based Address Translation (paper §IV).
+
+A PC-indexed, set-associative prediction table on the last-level TLB
+miss path.  Each entry caches the [offset, permissions] of the last
+walk completed by the same instruction plus a 2-bit saturating
+confidence counter:
+
+- a prediction is *fed to the pipeline* only when confidence > 1;
+- every completed walk compares the entry's offset against the actual
+  one and bumps the counter up (match) or down (mismatch);
+- the cached offset is replaced only when confidence reaches 0
+  (then reset to 1);
+- new entries are inserted only when the OS contiguity bit is set in
+  both dimensions (the thrash filter of §IV-C), evicting LRU.
+
+Outcomes per miss: ``correct`` (walk latency hidden), ``mispredict``
+(walk latency + pipeline flush) or ``no_prediction`` (full walk cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Saturating-counter ceiling (2-bit).
+CONF_MAX = 3
+#: Confidence required before predictions are fed to the pipeline.
+CONF_FEED = 2
+
+CORRECT = "correct"
+MISPREDICT = "mispredict"
+NO_PREDICTION = "no_prediction"
+
+
+class _Entry:
+    __slots__ = ("pc", "offset", "confidence")
+
+    def __init__(self, pc: int, offset: int):
+        self.pc = pc
+        self.offset = offset
+        self.confidence = 1
+
+
+@dataclass
+class SpotStats:
+    """Prediction outcome counters (Fig. 14)."""
+
+    correct: int = 0
+    mispredict: int = 0
+    no_prediction: int = 0
+    fills: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.correct + self.mispredict + self.no_prediction
+
+    def breakdown(self) -> dict[str, float]:
+        """Outcome fractions of all last-level TLB misses."""
+        total = max(1, self.total)
+        return {
+            CORRECT: self.correct / total,
+            MISPREDICT: self.mispredict / total,
+            NO_PREDICTION: self.no_prediction / total,
+        }
+
+
+class SpotPredictor:
+    """The prediction table + confidence mechanism."""
+
+    def __init__(self, entries: int = 32, ways: int = 4,
+                 use_confidence: bool = True):
+        if entries <= 0 or ways <= 0 or entries % ways:
+            raise ConfigError(
+                f"invalid SpOT geometry: {entries} entries, {ways} ways"
+            )
+        self.n_sets = entries // ways
+        self.ways = ways
+        #: Ablation: with confidence off, every resident entry predicts
+        #: immediately and mismatches replace the offset at once.
+        self.use_confidence = use_confidence
+        self._sets: list[dict[int, _Entry]] = [dict() for _ in range(self.n_sets)]
+        self.stats = SpotStats()
+
+    def _set_of(self, pc: int) -> dict[int, _Entry]:
+        # Mix the PC before picking a set: instruction addresses
+        # cluster at small strides, so plain modulo would alias hot PCs
+        # into one set (Knuth multiplicative hash).
+        return self._sets[((pc * 0x9E3779B1) >> 12) % self.n_sets]
+
+    def lookup(self, pc: int) -> _Entry | None:
+        """Probe the table (refreshes LRU position)."""
+        s = self._set_of(pc)
+        entry = s.get(pc)
+        if entry is not None:
+            del s[pc]
+            s[pc] = entry
+        return entry
+
+    def predict(self, pc: int, vpn: int) -> int | None:
+        """Predicted physical page for ``vpn``, or None (not confident)."""
+        entry = self.lookup(pc)
+        if entry is None:
+            return None
+        if self.use_confidence and entry.confidence < CONF_FEED:
+            return None
+        return vpn - entry.offset
+
+    def on_walk_complete(self, pc: int, vpn: int, ppn: int, contig_bit: bool) -> str:
+        """The nested walker's table update; returns the miss outcome.
+
+        Call once per last-level TLB miss after the verification walk
+        resolved the true translation ``vpn -> ppn``.
+        """
+        actual_offset = vpn - ppn
+        entry = self.lookup(pc)
+        if entry is None:
+            if contig_bit:
+                self._insert(pc, actual_offset)
+            self.stats.no_prediction += 1
+            return NO_PREDICTION
+
+        fed = entry.confidence >= CONF_FEED if self.use_confidence else True
+        match = entry.offset == actual_offset
+        if not self.use_confidence:
+            if not match:
+                entry.offset = actual_offset
+        elif match:
+            entry.confidence = min(CONF_MAX, entry.confidence + 1)
+        else:
+            entry.confidence -= 1
+            if entry.confidence <= 0:
+                entry.offset = actual_offset
+                entry.confidence = 1
+        if fed and match:
+            self.stats.correct += 1
+            return CORRECT
+        if fed:
+            self.stats.mispredict += 1
+            return MISPREDICT
+        self.stats.no_prediction += 1
+        return NO_PREDICTION
+
+    def _insert(self, pc: int, offset: int) -> None:
+        s = self._set_of(pc)
+        if len(s) >= self.ways:
+            del s[next(iter(s))]  # LRU eviction
+        s[pc] = _Entry(pc, offset)
+        self.stats.fills += 1
+
+    @property
+    def occupancy(self) -> int:
+        """Entries currently resident."""
+        return sum(len(s) for s in self._sets)

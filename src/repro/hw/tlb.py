@@ -1,0 +1,112 @@
+"""Set-associative TLBs and the two-level hierarchy of Table II.
+
+Keys are ``(base_vpn, huge)`` pairs: a 2 MiB entry covers its whole
+512-page region under one tag.  Replacement is true LRU within a set
+(dict insertion order re-touched on hit).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class SetAssocTlb:
+    """One set-associative translation buffer."""
+
+    __slots__ = ("n_sets", "ways", "_sets", "hits", "misses")
+
+    def __init__(self, entries: int, ways: int):
+        if entries <= 0 or ways <= 0 or entries % ways:
+            raise ConfigError(
+                f"invalid TLB geometry: {entries} entries, {ways} ways"
+            )
+        self.n_sets = entries // ways
+        self.ways = ways
+        self._sets: list[dict] = [dict() for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_of(self, key) -> dict:
+        # Mix the hash before picking a set: Python hashes integers to
+        # themselves, so aligned keys (anchor bases, page numbers)
+        # would otherwise alias into a single set.
+        return self._sets[((hash(key) * 0x9E3779B1) >> 12) % self.n_sets]
+
+    def lookup(self, key) -> bool:
+        """Probe for ``key``; refreshes LRU position on a hit."""
+        s = self._set_of(key)
+        if key in s:
+            # Move to MRU position (dicts preserve insertion order).
+            del s[key]
+            s[key] = None
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, key) -> None:
+        """Fill ``key``, evicting the LRU way when the set is full."""
+        s = self._set_of(key)
+        if key in s:
+            del s[key]
+        elif len(s) >= self.ways:
+            del s[next(iter(s))]  # oldest = LRU
+        s[key] = None
+
+    def flush(self) -> None:
+        """Invalidate everything (context switch / shootdown)."""
+        for s in self._sets:
+            s.clear()
+
+    @property
+    def occupancy(self) -> int:
+        """Entries currently resident."""
+        return sum(len(s) for s in self._sets)
+
+
+class TlbHierarchy:
+    """Split L1 (4K / 2M) + unified L2 (the paper's L2 STLB).
+
+    ``access`` returns ``"l1"``, ``"l2"`` or ``"miss"``; only ``"miss"``
+    triggers a page walk (the paper's instrumentation point).  Fills
+    propagate to both levels.
+    """
+
+    def __init__(self, l1_4k: SetAssocTlb, l1_2m: SetAssocTlb, l2: SetAssocTlb):
+        self.l1_4k = l1_4k
+        self.l1_2m = l1_2m
+        self.l2 = l2
+
+    @classmethod
+    def from_config(cls, hw) -> "TlbHierarchy":
+        """Build from a :class:`~repro.sim.config.HardwareConfig`."""
+        return cls(
+            SetAssocTlb(hw.l1_4k_entries, hw.l1_4k_ways),
+            SetAssocTlb(hw.l1_2m_entries, hw.l1_2m_ways),
+            SetAssocTlb(hw.l2_entries, hw.l2_ways),
+        )
+
+    def access(self, base_vpn: int, huge: bool) -> str:
+        """One translation request; fills on miss resolution."""
+        l1 = self.l1_2m if huge else self.l1_4k
+        key = (base_vpn, huge)
+        if l1.lookup(key):
+            return "l1"
+        if self.l2.lookup(key):
+            l1.insert(key)
+            return "l2"
+        # The page walk resolved the translation: fill both levels.
+        self.l2.insert(key)
+        l1.insert(key)
+        return "miss"
+
+    def flush(self) -> None:
+        """Invalidate all levels."""
+        self.l1_4k.flush()
+        self.l1_2m.flush()
+        self.l2.flush()
+
+    @property
+    def walk_count(self) -> int:
+        """Translation requests that required a page walk."""
+        return self.l2.misses

@@ -1,0 +1,223 @@
+"""Vectorized view of a memory state's effective translations.
+
+The MMU simulator needs, for every trace access: the backing frame, the
+TLB entry granularity (4K or 2M), whether the translation belongs to a
+large contiguous mapping (the SpOT contiguity bit in both dimensions),
+and whether it falls into the direct segment.  This module resolves a
+whole numpy trace in a few ``searchsorted`` passes so the sequential
+TLB loop stays lean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import HUGE_PAGES
+from repro.virt.hypervisor import VirtualMachine
+from repro.virt.introspect import two_d_runs
+from repro.vm.mapping_runs import MappingRuns
+from repro.vm.process import Process
+from repro.workloads.base import AccessTrace
+
+
+@dataclass
+class ResolvedTrace:
+    """Per-access attributes the TLB loop consumes."""
+
+    pc: np.ndarray
+    vpn: np.ndarray
+    ppn: np.ndarray
+    entry_base: np.ndarray
+    entry_huge: np.ndarray
+    contig: np.ndarray
+    in_segment: np.ndarray
+    range_covered: np.ndarray
+    run_start: np.ndarray
+    run_len: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.vpn)
+
+
+class TranslationView:
+    """Effective translations of one process (native 1D or virtualized 2D).
+
+    Parameters
+    ----------
+    runs:
+        Mapping runs: gVA→hPA for virtualized states, VA→PA natively.
+    huge_regions:
+        Sorted array of 2 MiB-region base VPNs for which hardware can
+        cache a single 2 MiB TLB entry (guest leaf huge *and* backed by
+        one huge nested leaf — splintering otherwise).
+    segment_bounds:
+        ``(start_vpn, end_vpn)`` ranges covered by the direct segment.
+    """
+
+    def __init__(
+        self,
+        runs: MappingRuns,
+        huge_regions: np.ndarray,
+        segment_bounds: list[tuple[int, int]],
+        contig_threshold: int = 32,
+        range_min_pages: int = 32,
+        virtualized: bool = False,
+    ):
+        snapshot = runs.snapshot()
+        self.starts = np.array([r.start_vpn for r in snapshot], dtype=np.int64)
+        self.ends = np.array([r.end_vpn for r in snapshot], dtype=np.int64)
+        self.ppns = np.array([r.start_pfn for r in snapshot], dtype=np.int64)
+        self.lengths = self.ends - self.starts
+        self.huge_regions = np.asarray(huge_regions, dtype=np.int64)
+        self.segment_bounds = segment_bounds
+        self.contig_threshold = contig_threshold
+        self.range_min_pages = range_min_pages
+        self.virtualized = virtualized
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def native(cls, process: Process, contig_threshold=32,
+               force_4k: bool = False) -> "TranslationView":
+        """View of a native process's page tables.
+
+        ``contig_threshold="auto"`` derives the SpOT contiguity-bit
+        threshold from the process's run-length statistics (§IV-C's
+        dynamic-adjustment suggestion).
+        """
+        if contig_threshold == "auto":
+            from repro.metrics.contiguity import suggest_contig_threshold
+
+            contig_threshold = suggest_contig_threshold(process.space.runs)
+        huge = (
+            np.empty(0, dtype=np.int64)
+            if force_4k
+            else np.array(
+                sorted(
+                    vpn
+                    for vpn, pte in process.space.page_table.iter_leaves()
+                    if pte.huge
+                ),
+                dtype=np.int64,
+            )
+        )
+        return cls(
+            process.space.runs,
+            huge,
+            segment_bounds=_anon_bounds(process),
+            contig_threshold=contig_threshold,
+            virtualized=False,
+        )
+
+    @classmethod
+    def virtualized(cls, vm: VirtualMachine, process: Process,
+                    contig_threshold=32,
+                    force_4k: bool = False) -> "TranslationView":
+        """2D (gVA→hPA) view of a guest process.
+
+        A 2 MiB TLB entry is possible only where the guest leaf is huge
+        and the whole region stays contiguous through the nested
+        dimension (one 2D run covers it); otherwise the entry
+        splinters to 4 KiB.  ``contig_threshold="auto"`` derives the
+        threshold from the 2D run statistics.
+        """
+        runs = two_d_runs(vm, process)
+        if contig_threshold == "auto":
+            from repro.metrics.contiguity import suggest_contig_threshold
+
+            contig_threshold = suggest_contig_threshold(runs)
+        huge_list: list[int] = []
+        if not force_4k:
+            for vpn, pte in process.space.page_table.iter_leaves():
+                if not pte.huge:
+                    continue
+                run = runs.find(vpn)
+                if run and run.start_vpn <= vpn and run.end_vpn >= vpn + HUGE_PAGES:
+                    huge_list.append(vpn)
+        return cls(
+            runs,
+            np.array(sorted(huge_list), dtype=np.int64),
+            segment_bounds=_anon_bounds(process),
+            contig_threshold=contig_threshold,
+            virtualized=True,
+        )
+
+    # -- scalar queries (tests / schemes) --------------------------------------
+
+    def translate(self, vpn: int) -> int | None:
+        """Backing frame of one page, or None."""
+        i = int(np.searchsorted(self.starts, vpn, side="right")) - 1
+        if i < 0 or vpn >= self.ends[i]:
+            return None
+        return int(self.ppns[i] + (vpn - self.starts[i]))
+
+    def run_length_at(self, vpn: int) -> int:
+        """Length of the effective run covering ``vpn`` (0 if unmapped)."""
+        i = int(np.searchsorted(self.starts, vpn, side="right")) - 1
+        if i < 0 or vpn >= self.ends[i]:
+            return 0
+        return int(self.lengths[i])
+
+    # -- vectorized resolution ---------------------------------------------------
+
+    def resolve(self, trace: AccessTrace, vma_start_vpns: list[int]) -> ResolvedTrace:
+        """Resolve a trace into per-access attributes (numpy, no loops)."""
+        base = np.asarray(vma_start_vpns, dtype=np.int64)
+        vpn = base[trace.vma] + trace.page
+        idx = np.searchsorted(self.starts, vpn, side="right") - 1
+        idx_clipped = np.clip(idx, 0, max(0, len(self.starts) - 1))
+        mapped = (idx >= 0) & (len(self.starts) > 0)
+        if len(self.starts):
+            mapped &= vpn < self.ends[idx_clipped]
+        if not mapped.all():
+            missing = vpn[~mapped]
+            raise ValueError(
+                f"trace touches {len(missing)} unmapped pages "
+                f"(first vpn {int(missing[0]):#x}) — run the workload first"
+            )
+        ppn = self.ppns[idx_clipped] + (vpn - self.starts[idx_clipped])
+        run_len = self.lengths[idx_clipped]
+        contig = run_len >= self.contig_threshold
+        range_covered = run_len >= self.range_min_pages
+
+        region = vpn & ~np.int64(HUGE_PAGES - 1)
+        if len(self.huge_regions):
+            pos = np.searchsorted(self.huge_regions, region)
+            pos_c = np.clip(pos, 0, len(self.huge_regions) - 1)
+            entry_huge = self.huge_regions[pos_c] == region
+        else:
+            entry_huge = np.zeros(len(vpn), dtype=bool)
+        entry_base = np.where(entry_huge, region, vpn)
+
+        in_segment = np.zeros(len(vpn), dtype=bool)
+        for lo, hi in self.segment_bounds:
+            in_segment |= (vpn >= lo) & (vpn < hi)
+
+        return ResolvedTrace(
+            pc=trace.pc,
+            vpn=vpn,
+            ppn=ppn,
+            entry_base=entry_base,
+            entry_huge=entry_huge,
+            contig=contig,
+            in_segment=in_segment,
+            range_covered=range_covered,
+            run_start=self.starts[idx_clipped],
+            run_len=run_len,
+        )
+
+
+def _anon_bounds(process: Process) -> list[tuple[int, int]]:
+    """Direct-segment coverage: the process's anonymous areas.
+
+    The paper's DS baseline backs the primary region (all heap
+    allocations, steered there by the modified TCMalloc) with one dual
+    direct segment.
+    """
+    return [
+        (vma.start_vpn, vma.end_vpn)
+        for vma in process.space.iter_vmas()
+        if vma.file is None
+    ]

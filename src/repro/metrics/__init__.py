@@ -1,0 +1,33 @@
+"""Metrics: the quantities the paper's tables and figures report.
+
+- :mod:`repro.metrics.contiguity` — footprint coverage of the K largest
+  mappings and #mappings for 99% coverage (Figs. 7/8/10/12, Table I),
+- :mod:`repro.metrics.perf_model` — the linear translation-overhead
+  model of Table IV,
+- :mod:`repro.metrics.faults` — fault counts, latency percentiles and
+  memory bloat (Tables V and VI, Fig. 11),
+- :mod:`repro.metrics.usl` — unsafe-load estimation (Table VII).
+"""
+
+from repro.metrics.contiguity import (
+    ContiguitySample,
+    coverage_of_k_largest,
+    mappings_for_coverage,
+    sample_contiguity,
+)
+from repro.metrics.faults import bloat_pages, percentile
+from repro.metrics.perf_model import PerfModel, WalkCosts
+from repro.metrics.usl import UslEstimate, estimate_usl
+
+__all__ = [
+    "ContiguitySample",
+    "PerfModel",
+    "UslEstimate",
+    "WalkCosts",
+    "bloat_pages",
+    "coverage_of_k_largest",
+    "estimate_usl",
+    "mappings_for_coverage",
+    "percentile",
+    "sample_contiguity",
+]

@@ -1,0 +1,136 @@
+"""Contiguity metrics: the paper's three headline statistics.
+
+Given the set of contiguous mapping runs of a footprint (1D for native,
+2D for virtualized execution):
+
+- *coverage of the K largest mappings* — what fraction of the footprint
+  the K biggest runs cover (paper uses K = 32 and 128; higher better),
+- *mappings for P coverage* — how many runs, largest first, are needed
+  to cover fraction P of the footprint (paper uses 99%; lower better).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.vm.mapping_runs import MappingRuns
+
+
+def _sizes(runs: MappingRuns | Sequence[int]) -> list[int]:
+    if isinstance(runs, MappingRuns):
+        return runs.sizes_desc()
+    return sorted(runs, reverse=True)
+
+
+def coverage_of_k_largest(
+    runs: MappingRuns | Sequence[int], footprint_pages: int, k: int
+) -> float:
+    """Fraction of the footprint covered by the ``k`` largest mappings."""
+    if footprint_pages <= 0:
+        return 0.0
+    sizes = _sizes(runs)
+    return min(1.0, sum(sizes[:k]) / footprint_pages)
+
+
+def mappings_for_coverage(
+    runs: MappingRuns | Sequence[int], footprint_pages: int, coverage: float = 0.99
+) -> int:
+    """Number of mappings (largest first) covering ``coverage`` of the footprint.
+
+    Returns one more than the run count when even all runs fall short
+    (possible when part of the footprint is unmapped), so that
+    unreachable coverage is visible in results.
+    """
+    if footprint_pages <= 0:
+        return 0
+    goal = coverage * footprint_pages
+    covered = 0.0
+    for i, size in enumerate(_sizes(runs), start=1):
+        covered += size
+        if covered >= goal:
+            return i
+    return len(_sizes(runs)) + 1
+
+
+@dataclass
+class ContiguitySample:
+    """One contiguity measurement (a point on the paper's time series)."""
+
+    #: Position of the sample: pages touched so far (allocation progress).
+    touched_pages: int
+    footprint_pages: int
+    coverage_32: float
+    coverage_128: float
+    mappings_99: int
+    total_runs: int
+
+    @classmethod
+    def empty(cls) -> "ContiguitySample":
+        return cls(0, 0, 0.0, 0.0, 0, 0)
+
+
+def sample_contiguity(
+    runs: MappingRuns | Sequence[int],
+    footprint_pages: int,
+    touched_pages: int | None = None,
+) -> ContiguitySample:
+    """Compute the paper's three statistics in one pass."""
+    sizes = _sizes(runs)
+    return ContiguitySample(
+        touched_pages=footprint_pages if touched_pages is None else touched_pages,
+        footprint_pages=footprint_pages,
+        coverage_32=coverage_of_k_largest(sizes, footprint_pages, 32),
+        coverage_128=coverage_of_k_largest(sizes, footprint_pages, 128),
+        mappings_99=mappings_for_coverage(sizes, footprint_pages, 0.99),
+        total_runs=len(sizes),
+    )
+
+
+def average_samples(samples: Iterable[ContiguitySample]) -> ContiguitySample:
+    """Average a time series of samples (the paper averages over time)."""
+    samples = list(samples)
+    if not samples:
+        return ContiguitySample.empty()
+    n = len(samples)
+    return ContiguitySample(
+        touched_pages=samples[-1].touched_pages,
+        footprint_pages=samples[-1].footprint_pages,
+        coverage_32=sum(s.coverage_32 for s in samples) / n,
+        coverage_128=sum(s.coverage_128 for s in samples) / n,
+        mappings_99=round(sum(s.mappings_99 for s in samples) / n),
+        total_runs=round(sum(s.total_runs for s in samples) / n),
+    )
+
+
+def suggest_contig_threshold(
+    runs: MappingRuns | Sequence[int],
+    minimum: int = 8,
+    maximum: int = 512,
+) -> int:
+    """Dynamic SpOT contiguity-bit threshold (paper §IV-C).
+
+    The paper fixes the threshold at 32 contiguous pages but notes CA
+    paging could adjust it from its contiguity statistics.  This
+    heuristic marks mappings an order of magnitude below the *median*
+    run length as prediction candidates (power of two, clamped), so a
+    well-coalesced process filters aggressively while a fragmented one
+    still feeds the predictor.
+    """
+    sizes = _sizes(runs)
+    if not sizes:
+        return 32
+    median = sizes[len(sizes) // 2]
+    threshold = minimum
+    while threshold * 2 <= max(minimum, median // 8) and threshold * 2 <= maximum:
+        threshold *= 2
+    return threshold
+
+
+def geomean(values: Iterable[float], floor: float = 1e-12) -> float:
+    """Geometric mean with a floor guarding zero entries."""
+    vals = [max(float(v), floor) for v in values]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

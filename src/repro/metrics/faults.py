@@ -1,0 +1,96 @@
+"""Fault-latency and memory-bloat accounting (Tables V and VI, Fig. 11).
+
+- Table V compares total fault counts and 99th-percentile fault latency
+  between THP, CA and eager paging,
+- Table VI reports *bloat*: extra memory allocated relative to pure 4K
+  demand paging (which backs exactly the touched pages),
+- Fig. 11 normalizes software runtime overheads (migrations, placement
+  searches) against THP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.sim.kernel import Kernel
+from repro.vm.process import Process
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile (0 for an empty sequence)."""
+    if not values:
+        return 0.0
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    ordered = sorted(values)
+    rank = max(1, round(pct / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def bloat_pages(process: Process) -> int:
+    """Extra pages allocated beyond what the workload touched.
+
+    Pure 4K demand paging backs exactly the touched pages, so bloat =
+    resident − touched.  THP bloats at huge-page tails, eager paging at
+    whole untouched VMA regions.
+    """
+    return max(0, process.resident_pages - process.touched_pages)
+
+
+@dataclass
+class FaultSummary:
+    """Table V row for one configuration."""
+
+    total_faults: int
+    p99_latency_us: float
+    mean_latency_us: float
+
+    @classmethod
+    def from_kernel(cls, kernel: Kernel) -> "FaultSummary":
+        latencies = kernel.fault_latencies_us()
+        mean = sum(latencies) / len(latencies) if latencies else 0.0
+        return cls(
+            total_faults=kernel.major_faults,
+            p99_latency_us=percentile(latencies, 99.0),
+            mean_latency_us=mean,
+        )
+
+
+@dataclass
+class SoftwareOverhead:
+    """Fig. 11: software-side runtime cost relative to useful work.
+
+    Modelled as microseconds of kernel work (fault handling, placement
+    searches, migrations + shootdowns) per page of footprint; the
+    experiment normalizes each policy to THP.
+    """
+
+    fault_us: float
+    migration_us: float
+    shootdown_us: float
+
+    #: Cost constants: migrating a page copies 4 KiB (~1.2 us) and a
+    #: TLB shootdown IPI costs ~4 us (both in the range Linux reports).
+    MIGRATION_US_PER_PAGE = 1.2
+    SHOOTDOWN_US = 4.0
+
+    @classmethod
+    def from_kernel(cls, kernel: Kernel) -> "SoftwareOverhead":
+        return cls(
+            fault_us=sum(kernel.fault_latencies_us()),
+            migration_us=kernel.policy.stats.migrations * cls.MIGRATION_US_PER_PAGE,
+            shootdown_us=kernel.tlb_shootdowns * cls.SHOOTDOWN_US,
+        )
+
+    @property
+    def total_us(self) -> float:
+        """All modelled kernel time."""
+        return self.fault_us + self.migration_us + self.shootdown_us
+
+    def normalized_runtime(self, baseline: "SoftwareOverhead",
+                           useful_us: float) -> float:
+        """Runtime relative to a baseline given shared useful work."""
+        if useful_us <= 0:
+            raise ValueError("useful_us must be positive")
+        return (useful_us + self.total_us) / (useful_us + baseline.total_us)

@@ -1,0 +1,64 @@
+"""Unsafe-load (USL) estimation for SpOT's security cost (Table VII).
+
+Speculation windows execute loads whose side effects must be hidden
+from the cache hierarchy by Spectre-class mitigations (InvisiSpec).
+Table VII estimates how many loads run unsafely under SpOT versus under
+ordinary branch speculation:
+
+- ``Spectre USL = #branches · branch_resolution_cycles · loads_per_cycle``
+- ``SpOT USL    = #dtlb_misses · page_walk_cycles · loads_per_cycle``
+
+Both are reported as percentages of total instructions, assuming loads
+are distributed linearly over time (paper §VI-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Paper constants (§VI-B): branches resolve in ~20 cycles, the average
+#: nested page walk takes ~81 cycles.
+BRANCH_RESOLUTION_CYCLES = 20.0
+DEFAULT_WALK_CYCLES = 81.0
+
+
+@dataclass
+class UslEstimate:
+    """Table VII row: speculation exposure of one workload."""
+
+    branches_per_instruction: float
+    dtlb_misses_per_instruction: float
+    spectre_usl_per_instruction: float
+    spot_usl_per_instruction: float
+
+    def as_percentages(self) -> dict[str, float]:
+        """The four Table VII columns, in percent."""
+        return {
+            "branches/instructions(%)": 100 * self.branches_per_instruction,
+            "dtlb_misses/instructions(%)": 100 * self.dtlb_misses_per_instruction,
+            "spectre_usl/instructions(%)": 100 * self.spectre_usl_per_instruction,
+            "spot_usl/instructions(%)": 100 * self.spot_usl_per_instruction,
+        }
+
+
+def estimate_usl(
+    instructions: int,
+    branches: int,
+    dtlb_misses: int,
+    loads: int,
+    cycles: float,
+    walk_cycles: float = DEFAULT_WALK_CYCLES,
+    branch_resolution_cycles: float = BRANCH_RESOLUTION_CYCLES,
+) -> UslEstimate:
+    """Apply Table VII's two equations to one workload's counters."""
+    if instructions <= 0 or cycles <= 0:
+        raise ValueError("instructions and cycles must be positive")
+    loads_per_cycle = loads / cycles
+    spectre_usl = branches * branch_resolution_cycles * loads_per_cycle
+    spot_usl = dtlb_misses * walk_cycles * loads_per_cycle
+    return UslEstimate(
+        branches_per_instruction=branches / instructions,
+        dtlb_misses_per_instruction=dtlb_misses / instructions,
+        spectre_usl_per_instruction=spectre_usl / instructions,
+        spot_usl_per_instruction=spot_usl / instructions,
+    )

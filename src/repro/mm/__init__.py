@@ -1,0 +1,33 @@
+"""Physical memory management substrate (Linux-like).
+
+This package models the pieces of a kernel physical memory manager that
+the paper's CA paging extends:
+
+- :mod:`repro.mm.frame` — per-frame metadata (``struct page`` analogue),
+- :mod:`repro.mm.buddy` — the power-of-two buddy allocator with
+  ``[0, MAX_ORDER]`` free lists, targeted allocation and the optional
+  physically-sorted MAX_ORDER list,
+- :mod:`repro.mm.contiguity_map` — CA paging's index of free clusters
+  above the buddy heap, with the next-fit rover,
+- :mod:`repro.mm.zone` — one NUMA node (buddy + contiguity map),
+- :mod:`repro.mm.physmem` — the machine-level container of zones,
+- :mod:`repro.mm.free_stats` — free-block size distributions (Fig. 9).
+"""
+
+from repro.mm.buddy import BuddyAllocator
+from repro.mm.contiguity_map import Cluster, ContiguityMap
+from repro.mm.frame import FrameTable
+from repro.mm.free_stats import FreeBlockHistogram, free_block_histogram
+from repro.mm.physmem import PhysicalMemory
+from repro.mm.zone import Zone
+
+__all__ = [
+    "BuddyAllocator",
+    "Cluster",
+    "ContiguityMap",
+    "FrameTable",
+    "FreeBlockHistogram",
+    "free_block_histogram",
+    "PhysicalMemory",
+    "Zone",
+]

@@ -1,0 +1,324 @@
+"""Power-of-two buddy allocator with targeted allocation.
+
+This is the core physical allocator the paper's CA paging extends.  It
+keeps per-order free lists for orders ``0..max_order`` inclusive (Linux
+``MAX_ORDER`` semantics: the largest tracked aligned block is
+``2**max_order`` base pages, 4 MiB by default).  On top of the stock
+interface it provides the two hooks CA paging needs:
+
+- :meth:`BuddyAllocator.alloc_target` — allocate a *specific* aligned
+  block if (and only if) it is currently free, splitting a larger free
+  block around it when necessary (paper §III-B, Fig. 2b);
+- listener callbacks on every insertion/removal of a ``max_order``
+  block, which the :class:`~repro.mm.contiguity_map.ContiguityMap` uses
+  to track free clusters without scanning;
+- an optional *physically sorted* ``max_order`` free list (paper
+  §III-C, "fragmentation restraint"), which makes fallback allocations
+  consume low addresses first instead of scattering across memory.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Iterator
+
+from repro.errors import BuddyError, OutOfMemoryError
+from repro.mm.frame import FrameTable
+from repro.units import DEFAULT_MAX_ORDER, is_aligned, order_pages
+
+
+class _FifoList:
+    """Insertion-ordered free list (Linux-like: freed blocks reused LIFO)."""
+
+    __slots__ = ("_blocks",)
+
+    def __init__(self) -> None:
+        self._blocks: dict[int, None] = {}
+
+    def add(self, pfn: int) -> None:
+        self._blocks[pfn] = None
+
+    def remove(self, pfn: int) -> None:
+        del self._blocks[pfn]
+
+    def pop(self) -> int:
+        # Reuse the most recently freed block first, like list_add() +
+        # first-entry removal in Linux.
+        pfn = next(reversed(self._blocks))
+        del self._blocks[pfn]
+        return pfn
+
+    def __contains__(self, pfn: int) -> bool:
+        return pfn in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._blocks)
+
+
+class _SortedList:
+    """Physically sorted free list (the paper's MAX_ORDER sorting)."""
+
+    __slots__ = ("_blocks",)
+
+    def __init__(self) -> None:
+        self._blocks: list[int] = []
+
+    def add(self, pfn: int) -> None:
+        bisect.insort(self._blocks, pfn)
+
+    def remove(self, pfn: int) -> None:
+        i = bisect.bisect_left(self._blocks, pfn)
+        if i >= len(self._blocks) or self._blocks[i] != pfn:
+            raise KeyError(pfn)
+        del self._blocks[i]
+
+    def pop(self) -> int:
+        # Lowest physical address first: fallback allocations chew from
+        # one end of memory instead of fragmenting random clusters.
+        return self._blocks.pop(0)
+
+    def __contains__(self, pfn: int) -> bool:
+        i = bisect.bisect_left(self._blocks, pfn)
+        return i < len(self._blocks) and self._blocks[i] == pfn
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._blocks)
+
+
+#: Listener signature for max-order list changes: (pfn, inserted).
+MaxOrderListener = Callable[[int, bool], None]
+
+
+class BuddyAllocator:
+    """Buddy allocator over the PFN range ``[base_pfn, base_pfn + n_pages)``.
+
+    Parameters
+    ----------
+    base_pfn:
+        First frame managed by this allocator.  Must be aligned to the
+        largest block size so buddy arithmetic works on absolute PFNs.
+    n_pages:
+        Number of frames managed.
+    max_order:
+        Largest tracked order (inclusive).  Linux default corresponds to
+        4 MiB blocks; eager paging raises this (paper §VI-A).
+    sorted_max_order:
+        Keep the ``max_order`` list sorted by physical address.
+    frames:
+        Optional externally owned :class:`FrameTable` (shared with the
+        kernel); one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        base_pfn: int,
+        n_pages: int,
+        max_order: int = DEFAULT_MAX_ORDER,
+        sorted_max_order: bool = False,
+        frames: FrameTable | None = None,
+    ):
+        top = order_pages(max_order)
+        if not is_aligned(base_pfn, top):
+            raise BuddyError(
+                f"base_pfn {base_pfn:#x} not aligned to max block ({top} pages)"
+            )
+        if n_pages <= 0:
+            raise BuddyError(f"n_pages must be positive, got {n_pages}")
+        self.base_pfn = base_pfn
+        self.n_pages = n_pages
+        self.max_order = max_order
+        self.frames = frames if frames is not None else FrameTable(base_pfn, n_pages)
+        self._free_pages = 0
+        self._listeners: list[MaxOrderListener] = []
+        self._lists: list[_FifoList | _SortedList] = [
+            _FifoList() for _ in range(max_order)
+        ]
+        self._lists.append(_SortedList() if sorted_max_order else _FifoList())
+        self._seed_free_lists()
+
+    # -- construction ------------------------------------------------------
+
+    def _seed_free_lists(self) -> None:
+        """Carve the managed range into maximal aligned free blocks."""
+        pfn = self.base_pfn
+        end = self.base_pfn + self.n_pages
+        while pfn < end:
+            order = min(self.max_order, (pfn & -pfn).bit_length() - 1 if pfn else self.max_order)
+            while order_pages(order) > end - pfn:
+                order -= 1
+            self._insert(pfn, order)
+            pfn += order_pages(order)
+
+    # -- listener plumbing ---------------------------------------------------
+
+    def add_max_order_listener(self, listener: MaxOrderListener) -> None:
+        """Register a callback fired on max-order list insert/remove."""
+        self._listeners.append(listener)
+
+    def _notify(self, pfn: int, inserted: bool) -> None:
+        for listener in self._listeners:
+            listener(pfn, inserted)
+
+    # -- free-list primitives ------------------------------------------------
+
+    def _insert(self, pfn: int, order: int) -> None:
+        self._lists[order].add(pfn)
+        self.frames.set_head(pfn, order)
+        self._free_pages += order_pages(order)
+        if order == self.max_order:
+            self._notify(pfn, True)
+
+    def _remove(self, pfn: int, order: int) -> None:
+        self._lists[order].remove(pfn)
+        self.frames.clear_head(pfn)
+        self._free_pages -= order_pages(order)
+        if order == self.max_order:
+            self._notify(pfn, False)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def free_pages(self) -> int:
+        """Total free frames across all lists."""
+        return self._free_pages
+
+    @property
+    def end_pfn(self) -> int:
+        """One past the last managed frame."""
+        return self.base_pfn + self.n_pages
+
+    def contains(self, pfn: int) -> bool:
+        """True when ``pfn`` is managed by this allocator."""
+        return self.base_pfn <= pfn < self.end_pfn
+
+    def free_list_sizes(self) -> list[int]:
+        """Number of free blocks per order (diagnostics)."""
+        return [len(lst) for lst in self._lists]
+
+    def iter_free_blocks(self, order: int) -> Iterator[int]:
+        """Iterate the heads of free blocks of exactly ``order``."""
+        return iter(self._lists[order])
+
+    def find_free_block(self, pfn: int) -> tuple[int, int] | None:
+        """Locate the free block containing ``pfn``.
+
+        Returns ``(head_pfn, order)`` or ``None`` when the frame is in
+        use.  Exploits buddy alignment: the head of any free block
+        containing ``pfn`` must sit at an order-aligned address at or
+        below it, so only ``max_order + 1`` candidates exist.
+        """
+        if not self.contains(pfn):
+            return None
+        for order in range(self.max_order + 1):
+            head = pfn & ~(order_pages(order) - 1)
+            if not self.contains(head):
+                break
+            if self.frames.head_order(head) == order:
+                return head, order
+        return None
+
+    def is_free(self, pfn: int) -> bool:
+        """True when the frame belongs to some free block."""
+        return self.find_free_block(pfn) is not None
+
+    # -- allocation ----------------------------------------------------------
+
+    def alloc_block(self, order: int) -> int:
+        """Allocate any block of ``2**order`` pages; returns its head PFN.
+
+        Raises :class:`OutOfMemoryError` when no block of that order (or
+        larger, to split) is free.
+        """
+        self._check_order(order)
+        for avail in range(order, self.max_order + 1):
+            if self._lists[avail]:
+                head = self._lists[avail].pop()
+                self.frames.clear_head(head)
+                self._free_pages -= order_pages(avail)
+                if avail == self.max_order:
+                    self._notify(head, False)
+                return self._split_to(head, avail, order, target=head)
+        raise OutOfMemoryError(
+            f"no free block of order {order} (free pages: {self._free_pages})"
+        )
+
+    def alloc_target(self, pfn: int, order: int) -> bool:
+        """Allocate the specific block ``[pfn, pfn + 2**order)`` if free.
+
+        This is the CA paging primitive: the caller computed ``pfn``
+        from the VMA offset and wants exactly that frame.  Returns True
+        on success; False when the block is (partly) in use.
+        """
+        self._check_order(order)
+        if not is_aligned(pfn, order_pages(order)):
+            raise BuddyError(
+                f"target pfn {pfn:#x} not aligned for order {order}"
+            )
+        if pfn + order_pages(order) > self.end_pfn:
+            return False
+        found = self.find_free_block(pfn)
+        if found is None:
+            return False
+        head, head_order = found
+        if head_order < order:
+            # The containing free block is smaller than the request; by
+            # the coalescing invariant the rest of the range is in use.
+            return False
+        self._remove(head, head_order)
+        self._split_to(head, head_order, order, target=pfn)
+        return True
+
+    def _split_to(self, head: int, order: int, want: int, target: int) -> int:
+        """Split block ``(head, order)`` down to ``want``, keeping ``target``.
+
+        The half not containing ``target`` is freed at each step.  The
+        final block (headed at ``target``) is marked allocated and its
+        head PFN returned.
+        """
+        while order > want:
+            order -= 1
+            half = order_pages(order)
+            left, right = head, head + half
+            if target >= right:
+                self._insert(left, order)
+                head = right
+            else:
+                self._insert(right, order)
+                head = left
+        self.frames.mark_allocated(head, order_pages(want))
+        return head
+
+    # -- freeing ---------------------------------------------------------------
+
+    def free_block(self, pfn: int, order: int) -> None:
+        """Free the block ``[pfn, pfn + 2**order)``, coalescing buddies."""
+        self._check_order(order)
+        if not is_aligned(pfn, order_pages(order)):
+            raise BuddyError(f"freeing misaligned pfn {pfn:#x} at order {order}")
+        if not self.contains(pfn) or pfn + order_pages(order) > self.end_pfn:
+            raise BuddyError(f"freeing pfn {pfn:#x} outside managed range")
+        if self.find_free_block(pfn) is not None:
+            raise BuddyError(f"double free of pfn {pfn:#x} (order {order})")
+        self.frames.mark_free(pfn, order_pages(order))
+        while order < self.max_order:
+            buddy = pfn ^ order_pages(order)
+            if not self.contains(buddy) or self.frames.head_order(buddy) != order:
+                break
+            self._remove(buddy, order)
+            pfn = min(pfn, buddy)
+            order += 1
+        self._insert(pfn, order)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _check_order(self, order: int) -> None:
+        if not 0 <= order <= self.max_order:
+            raise BuddyError(
+                f"order {order} outside [0, {self.max_order}]"
+            )

@@ -1,0 +1,214 @@
+"""The *contiguity_map*: CA paging's index of free contiguity (paper Fig. 3).
+
+The buddy allocator only tracks *aligned* free blocks up to
+``MAX_ORDER`` (4 MiB).  CA paging needs to see *unaligned* free
+contiguity far beyond that, so it maintains an index over the
+``MAX_ORDER`` free list: each entry (*cluster*) describes a maximal run
+of physically consecutive free ``MAX_ORDER`` blocks, recording its
+starting address and total size.
+
+The map updates incrementally on every insertion/removal of a
+``MAX_ORDER`` block (it subscribes to the buddy allocator), so no scans
+are ever needed.  Every member block of a cluster points back at its
+cluster — the paper re-purposes the ``page->mapping`` field of free
+pages for this; we keep an explicit dictionary.
+
+Placement requests are served with a *next-fit* rover (paper §III-C):
+search resumes where the previous search stopped, which defers
+competition between processes racing for the same free blocks.
+First-fit and best-fit are also provided for ablations and for the
+ideal-paging baseline.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.units import order_pages
+
+
+@dataclass
+class Cluster:
+    """A maximal run of physically consecutive free MAX_ORDER blocks."""
+
+    start_pfn: int
+    n_pages: int
+
+    @property
+    def end_pfn(self) -> int:
+        """One past the last frame of the cluster."""
+        return self.start_pfn + self.n_pages
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cluster({self.start_pfn:#x}+{self.n_pages})"
+
+
+class ContiguityMap:
+    """Index of free clusters above the buddy heap, with a next-fit rover.
+
+    Parameters
+    ----------
+    max_order:
+        The buddy allocator's largest order; clusters are unions of
+        blocks of exactly this order.
+    """
+
+    def __init__(self, max_order: int):
+        self.block_pages = order_pages(max_order)
+        # start_pfn -> Cluster, plus a sorted list of starts for iteration.
+        self._clusters: dict[int, Cluster] = {}
+        self._starts: list[int] = []
+        # block head -> owning cluster (the repurposed page->mapping).
+        self._block_cluster: dict[int, Cluster] = {}
+        # Next-fit rover: physical address where the next search begins.
+        self._rover = 0
+        self.searches = 0  # placement decisions served (statistics)
+
+    # -- wiring to the buddy allocator ------------------------------------
+
+    def on_max_order_event(self, pfn: int, inserted: bool) -> None:
+        """Buddy listener entry point (see ``add_max_order_listener``)."""
+        if inserted:
+            self._add_block(pfn)
+        else:
+            self._remove_block(pfn)
+
+    def _add_block(self, pfn: int) -> None:
+        before = self._block_cluster.get(pfn - self.block_pages)
+        after = self._block_cluster.get(pfn + self.block_pages)
+        if before is not None and after is not None:
+            # Bridge two clusters into one.
+            self._drop_cluster(after)
+            before.n_pages += self.block_pages + after.n_pages
+            self._retarget_blocks(after, before)
+            self._block_cluster[pfn] = before
+        elif before is not None:
+            before.n_pages += self.block_pages
+            self._block_cluster[pfn] = before
+        elif after is not None:
+            # Extend a cluster downwards: its start moves.
+            self._drop_cluster(after)
+            after.start_pfn = pfn
+            after.n_pages += self.block_pages
+            self._register_cluster(after)
+            self._block_cluster[pfn] = after
+        else:
+            cluster = Cluster(pfn, self.block_pages)
+            self._register_cluster(cluster)
+            self._block_cluster[pfn] = cluster
+
+    def _remove_block(self, pfn: int) -> None:
+        cluster = self._block_cluster.pop(pfn)
+        self._drop_cluster(cluster)
+        left_pages = pfn - cluster.start_pfn
+        right_pages = cluster.end_pfn - (pfn + self.block_pages)
+        if left_pages:
+            left = Cluster(cluster.start_pfn, left_pages)
+            self._register_cluster(left)
+            self._retarget_range(left.start_pfn, left_pages, left)
+        if right_pages:
+            right = Cluster(pfn + self.block_pages, right_pages)
+            self._register_cluster(right)
+            self._retarget_range(right.start_pfn, right_pages, right)
+
+    def _register_cluster(self, cluster: Cluster) -> None:
+        self._clusters[cluster.start_pfn] = cluster
+        bisect.insort(self._starts, cluster.start_pfn)
+
+    def _drop_cluster(self, cluster: Cluster) -> None:
+        del self._clusters[cluster.start_pfn]
+        i = bisect.bisect_left(self._starts, cluster.start_pfn)
+        del self._starts[i]
+
+    def _retarget_blocks(self, old: Cluster, new: Cluster) -> None:
+        self._retarget_range(old.start_pfn, old.n_pages, new)
+
+    def _retarget_range(self, start: int, n_pages: int, cluster: Cluster) -> None:
+        for head in range(start, start + n_pages, self.block_pages):
+            self._block_cluster[head] = cluster
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._clusters)
+
+    def __iter__(self) -> Iterator[Cluster]:
+        return (self._clusters[s] for s in self._starts)
+
+    @property
+    def total_free_pages(self) -> int:
+        """Frames tracked by the map (free MAX_ORDER blocks only)."""
+        return sum(c.n_pages for c in self._clusters.values())
+
+    def largest(self) -> Cluster | None:
+        """The largest cluster, or None when the map is empty."""
+        if not self._clusters:
+            return None
+        return max(self._clusters.values(), key=lambda c: c.n_pages)
+
+    def cluster_sizes(self) -> list[int]:
+        """Sorted (descending) cluster sizes in pages, for diagnostics."""
+        return sorted((c.n_pages for c in self._clusters.values()), reverse=True)
+
+    def snapshot(self) -> list[tuple[int, int]]:
+        """(start_pfn, n_pages) pairs in address order — for ideal paging."""
+        return [(c.start_pfn, c.n_pages) for c in self]
+
+    # -- placement policies ---------------------------------------------------
+
+    def next_fit(self, request_pages: int, wrap: bool = True) -> Cluster | None:
+        """Next-fit placement: first cluster >= request starting from the rover.
+
+        With ``wrap=False`` only clusters at or past the rover are
+        considered and ``None`` is returned when none fits — callers use
+        this to defer reuse of recently placed clusters (e.g. trying the
+        next NUMA node first).  With ``wrap=True`` the search wraps
+        around and falls back to the largest cluster encountered when
+        none is big enough (paper §III-C).  Advances the rover past the
+        chosen cluster so the following request starts elsewhere.
+        """
+        if not self._starts:
+            return None
+        self.searches += 1
+        n = len(self._starts)
+        first = bisect.bisect_left(self._starts, self._rover) % n
+        steps = n if wrap else n - bisect.bisect_left(self._starts, self._rover)
+        best: Cluster | None = None
+        for step in range(steps):
+            cluster = self._clusters[self._starts[(first + step) % n]]
+            if cluster.n_pages >= request_pages:
+                self._rover = cluster.end_pfn
+                return cluster
+            if best is None or cluster.n_pages > best.n_pages:
+                best = cluster
+        if not wrap:
+            return None
+        if best is not None:
+            self._rover = best.end_pfn
+        return best
+
+    def first_fit(self, request_pages: int) -> Cluster | None:
+        """First-fit placement (ablation): lowest-address fitting cluster."""
+        if not self._starts:
+            return None
+        self.searches += 1
+        best: Cluster | None = None
+        for start in self._starts:
+            cluster = self._clusters[start]
+            if cluster.n_pages >= request_pages:
+                return cluster
+            if best is None or cluster.n_pages > best.n_pages:
+                best = cluster
+        return best
+
+    def best_fit(self, request_pages: int) -> Cluster | None:
+        """Best-fit placement (ablation / ideal paging): tightest fit."""
+        if not self._clusters:
+            return None
+        self.searches += 1
+        fitting = [c for c in self._clusters.values() if c.n_pages >= request_pages]
+        if fitting:
+            return min(fitting, key=lambda c: c.n_pages)
+        return max(self._clusters.values(), key=lambda c: c.n_pages)

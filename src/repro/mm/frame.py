@@ -1,0 +1,105 @@
+"""Per-frame metadata: the ``struct page`` analogue.
+
+Linux keeps an array of ``struct page`` (the ``mem_map``) indexed by
+physical frame number.  CA paging inspects ``_count``/``_mapcount`` to
+decide whether a targeted frame is already in use, and re-purposes the
+``mapping`` field of *free* pages to point at their contiguity-map
+cluster.  We keep the hot fields in numpy arrays so that multi-million
+frame machines stay cheap, and expose the same queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Sentinel stored in ``free_order`` for frames that do not head a free block.
+NOT_A_FREE_HEAD = -1
+
+
+class FrameTable:
+    """Array-of-struct-page metadata for a contiguous PFN range.
+
+    Parameters
+    ----------
+    base_pfn:
+        First frame of the range described by this table.
+    n_pages:
+        Number of frames in the range.
+    """
+
+    __slots__ = ("base_pfn", "n_pages", "free_order", "refcount", "mapcount")
+
+    def __init__(self, base_pfn: int, n_pages: int):
+        if n_pages <= 0:
+            raise ValueError(f"FrameTable needs at least one frame, got {n_pages}")
+        self.base_pfn = base_pfn
+        self.n_pages = n_pages
+        # Order of the free buddy block headed by this frame, or -1.
+        self.free_order = np.full(n_pages, NOT_A_FREE_HEAD, dtype=np.int8)
+        # struct page ->_count: frames handed out by the allocator.
+        self.refcount = np.zeros(n_pages, dtype=np.int32)
+        # struct page ->_mapcount: page-table mappings of the frame.
+        self.mapcount = np.zeros(n_pages, dtype=np.int32)
+
+    @property
+    def end_pfn(self) -> int:
+        """One past the last frame of the range."""
+        return self.base_pfn + self.n_pages
+
+    def contains(self, pfn: int) -> bool:
+        """True when ``pfn`` falls inside this table's range."""
+        return self.base_pfn <= pfn < self.end_pfn
+
+    def index(self, pfn: int) -> int:
+        """Array index of ``pfn``; raises on out-of-range frames."""
+        if not self.contains(pfn):
+            raise IndexError(
+                f"pfn {pfn:#x} outside frame table "
+                f"[{self.base_pfn:#x}, {self.end_pfn:#x})"
+            )
+        return pfn - self.base_pfn
+
+    # -- allocator-visible state ------------------------------------------
+
+    def in_use(self, pfn: int) -> bool:
+        """The CA paging availability probe: is the frame handed out?"""
+        return bool(self.refcount[self.index(pfn)] > 0)
+
+    def mark_allocated(self, pfn: int, n_pages: int) -> None:
+        """Account a block of frames as handed out by the allocator."""
+        i = self.index(pfn)
+        self.refcount[i : i + n_pages] = 1
+
+    def mark_free(self, pfn: int, n_pages: int) -> None:
+        """Return a block of frames to the allocator."""
+        i = self.index(pfn)
+        self.refcount[i : i + n_pages] = 0
+        self.mapcount[i : i + n_pages] = 0
+
+    def map_block(self, pfn: int, n_pages: int) -> None:
+        """Account page-table mappings covering ``n_pages`` frames."""
+        i = self.index(pfn)
+        self.mapcount[i : i + n_pages] += 1
+
+    def unmap_block(self, pfn: int, n_pages: int) -> None:
+        """Drop page-table mappings covering ``n_pages`` frames."""
+        i = self.index(pfn)
+        self.mapcount[i : i + n_pages] -= 1
+
+    # -- free-block head bookkeeping (used by the buddy allocator) --------
+
+    def head_order(self, pfn: int) -> int:
+        """Order of the free block headed at ``pfn``, or NOT_A_FREE_HEAD."""
+        return int(self.free_order[self.index(pfn)])
+
+    def set_head(self, pfn: int, order: int) -> None:
+        """Mark ``pfn`` as the head of a free block of ``order``."""
+        self.free_order[self.index(pfn)] = order
+
+    def clear_head(self, pfn: int) -> None:
+        """Clear the free-block-head mark on ``pfn``."""
+        self.free_order[self.index(pfn)] = NOT_A_FREE_HEAD
+
+    def allocated_pages(self) -> int:
+        """Total frames currently handed out."""
+        return int(np.count_nonzero(self.refcount))

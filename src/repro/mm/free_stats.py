@@ -1,0 +1,84 @@
+"""Free-block statistics: the unaligned free-size distribution of Fig. 9.
+
+The paper shows that CA paging delays machine-level fragmentation:
+after a batch of benchmarks runs to completion, a much larger share of
+free memory sits in >1 GiB unaligned runs than under default paging.
+This module scans a machine's frame tables for maximal runs of free
+frames (ignoring buddy alignment, exactly like the paper's metric) and
+buckets them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mm.physmem import PhysicalMemory
+from repro.units import GIB, MIB, PAGE_SIZE
+
+
+#: Fig. 9 bucket boundaries (upper bounds, bytes); the last is open-ended.
+DEFAULT_BUCKETS: tuple[tuple[str, int], ...] = (
+    ("<=2M", 2 * MIB),
+    ("2M-64M", 64 * MIB),
+    ("64M-1G", GIB),
+    (">1G", 1 << 62),
+)
+
+
+@dataclass
+class FreeBlockHistogram:
+    """Distribution of unaligned free-run sizes across a machine."""
+
+    bucket_pages: dict[str, int] = field(default_factory=dict)
+    total_free_pages: int = 0
+    runs: list[int] = field(default_factory=list)
+
+    def fraction(self, bucket: str) -> float:
+        """Share of free memory in the named bucket (0 when no free memory)."""
+        if not self.total_free_pages:
+            return 0.0
+        return self.bucket_pages.get(bucket, 0) / self.total_free_pages
+
+    def fractions(self) -> dict[str, float]:
+        """Share of free memory per bucket."""
+        return {name: self.fraction(name) for name in self.bucket_pages}
+
+    def largest_run_pages(self) -> int:
+        """Largest unaligned free run, in pages."""
+        return max(self.runs, default=0)
+
+
+def _free_runs(free_mask: np.ndarray) -> list[int]:
+    """Lengths of maximal runs of True values in ``free_mask``."""
+    if free_mask.size == 0:
+        return []
+    padded = np.concatenate(([False], free_mask, [False]))
+    edges = np.flatnonzero(padded[1:] != padded[:-1])
+    starts, ends = edges[::2], edges[1::2]
+    return list((ends - starts).astype(int))
+
+
+def free_block_histogram(
+    mem: PhysicalMemory,
+    buckets: tuple[tuple[str, int], ...] = DEFAULT_BUCKETS,
+) -> FreeBlockHistogram:
+    """Scan the machine and bucket maximal unaligned free runs by size.
+
+    Scaled machines may never reach 1 GiB runs; callers can pass scaled
+    bucket boundaries (see ``experiments.fig9``).
+    """
+    hist = FreeBlockHistogram(bucket_pages={name: 0 for name, _ in buckets})
+    for zone in mem.zones:
+        free_mask = zone.frames.refcount == 0
+        for run in _free_runs(free_mask):
+            hist.runs.append(run)
+            hist.total_free_pages += run
+            run_bytes = run * PAGE_SIZE
+            for name, upper in buckets:
+                if run_bytes <= upper:
+                    hist.bucket_pages[name] += run
+                    break
+    hist.runs.sort(reverse=True)
+    return hist

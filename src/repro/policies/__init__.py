@@ -1,0 +1,58 @@
+"""Page-frame placement policies.
+
+Each policy decides where a demand-paging fault's frames come from.
+The kernel (:mod:`repro.sim.kernel`) drives the fault path and calls
+the active policy; all policies share the interface in
+:mod:`repro.policies.base`.
+
+- :class:`~repro.policies.default_thp.DefaultPaging` — stock Linux
+  behaviour: first free block of the requested order (THP-aware),
+- :class:`~repro.policies.ca.CAPaging` — the paper's contribution,
+- :class:`~repro.policies.eager.EagerPaging` — RMM-style whole-VMA
+  pre-allocation with a raised MAX_ORDER,
+- :class:`~repro.policies.ingens.IngensPaging` — utilization-based
+  asynchronous huge-page promotion,
+- :class:`~repro.policies.ranger.RangerPaging` — Translation Ranger:
+  asynchronous defragmentation by page migration,
+- :class:`~repro.policies.ideal.IdealPaging` — offline best-fit upper
+  bound on contiguity.
+"""
+
+from repro.policies.base import FaultContext, PlacementPolicy
+from repro.policies.ca import CAPaging
+from repro.policies.default_thp import DefaultPaging
+from repro.policies.eager import EagerPaging
+from repro.policies.ideal import IdealPaging
+from repro.policies.ingens import IngensPaging
+from repro.policies.ranger import RangerPaging
+
+__all__ = [
+    "CAPaging",
+    "DefaultPaging",
+    "EagerPaging",
+    "FaultContext",
+    "IdealPaging",
+    "IngensPaging",
+    "PlacementPolicy",
+    "RangerPaging",
+]
+
+
+def make_policy(name: str, **kwargs) -> PlacementPolicy:
+    """Instantiate a policy by its short name (used by experiments/CLI)."""
+    registry = {
+        "default": DefaultPaging,
+        "thp": DefaultPaging,
+        "ca": CAPaging,
+        "eager": EagerPaging,
+        "ingens": IngensPaging,
+        "ranger": RangerPaging,
+        "ideal": IdealPaging,
+    }
+    try:
+        cls = registry[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {sorted(registry)}"
+        ) from None
+    return cls(**kwargs)

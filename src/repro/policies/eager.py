@@ -1,0 +1,86 @@
+"""Eager paging: whole-VMA pre-allocation (the RMM baseline).
+
+Eager paging abandons demand paging: at ``mmap`` time it backs the
+entire VMA with the largest free aligned blocks the buddy allocator can
+provide.  To make those blocks big, the baseline raises the kernel's
+MAX_ORDER (the machine is built with a larger ``max_order`` when this
+policy is selected — see ``SystemConfig.for_policy``).
+
+This reproduces both of the paper's criticisms:
+
+- *external fragmentation sensitivity* (Figs. 1b, 8): eager needs big
+  **aligned** blocks, and those disappear as memory fragments, while CA
+  harvests unaligned runs of smaller blocks;
+- *bloat and tail latency* (Tables V, VI): the whole VMA is allocated
+  (and zeroed) up front whether the application touches it or not.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OutOfMemoryError
+from repro.policies.base import FaultContext, PlacementPolicy
+from repro.units import order_pages
+from repro.vm.address_space import AddressSpace
+from repro.vm.vma import Vma
+
+
+class EagerPaging(PlacementPolicy):
+    """Pre-allocate every VMA at creation time."""
+
+    name = "eager"
+    prefaults = True
+
+    def on_mmap(self, space: AddressSpace, vma: Vma) -> list[tuple[int, int, int]]:
+        """Back the whole VMA with maximal aligned blocks immediately."""
+        assert self.mem is not None
+        blocks: list[tuple[int, int, int]] = []
+        vpn = vma.start_vpn
+        remaining = vma.n_pages
+        while remaining > 0:
+            order = self._largest_order(vpn, remaining)
+            pfn, got = self._alloc_shrinking(order)
+            if pfn is None:
+                raise OutOfMemoryError(
+                    f"eager paging cannot back VMA {vma.name!r} "
+                    f"({remaining} pages short)"
+                )
+            blocks.append((vpn, pfn, got))
+            vpn += order_pages(got)
+            remaining -= order_pages(got)
+        return blocks
+
+    def allocate(self, ctx: FaultContext) -> tuple[int, int]:
+        """Demand faults only remain for COW breaks under eager paging."""
+        return self._default_alloc(ctx.order, ctx.preferred_node)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _largest_order(self, vpn: int, remaining: int) -> int:
+        """Largest order that keeps the block VA-aligned and inside the VMA."""
+        assert self.mem is not None
+        order = min(self.mem.max_order, remaining.bit_length() - 1)
+        while order > 0 and (vpn % order_pages(order) or order_pages(order) > remaining):
+            order -= 1
+        return order
+
+    def _alloc_shrinking(self, order: int) -> tuple[int | None, int]:
+        """Allocate at ``order``, halving on OOM (external fragmentation)."""
+        assert self.mem is not None
+        while order >= 0:
+            try:
+                pfn = self.mem.alloc_block(order)
+                self.stats.allocations += 1
+                self._note_zeroing(order)
+                return pfn, order
+            except OutOfMemoryError:
+                self.stats.fallbacks += 1
+                order -= 1
+        # Even base pages are gone: reclaim page cache and retry once.
+        self._reclaim(1)
+        try:
+            pfn = self.mem.alloc_block(0)
+        except OutOfMemoryError:
+            return None, 0
+        self.stats.allocations += 1
+        self._note_zeroing(0)
+        return pfn, 0

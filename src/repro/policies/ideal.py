@@ -1,0 +1,87 @@
+"""Ideal paging: the offline best-fit contiguity upper bound.
+
+The paper's *ideal paging* baseline answers "how much contiguity could
+any allocator have extracted?": it applies an offline best-fit
+algorithm to the contiguity map's state *before execution* and places
+each VMA accordingly.  We snapshot the free clusters at first use,
+reserve ranges with best-fit-decreasing bookkeeping as VMAs appear, and
+then allocate strictly by target (with best-fit re-placements from the
+private snapshot on failure).
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import FaultContext, PlacementPolicy
+from repro.units import align_down, order_pages
+from repro.vm.address_space import AddressSpace
+from repro.vm.vma import Vma
+
+
+class _Reservation:
+    """Private free-range bookkeeping carved from the map snapshot."""
+
+    def __init__(self) -> None:
+        self.ranges: list[tuple[int, int]] = []  # (start_pfn, n_pages)
+
+    def seed(self, snapshot: list[tuple[int, int]]) -> None:
+        self.ranges = list(snapshot)
+
+    def carve(self, n_pages: int) -> tuple[int, int] | None:
+        """Best-fit: tightest range >= request, else the largest; carve it."""
+        if not self.ranges:
+            return None
+        fitting = [r for r in self.ranges if r[1] >= n_pages]
+        chosen = min(fitting, key=lambda r: r[1]) if fitting else max(
+            self.ranges, key=lambda r: r[1]
+        )
+        self.ranges.remove(chosen)
+        start, size = chosen
+        granted = min(size, n_pages)
+        if size > granted:
+            self.ranges.append((start + granted, size - granted))
+        return start, granted
+
+
+class IdealPaging(PlacementPolicy):
+    """Offline best-fit placement from the pre-execution map snapshot."""
+
+    name = "ideal"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._reservation = _Reservation()
+        self._seeded = False
+
+    def on_mmap(self, space: AddressSpace, vma: Vma) -> list[tuple[int, int, int]]:
+        """Reserve a best-fit region for the VMA; no eager allocation."""
+        self._ensure_seeded()
+        remaining = vma.n_pages
+        lead = 0
+        while remaining > 0:
+            carved = self._reservation.carve(remaining)
+            if carved is None:
+                break
+            start, granted = carved
+            vma.record_offset(vma.start_vpn + lead, vma.start_vpn + lead - start)
+            lead += granted
+            remaining -= granted
+        return []
+
+    def allocate(self, ctx: FaultContext) -> tuple[int, int]:
+        offset = ctx.vma.pick_offset(ctx.vpn)
+        if offset is not None:
+            target = align_down(ctx.vpn - offset.offset, order_pages(ctx.order))
+            if self._try_target(target, ctx.order):
+                return target, ctx.order
+        self.stats.fallbacks += 1
+        return self._default_alloc(ctx.order, ctx.preferred_node)
+
+    def _ensure_seeded(self) -> None:
+        if self._seeded:
+            return
+        assert self.mem is not None, "policy not bound to a machine"
+        snapshot: list[tuple[int, int]] = []
+        for zone in self.mem.zones:
+            snapshot.extend(zone.contiguity_map.snapshot())
+        self._reservation.seed(snapshot)
+        self._seeded = True

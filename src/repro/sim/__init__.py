@@ -1,0 +1,24 @@
+"""Simulation driver: machine configuration, kernel, and runners.
+
+- :mod:`repro.sim.config` — scale profiles and machine shapes,
+- :mod:`repro.sim.kernel` — the OS kernel model (fault path, THP,
+  fork/COW, page cache, policy plumbing, contiguity bit),
+- :mod:`repro.sim.machine` — a native machine (physical memory + kernel),
+- :mod:`repro.sim.virt_machine` — host + guest machines under KVM-like
+  nested paging,
+- :mod:`repro.sim.runner` — drives workloads and samples metrics.
+"""
+
+from repro.sim.config import HardwareConfig, ScaleProfile, SystemConfig
+from repro.sim.kernel import FaultEvent, FaultResult, Kernel
+from repro.sim.machine import Machine
+
+__all__ = [
+    "FaultEvent",
+    "FaultResult",
+    "HardwareConfig",
+    "Kernel",
+    "Machine",
+    "ScaleProfile",
+    "SystemConfig",
+]

@@ -1,0 +1,536 @@
+"""The OS kernel model: fault path, THP, fork/COW, page cache, policies.
+
+This is the Linux-analogue the paper patches.  It owns the fault
+handling sequence:
+
+1. VMA lookup, minor-fault short circuit, COW break detection;
+2. THP eligibility (2 MiB fault when the aligned region fits the VMA
+   and nothing in it is mapped yet);
+3. delegation to the active placement policy for the frame;
+4. page-table installation, mapping-run tracking, and maintenance of
+   the SpOT *contiguity bit* (PTEs of runs >= ``contig_threshold``);
+5. fault-latency accounting (zeroing dominates — this drives Table V)
+   and periodic policy ticks (the Ingens/Ranger daemons).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import AddressSpaceError, MappingError
+from repro.mm.physmem import PhysicalMemory
+from repro.policies.base import FaultContext, PlacementPolicy
+from repro.units import HUGE_ORDER, HUGE_PAGES, order_pages
+from repro.vm.flags import DEFAULT_ANON, PteFlags, VmaFlags
+from repro.vm.page_cache import CachedFile, PageCache
+from repro.vm.process import Process
+from repro.vm.vma import Vma
+
+#: Fault-latency model constants (microseconds).  Calibrated so a THP
+#: fault (zeroing 512 pages) costs ~515 us like Table V.
+FAULT_BASE_US = 2.5
+ZERO_US_PER_PAGE = 1.0
+PLACEMENT_SEARCH_US = 8.0
+
+
+@dataclass
+class FaultEvent:
+    """One major fault (or eager pre-allocation event) for Table V."""
+
+    pid: int
+    order: int
+    latency_us: float
+    placed: bool
+
+
+@dataclass
+class FaultResult:
+    """Outcome of a fault: what got mapped."""
+
+    vpn: int
+    pfn: int
+    order: int
+    minor: bool = False
+    cow_break: bool = False
+
+
+class Kernel:
+    """One OS instance (the host kernel, a guest kernel, or native)."""
+
+    def __init__(
+        self,
+        mem: PhysicalMemory,
+        policy: PlacementPolicy,
+        thp: bool = True,
+        contig_threshold: int = 32,
+        tick_every_faults: int = 256,
+    ):
+        self.mem = mem
+        self.policy = policy
+        policy.bind(mem)
+        policy.oom_reclaim = self.reclaim_pages
+        self.thp = thp
+        self.contig_threshold = contig_threshold
+        self.tick_every_faults = tick_every_faults
+        self.page_cache = PageCache()
+        self._processes: dict[int, Process] = {}
+        self._next_pid = 1
+        self.fault_events: list[FaultEvent] = []
+        self.minor_faults = 0
+        self.cow_breaks = 0
+        self.tlb_shootdowns = 0
+        self._faults_since_tick = 0
+
+    # -- process lifecycle ---------------------------------------------------
+
+    def create_process(self, name: str = "", preferred_node: int = 0) -> Process:
+        """Spawn a process with an empty address space."""
+        process = Process(self._next_pid, name, preferred_node)
+        self._next_pid += 1
+        self._processes[process.pid] = process
+        return process
+
+    def iter_processes(self) -> Iterator[Process]:
+        """Live processes."""
+        return iter(list(self._processes.values()))
+
+    def node_of(self, process: Process) -> int:
+        """Preferred NUMA node of a process."""
+        return process.preferred_node
+
+    def exit_process(self, process: Process) -> None:
+        """Tear down a process, freeing all its frames."""
+        for vma in list(process.space.iter_vmas()):
+            self.munmap(process, vma)
+        process.alive = False
+        del self._processes[process.pid]
+
+    # -- VMA management -------------------------------------------------------
+
+    def mmap(
+        self,
+        process: Process,
+        n_pages: int,
+        flags: VmaFlags = DEFAULT_ANON,
+        name: str = "",
+        at_vpn: int | None = None,
+        file: CachedFile | None = None,
+    ) -> Vma:
+        """Create a VMA; eager policies back it immediately."""
+        vma = process.space.mmap(n_pages, flags, at_vpn=at_vpn, name=name, file=file)
+        blocks = self.policy.on_mmap(process.space, vma)
+        for vpn, pfn, order in blocks:
+            self._install_block(process, vma, vpn, pfn, order)
+            self.fault_events.append(
+                FaultEvent(
+                    process.pid,
+                    order,
+                    FAULT_BASE_US + ZERO_US_PER_PAGE * order_pages(order),
+                    placed=False,
+                )
+            )
+        return vma
+
+    def munmap(self, process: Process, vma: Vma) -> None:
+        """Destroy a VMA and release its frames."""
+        self.policy.on_munmap(process.space, vma)
+        removed = process.space.munmap(vma)
+        for base_vpn, pte in removed:
+            self._put_frame(pte.pfn, pte.order)
+
+    # -- the fault path -----------------------------------------------------------
+
+    def fault(self, process: Process, vpn: int, write: bool = True) -> FaultResult:
+        """Handle a page fault at ``vpn``."""
+        space = process.space
+        vma = space.vma_at(vpn)
+        if vma is None:
+            raise AddressSpaceError(
+                f"segfault: pid {process.pid} touched unmapped vpn {vpn:#x}"
+            )
+        walk = space.page_table.walk(vpn)
+        if walk.hit:
+            if write and walk.pte.flags & PteFlags.COW:
+                return self._cow_break(process, vma, walk.base_vpn, walk.pte)
+            self.minor_faults += 1
+            return FaultResult(walk.base_vpn, walk.pte.pfn, walk.pte.order, minor=True)
+
+        base_vpn, req_order = vpn, 0
+        if self.thp:
+            candidate = space.huge_candidate(vma, vpn)
+            if candidate is not None:
+                base_vpn, req_order = candidate, HUGE_ORDER
+
+        placements_before = self.policy.stats.placements
+        ctx = FaultContext(
+            space, vma, base_vpn, req_order, write=write,
+            preferred_node=process.preferred_node,
+        )
+        pfn, got_order = self.policy.allocate(ctx)
+        if got_order < req_order:
+            # Downgraded huge fault: map only the faulting base page.
+            base_vpn = vpn
+        pte_flags = self._prot_flags(vma, write)
+        space.install(vma, base_vpn, pfn, got_order, pte_flags)
+        self._account_frame(pfn, got_order)
+        self._update_contig_bit(space, base_vpn)
+
+        placed = self.policy.stats.placements > placements_before
+        latency = FAULT_BASE_US + ZERO_US_PER_PAGE * order_pages(got_order)
+        if placed:
+            latency += PLACEMENT_SEARCH_US
+        self.fault_events.append(FaultEvent(process.pid, got_order, latency, placed))
+        self._maybe_tick()
+        return FaultResult(base_vpn, pfn, got_order)
+
+    def touch(self, process: Process, vpn: int, write: bool = True) -> FaultResult:
+        """Access a page, faulting it in when absent (workload driver API)."""
+        return self.fault(process, vpn, write)
+
+    def touch_range(self, process: Process, start_vpn: int, n_pages: int,
+                    write: bool = True, step: int = 1) -> int:
+        """Touch ``n_pages`` from ``start_vpn``; returns major fault count.
+
+        Skips pages already mapped cheaply (no minor-fault accounting),
+        which keeps sequential allocation phases fast.
+        """
+        space = process.space
+        majors = 0
+        vpn = start_vpn
+        end = start_vpn + n_pages
+        while vpn < end:
+            walk = space.page_table.walk(vpn)
+            if walk.hit and not (write and walk.pte.flags & PteFlags.COW):
+                vpn = walk.base_vpn + order_pages(walk.pte.order)
+                continue
+            result = self.fault(process, vpn, write)
+            majors += 1
+            vpn = result.vpn + order_pages(result.order) if not result.minor else vpn + step
+        process.touched_pages += n_pages
+        return majors
+
+    # -- fork / copy-on-write ----------------------------------------------------
+
+    def fork(self, parent: Process, name: str = "") -> Process:
+        """Create a COW child sharing all of the parent's frames."""
+        child = self.create_process(name or f"{parent.name}-child", parent.preferred_node)
+        for vma in parent.space.iter_vmas():
+            child_vma = child.space.mmap(
+                vma.n_pages, vma.flags, at_vpn=vma.start_vpn,
+                name=vma.name, file=vma.file,
+            )
+            child_vma.offsets = list(vma.offsets)
+            vpn = vma.start_vpn
+            while vpn < vma.end_vpn:
+                walk = parent.space.page_table.walk(vpn)
+                if not walk.hit:
+                    vpn += 1
+                    continue
+                pte = walk.pte
+                # Write-protect both sides; share the frame.
+                pte.flags = (pte.flags | PteFlags.COW) & ~PteFlags.WRITE
+                child.space.install(
+                    child_vma, walk.base_vpn, pte.pfn, pte.order,
+                    (pte.flags | PteFlags.COW) & ~PteFlags.WRITE,
+                )
+                self._account_frame(pte.pfn, pte.order)
+                vpn = walk.base_vpn + order_pages(pte.order)
+        return child
+
+    def _cow_break(self, process: Process, vma: Vma, base_vpn: int, old_pte) -> FaultResult:
+        """Copy-on-write: give the writer a private copy via the policy."""
+        self.cow_breaks += 1
+        ctx = FaultContext(
+            process.space, vma, base_vpn, old_pte.order, write=True,
+            preferred_node=process.preferred_node, cow=True,
+        )
+        pfn, got_order = self.policy.allocate(ctx)
+        if got_order < old_pte.order:
+            # Could not find a huge block for the copy: split the COW
+            # region, copying only the faulting base page would require
+            # PTE splitting; keep whole-leaf copies and retry at 4K is
+            # not possible without splitting, so fall back to mapping
+            # the copy at base order page-by-page.
+            raise MappingError("COW copy downgrade is not modelled")
+        process.space.uninstall(vma, base_vpn)
+        self._put_frame(old_pte.pfn, old_pte.order)
+        process.space.install(
+            vma, base_vpn, pfn, got_order, self._prot_flags(vma, write=True)
+        )
+        self._account_frame(pfn, got_order)
+        self._update_contig_bit(process.space, base_vpn)
+        latency = FAULT_BASE_US + 2 * ZERO_US_PER_PAGE * order_pages(got_order)
+        self.fault_events.append(FaultEvent(process.pid, got_order, latency, False))
+        return FaultResult(base_vpn, pfn, got_order, cow_break=True)
+
+    # -- page cache ---------------------------------------------------------------
+
+    def file_read(self, file: CachedFile, index: int) -> int:
+        """Read one page of a file through the page cache."""
+        return self.page_cache.read(file, index, self._file_allocate)
+
+    def drop_file(self, file: CachedFile) -> int:
+        """Evict a file from the cache, freeing its frames."""
+        return self.page_cache.drop(file, lambda pfn: self._put_frame(pfn, 0))
+
+    def reclaim_pages(self, n_pages: int) -> int:
+        """Direct reclaim: evict cached files (oldest first) until
+        ``n_pages`` frames are freed.  Returns the number freed."""
+        freed = 0
+        for file in list(self.page_cache.iter_files()):
+            if freed >= n_pages:
+                break
+            freed += self.drop_file(file)
+        return freed
+
+    def drop_caches(self) -> int:
+        """Evict every cached file (``echo 3 > drop_caches`` analogue).
+
+        Returns the number of pages released.  Used between consecutive
+        benchmark runs when guest memory pressure calls for reclaim.
+        """
+        return sum(self.drop_file(f) for f in list(self.page_cache.iter_files()))
+
+    def _file_allocate(self, file: CachedFile, index: int, n: int) -> list[int]:
+        pfns = self.policy.allocate_file(file, index, n)
+        for pfn in pfns:
+            self._account_frame(pfn, 0)
+        return pfns
+
+    # -- migration (Ranger / Ingens service calls) -----------------------------------
+
+    def migrate(self, process: Process, vma: Vma, base_vpn: int,
+                desired_pfn: int, order: int) -> bool:
+        """Move the leaf at ``base_vpn`` to ``desired_pfn`` if it is free."""
+        zone_frames = self.mem.zone_of(desired_pfn).frames if self._pfn_valid(desired_pfn) else None
+        if zone_frames is None:
+            return False
+        walk = process.space.page_table.walk(base_vpn)
+        if not walk.hit or walk.pte.order != order:
+            return False
+        head_idx = zone_frames.index(desired_pfn) if zone_frames.contains(desired_pfn) else None
+        old_pfn = walk.pte.pfn
+        src_frames = self.mem.zone_of(old_pfn).frames
+        if src_frames.mapcount[src_frames.index(old_pfn)] > 1:
+            return False  # shared (COW) pages are not migrated
+        if not self.mem.alloc_target(desired_pfn, order):
+            return False
+        flags = walk.pte.flags
+        process.space.uninstall(vma, base_vpn)
+        self._put_frame(old_pfn, order)
+        process.space.install(vma, base_vpn, desired_pfn, order, flags)
+        self._account_frame(desired_pfn, order)
+        self._update_contig_bit(process.space, base_vpn)
+        self.tlb_shootdowns += 1
+        return True
+
+    def swap_mappings(self, process: Process, vpn_a: int, vpn_b: int) -> bool:
+        """Exchange the frames behind two same-order leaves of a process.
+
+        Ranger's page-exchange primitive: when the frame a page should
+        move to is occupied by another page of the *same process*, the
+        two pages swap frames (two migrations + shootdowns).  Refuses
+        COW-shared leaves and mismatched orders.
+        """
+        space = process.space
+        wa = space.page_table.walk(vpn_a)
+        wb = space.page_table.walk(vpn_b)
+        if not (wa.hit and wb.hit) or wa.pte.order != wb.pte.order:
+            return False
+        if wa.base_vpn == wb.base_vpn:
+            return False
+        if (wa.pte.flags | wb.pte.flags) & PteFlags.COW:
+            return False
+        pages = order_pages(wa.pte.order)
+        pfn_a, pfn_b = wa.pte.pfn, wb.pte.pfn
+        wa.pte.pfn, wb.pte.pfn = pfn_b, pfn_a
+        space.runs.remove(wa.base_vpn, pages)
+        space.runs.remove(wb.base_vpn, pages)
+        space.runs.add(wa.base_vpn, pfn_b, pages)
+        space.runs.add(wb.base_vpn, pfn_a, pages)
+        self._update_contig_bit(space, wa.base_vpn)
+        self._update_contig_bit(space, wb.base_vpn)
+        self.tlb_shootdowns += 2
+        return True
+
+    def relocate_leaf(self, process: Process, vpn: int) -> bool:
+        """Move the leaf covering ``vpn`` to any free block (evacuation).
+
+        Used by Ranger to clear foreign pages out of an anchor region
+        when no equal-order swap is possible.
+        """
+        space = process.space
+        walk = space.page_table.walk(vpn)
+        if not walk.hit or walk.pte.flags & PteFlags.COW:
+            return False
+        vma = space.vma_at(walk.base_vpn)
+        if vma is None:
+            return False
+        try:
+            dest = self.mem.alloc_block(walk.pte.order, process.preferred_node)
+        except OutOfMemoryError:
+            return False
+        order = walk.pte.order
+        flags = walk.pte.flags
+        old_pfn = walk.pte.pfn
+        space.uninstall(vma, walk.base_vpn)
+        self._put_frame(old_pfn, order)
+        space.install(vma, walk.base_vpn, dest, order, flags)
+        self._account_frame(dest, order)
+        self._update_contig_bit(space, walk.base_vpn)
+        self.tlb_shootdowns += 1
+        return True
+
+    def relocate_cache_page(self, pfn: int, avoid=None) -> bool:
+        """Move a page-cache page off its frame to a free frame.
+
+        ``avoid(pfn) -> bool`` lets the caller veto destinations (e.g.
+        Ranger keeps relocated pages out of its anchor regions); vetoed
+        frames are released again after the search.
+        """
+        if pfn not in self.page_cache.frame_owner:
+            return False
+        rejected: list[int] = []
+        dest = None
+        for _ in range(8):
+            try:
+                candidate = self.mem.alloc_block(0)
+            except OutOfMemoryError:
+                break
+            if avoid is not None and avoid(candidate):
+                rejected.append(candidate)
+                continue
+            dest = candidate
+            break
+        for r in rejected:
+            self.mem.free_block(r, 0)
+        if dest is None:
+            return False
+        if not self.page_cache.move_page(pfn, dest):
+            self.mem.free_block(dest, 0)
+            return False
+        self._account_frame(dest, 0)
+        self._put_frame(pfn, 0)
+        self.tlb_shootdowns += 1
+        return True
+
+    def owner_vpn_of_frame(self, process: Process, pfn: int) -> int | None:
+        """Which of the process's pages maps ``pfn`` (via run search)."""
+        for run in process.space.runs:
+            if run.start_pfn <= pfn < run.end_pfn:
+                return pfn + run.offset
+        return None
+
+    def remap_region_huge(self, process: Process, vma: Vma, region_vpn: int,
+                          new_pfn: int) -> None:
+        """Ingens promotion: replace resident 4K pages with one huge leaf."""
+        space = process.space
+        vpn = region_vpn
+        while vpn < region_vpn + HUGE_PAGES:
+            walk = space.page_table.walk(vpn)
+            if walk.hit:
+                space.uninstall(vma, walk.base_vpn)
+                self._put_frame(walk.pte.pfn, walk.pte.order)
+            vpn += 1
+        space.install(
+            vma, region_vpn, new_pfn, HUGE_ORDER, self._prot_flags(vma, write=True)
+        )
+        self._account_frame(new_pfn, HUGE_ORDER)
+        self._update_contig_bit(space, region_vpn)
+        self.tlb_shootdowns += 1
+
+    # -- contiguity bit (SpOT table-fill filter, §IV-C) ------------------------------
+
+    def pte_contiguous(self, process: Process, vpn: int) -> bool:
+        """Is ``vpn`` part of a contiguous mapping >= the threshold?
+
+        This is the reserved-PTE-bit check the nested walker performs
+        before filling SpOT's prediction table.
+        """
+        return process.space.runs.run_length_at(vpn) >= self.contig_threshold
+
+    def _update_contig_bit(self, space, base_vpn: int) -> None:
+        run = space.runs.find(base_vpn)
+        if run is None or run.n_pages < self.contig_threshold:
+            return
+        pte = space.page_table.lookup(base_vpn)
+        if pte is not None:
+            pte.flags |= PteFlags.CONTIG
+
+    # -- frame accounting --------------------------------------------------------------
+
+    def _account_frame(self, pfn: int, order: int) -> None:
+        self.mem.zone_of(pfn).frames.map_block(pfn, order_pages(order))
+
+    def _put_frame(self, pfn: int, order: int) -> None:
+        """Drop one mapping of a frame block; free it on last unmap."""
+        frames = self.mem.zone_of(pfn).frames
+        frames.unmap_block(pfn, order_pages(order))
+        if frames.mapcount[frames.index(pfn)] <= 0:
+            self.mem.free_block(pfn, order)
+
+    def _pfn_valid(self, pfn: int) -> bool:
+        try:
+            self.mem.zone_of(pfn)
+            return True
+        except IndexError:
+            return False
+
+    # -- misc ---------------------------------------------------------------------------
+
+    def _prot_flags(self, vma: Vma, write: bool) -> PteFlags:
+        flags = PteFlags.USER | PteFlags.ACCESSED
+        if vma.flags.writable:
+            flags |= PteFlags.WRITE
+        if write:
+            flags |= PteFlags.DIRTY
+        return flags
+
+    def _maybe_tick(self) -> None:
+        self._faults_since_tick += 1
+        if self._faults_since_tick >= self.tick_every_faults:
+            self._faults_since_tick = 0
+            self.policy.tick(self)
+
+    def run_daemons(self) -> None:
+        """Force an asynchronous-daemon pass (Ingens/Ranger epoch)."""
+        self.policy.tick(self)
+
+    def _install_block(self, process: Process, vma: Vma, vpn: int, pfn: int,
+                       order: int) -> None:
+        """Install an eager block as huge + base leaves as alignment allows."""
+        remaining = order_pages(order)
+        flags = self._prot_flags(vma, write=True)
+        while remaining > 0:
+            if (
+                remaining >= HUGE_PAGES
+                and vpn % HUGE_PAGES == 0
+                and pfn % HUGE_PAGES == 0
+            ):
+                step_order = HUGE_ORDER
+            else:
+                step_order = 0
+            process.space.install(vma, vpn, pfn, step_order, flags)
+            self._account_frame(pfn, step_order)
+            vpn += order_pages(step_order)
+            pfn += order_pages(step_order)
+            remaining -= order_pages(step_order)
+        self._update_contig_bit(process.space, vma.start_vpn)
+
+    # -- statistics --------------------------------------------------------------------
+
+    @property
+    def major_faults(self) -> int:
+        """Major faults (incl. eager pre-allocation events, like ftrace)."""
+        return len(self.fault_events)
+
+    def fault_latencies_us(self) -> list[float]:
+        """Latency of every major fault, in microseconds."""
+        return [e.latency_us for e in self.fault_events]
+
+    def reset_fault_stats(self) -> None:
+        """Clear fault accounting (used between experiment phases)."""
+        self.fault_events.clear()
+        self.minor_faults = 0
+        self.cow_breaks = 0

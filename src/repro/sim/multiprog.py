@@ -1,0 +1,108 @@
+"""Multi-programmed execution: interleave several workloads' runs.
+
+Fig. 10 (two SVM instances) and the multi-VM extension both need
+*concurrent* allocation phases — the interesting interference happens
+while footprints grow, not after.  This module generalizes that into a
+library API: any number of (workload, process-like target) pairs run
+with their allocation steps interleaved round-robin, with periodic
+contiguity sampling per instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import zip_longest
+from typing import Callable, Sequence
+
+from repro.metrics.contiguity import ContiguitySample, sample_contiguity
+from repro.sim.machine import Machine
+from repro.vm.flags import DEFAULT_ANON
+from repro.workloads.base import Workload
+
+
+@dataclass
+class Instance:
+    """One interleaved run: a workload bound to touch/sample callables."""
+
+    workload: Workload
+    touch: Callable[[int, int, int], None]  # (vma_index, start, n_pages)
+    sample: Callable[[], ContiguitySample]
+    samples: list[ContiguitySample] = field(default_factory=list)
+
+    @property
+    def final(self) -> ContiguitySample:
+        return self.samples[-1] if self.samples else ContiguitySample.empty()
+
+
+def interleave(
+    instances: Sequence[Instance],
+    sample_every: int = 16,
+    daemons: Callable[[], None] | None = None,
+) -> None:
+    """Run all instances' allocation steps round-robin, sampling.
+
+    ``daemons`` (e.g. ``kernel.run_daemons``) is invoked at every
+    sampling point so asynchronous policies keep up with all instances.
+    """
+    streams = [list(inst.workload.alloc_steps()) for inst in instances]
+    for step_no, steps in enumerate(zip_longest(*streams)):
+        for instance, step in zip(instances, steps):
+            if step is None or step.kind != "anon":
+                continue
+            instance.touch(step.index, step.start_page, step.n_pages)
+        if step_no % sample_every == 0:
+            if daemons is not None:
+                daemons()
+            for instance in instances:
+                instance.samples.append(instance.sample())
+    for instance in instances:
+        instance.samples.append(instance.sample())
+
+
+def native_instances(
+    machine: Machine, workloads: Sequence[Workload]
+) -> list[Instance]:
+    """Bind each workload to its own process on one native machine."""
+    kernel = machine.kernel
+    instances = []
+    for i, workload in enumerate(workloads):
+        process = kernel.create_process(f"{workload.name}-{i}")
+        vmas = [
+            kernel.mmap(process, plan.n_pages, flags=DEFAULT_ANON, name=plan.name)
+            for plan in workload.vma_plans
+        ]
+
+        def touch(vma_idx, start, n, *, _p=process, _v=vmas):
+            kernel.touch_range(_p, _v[vma_idx].start_vpn + start, n)
+
+        def sample(*, _p=process):
+            return sample_contiguity(
+                _p.space.runs, max(1, _p.space.resident_pages)
+            )
+
+        instances.append(Instance(workload, touch, sample))
+    return instances
+
+
+def guest_instances(vms, workloads: Sequence[Workload]) -> list[Instance]:
+    """Bind each workload to a guest process in its own VM."""
+    from repro.virt.introspect import two_d_runs
+
+    instances = []
+    for vm, workload in zip(vms, workloads):
+        process = vm.create_guest_process(workload.name)
+        vmas = [
+            vm.guest_mmap(process, plan.n_pages, flags=DEFAULT_ANON,
+                          name=plan.name)
+            for plan in workload.vma_plans
+        ]
+
+        def touch(vma_idx, start, n, *, _vm=vm, _p=process, _v=vmas):
+            _vm.guest_touch_range(_p, _v[vma_idx].start_vpn + start, n)
+
+        def sample(*, _vm=vm, _p=process):
+            runs = two_d_runs(_vm, _p)
+            return sample_contiguity(runs, max(1, runs.total_pages))
+
+        instances.append(Instance(workload, touch, sample))
+    return instances

@@ -1,0 +1,51 @@
+"""Typed result records shared by the runner, experiments and benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.contiguity import ContiguitySample
+from repro.metrics.faults import FaultSummary, SoftwareOverhead
+
+
+@dataclass
+class RunResult:
+    """Everything one workload run produces.
+
+    ``samples`` is the contiguity time series (one point per sampling
+    interval during the run); ``average`` and ``final`` summarize it
+    the way the paper's figures do.
+    """
+
+    workload: str
+    policy: str
+    virtualized: bool
+    footprint_pages: int
+    samples: list[ContiguitySample] = field(default_factory=list)
+    average: ContiguitySample = field(default_factory=ContiguitySample.empty)
+    final: ContiguitySample = field(default_factory=ContiguitySample.empty)
+    faults: FaultSummary | None = None
+    #: Raw per-fault latencies (us), for cross-run percentile pooling.
+    fault_latencies_us: list[float] = field(default_factory=list)
+    software: SoftwareOverhead | None = None
+    bloat_pages: int = 0
+    touched_pages: int = 0
+    resident_pages: int = 0
+    #: Final mapping-run sizes (pages, descending) — for Table I models.
+    run_sizes: list[int] = field(default_factory=list)
+    #: Start VPN of each workload VMA, in plan order (trace resolution).
+    vma_start_vpns: list[int] = field(default_factory=list)
+    #: The live process, when the run was kept alive (exit_after=False)
+    #: so hardware simulations can inspect the memory state.
+    process: object | None = None
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.workload:>10} / {self.policy:<7} "
+            f"{'virt' if self.virtualized else 'native'}: "
+            f"cov32={self.final.coverage_32:6.1%} "
+            f"cov128={self.final.coverage_128:6.1%} "
+            f"maps99={self.final.mappings_99:>6} "
+            f"runs={self.final.total_runs:>6}"
+        )

@@ -1,0 +1,72 @@
+"""Address-space units and helpers shared across the whole library.
+
+The simulator models memory at base-page (4 KiB) granularity.  Physical
+memory is a flat array of *frames* addressed by page frame number (PFN)
+and virtual memory is addressed by virtual page number (VPN).  All sizes
+that cross module boundaries are expressed in base pages unless a name
+says otherwise (``*_bytes``).
+"""
+
+from __future__ import annotations
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT  # 4 KiB
+
+# x86-64 transparent huge page: 2 MiB = 512 base pages = buddy order 9.
+HUGE_ORDER = 9
+HUGE_PAGES = 1 << HUGE_ORDER
+HUGE_SIZE = HUGE_PAGES * PAGE_SIZE
+
+# Linux default MAX_ORDER is 11 (orders 0..10 usable), i.e. the buddy
+# allocator tracks aligned free blocks of up to 4 MiB.
+DEFAULT_MAX_ORDER = 10
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+def pages(n_bytes: int) -> int:
+    """Number of base pages needed to back ``n_bytes`` (rounded up)."""
+    return -(-n_bytes // PAGE_SIZE)
+
+
+def bytes_of(n_pages: int) -> int:
+    """Byte size of ``n_pages`` base pages."""
+    return n_pages * PAGE_SIZE
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Largest multiple of ``alignment`` that is <= ``value``."""
+    return value - (value % alignment)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Smallest multiple of ``alignment`` that is >= ``value``."""
+    return align_down(value + alignment - 1, alignment)
+
+
+def is_aligned(value: int, alignment: int) -> bool:
+    """True when ``value`` is a multiple of ``alignment``."""
+    return value % alignment == 0
+
+
+def order_pages(order: int) -> int:
+    """Pages in a buddy block of the given order."""
+    return 1 << order
+
+
+def order_for_pages(n_pages: int) -> int:
+    """Smallest buddy order whose block covers ``n_pages`` pages."""
+    if n_pages <= 0:
+        raise ValueError(f"n_pages must be positive, got {n_pages}")
+    return (n_pages - 1).bit_length()
+
+
+def human_pages(n_pages: int) -> str:
+    """Render a page count as a human-readable byte size (e.g. '2.0M')."""
+    n = n_pages * PAGE_SIZE
+    for suffix, unit in (("G", GIB), ("M", MIB), ("K", KIB)):
+        if n >= unit:
+            return f"{n / unit:.1f}{suffix}"
+    return f"{n}B"

@@ -1,0 +1,22 @@
+"""Virtualized execution: KVM-like nested paging.
+
+- :mod:`repro.virt.hypervisor` — the host side: a VM's guest-physical
+  space backed lazily by host memory through nested faults,
+- :mod:`repro.virt.introspect` — the VMI tool: composes guest and
+  nested page table information into full 2D (gVA→hPA) mappings, like
+  the paper's in-house introspection tool (§V).
+"""
+
+from repro.virt.hypervisor import VirtualMachine
+from repro.virt.introspect import (
+    nested_runs,
+    pte_contiguous_2d,
+    two_d_runs,
+)
+
+__all__ = [
+    "VirtualMachine",
+    "nested_runs",
+    "pte_contiguous_2d",
+    "two_d_runs",
+]

@@ -1,0 +1,81 @@
+"""Virtual-machine introspection: full 2D (gVA→hPA) mapping extraction.
+
+The paper measures virtualized contiguity with an in-house VMI tool
+that reads the guest page table and the nested page tables and combines
+them into 2D translations (§V).  These helpers are that tool: they
+compose a guest process's gVA→gPA mapping runs with the VM's gPA→hPA
+nested runs into effective 2D runs, and answer the combined
+contiguity-bit question the SpOT table-fill filter asks.
+"""
+
+from __future__ import annotations
+
+from repro.units import HUGE_PAGES
+from repro.virt.hypervisor import VirtualMachine
+from repro.vm.mapping_runs import MappingRuns, compose
+from repro.vm.process import Process
+
+
+def nested_runs(vm: VirtualMachine) -> MappingRuns:
+    """The VM's gPA→hPA mapping runs (the nested dimension).
+
+    Host-side runs of the VM-memory VMA, re-based so keys are guest
+    physical pages instead of host virtual pages.
+    """
+    base = vm.vm_vma.start_vpn
+    end = vm.vm_vma.end_vpn
+    result = MappingRuns()
+    for run in vm.qemu.space.runs:
+        if run.end_vpn <= base or run.start_vpn >= end:
+            continue
+        start = max(run.start_vpn, base)
+        stop = min(run.end_vpn, end)
+        result.add(start - base, run.translate(start), stop - start)
+    return result
+
+
+def two_d_runs(vm: VirtualMachine, process: Process) -> MappingRuns:
+    """Effective 2D (gVA→hPA) contiguous mappings of a guest process.
+
+    A 2D run continues only while both the guest (gVA→gPA) and the
+    nested (gPA→hPA) dimensions stay contiguous — the paper's
+    effective-contiguity definition (Fig. 5).
+    """
+    return compose(process.space.runs, nested_runs(vm))
+
+
+def pte_contiguous_2d(
+    vm: VirtualMachine, process: Process, vpn: int, threshold: int = 32
+) -> bool:
+    """Both-dimensions contiguity-bit check (SpOT fill filter, §IV-C).
+
+    The guest OS sets the bit in gPTEs of guest mappings >= threshold;
+    the host sets it in nPTEs of nested mappings >= threshold.  The
+    nested walker fills SpOT's table only when both are set.
+    """
+    guest_run = process.space.runs.find(vpn)
+    if guest_run is None or guest_run.n_pages < threshold:
+        return False
+    gpa = guest_run.translate(vpn)
+    host_run = vm.qemu.space.runs.find(vm.host_vpn(gpa))
+    return host_run is not None and host_run.n_pages >= threshold
+
+
+def entry_is_huge_2d(vm: VirtualMachine, process: Process, vpn: int) -> bool:
+    """Can hardware cache a 2 MiB TLB entry for ``vpn``?
+
+    Requires a huge guest leaf whose whole gPA range is backed by one
+    huge nested leaf; otherwise the nested dimension splinters the TLB
+    entry down to 4 KiB (the Glue/vTHP splintering problem).
+    """
+    walk = process.space.page_table.walk(vpn)
+    if not walk.hit or not walk.pte.huge:
+        return False
+    gpa_base = walk.pte.pfn
+    host_walk = vm.qemu.space.page_table.walk(vm.host_vpn(gpa_base))
+    if not host_walk.hit or not host_walk.pte.huge:
+        return False
+    # The guest huge page must sit inside exactly one nested huge leaf.
+    return host_walk.base_vpn <= vm.host_vpn(gpa_base) and vm.host_vpn(
+        gpa_base + HUGE_PAGES - 1
+    ) < host_walk.base_vpn + HUGE_PAGES

@@ -1,0 +1,36 @@
+"""Virtual memory substrate: page tables, VMAs, address spaces.
+
+- :mod:`repro.vm.flags` — PTE and VMA flag bits (including the
+  reserved *contiguity bit* SpOT's table-fill filter uses),
+- :mod:`repro.vm.page_table` — x86-64-like 4-level radix page tables
+  with 4 KiB and 2 MiB leaves,
+- :mod:`repro.vm.mapping_runs` — incremental tracking of contiguous
+  virtual-to-physical mapping runs (the paper's *Offset* mappings),
+- :mod:`repro.vm.vma` — virtual memory areas with CA paging's per-VMA
+  offset metadata (up to 64 offsets, FIFO),
+- :mod:`repro.vm.address_space` — mmap/munmap and VMA lookup,
+- :mod:`repro.vm.page_cache` — file page cache with readahead and a
+  per-file CA offset.
+"""
+
+from repro.vm.address_space import AddressSpace
+from repro.vm.flags import PteFlags, VmaFlags
+from repro.vm.mapping_runs import MappingRun, MappingRuns
+from repro.vm.page_cache import CachedFile, PageCache
+from repro.vm.page_table import PageTable, Pte, WalkResult
+from repro.vm.vma import Vma, VmaOffset
+
+__all__ = [
+    "AddressSpace",
+    "CachedFile",
+    "MappingRun",
+    "MappingRuns",
+    "PageCache",
+    "PageTable",
+    "Pte",
+    "PteFlags",
+    "Vma",
+    "VmaFlags",
+    "VmaOffset",
+    "WalkResult",
+]

@@ -1,0 +1,49 @@
+"""Flag bits for PTEs and VMAs.
+
+``PteFlags.CONTIG`` models the reserved page-table bit the paper's OS
+support sets on every PTE of a contiguous mapping that grew past the
+threshold (32 pages by default); the nested page walker only fills
+SpOT's prediction table when the bit is set in *both* dimensions
+(paper §IV-C, "preventing thrashing").
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class PteFlags(enum.IntFlag):
+    """x86-64-like page table entry bits (only the modelled subset)."""
+
+    NONE = 0
+    PRESENT = 1 << 0
+    WRITE = 1 << 1
+    USER = 1 << 2
+    ACCESSED = 1 << 3
+    DIRTY = 1 << 4
+    HUGE = 1 << 5  # 2 MiB leaf at the PMD level
+    COW = 1 << 6  # copy-on-write: write-protected shared page
+    CONTIG = 1 << 7  # reserved bit: member of a large contiguous mapping
+
+
+class VmaFlags(enum.IntFlag):
+    """Virtual memory area attributes."""
+
+    NONE = 0
+    READ = 1 << 0
+    WRITE = 1 << 1
+    EXEC = 1 << 2
+    ANON = 1 << 3  # anonymous memory (heap, mmap MAP_ANONYMOUS)
+    FILE = 1 << 4  # file-backed (page cache)
+    NOHUGE = 1 << 5  # THP disabled for this area (madvise-like)
+
+    @property
+    def writable(self) -> bool:
+        """True when stores are allowed in the area."""
+        return bool(self & VmaFlags.WRITE)
+
+
+#: Default protection for anonymous test/workload mappings.
+DEFAULT_ANON = VmaFlags.READ | VmaFlags.WRITE | VmaFlags.ANON
+#: Default protection for file-backed mappings.
+DEFAULT_FILE = VmaFlags.READ | VmaFlags.FILE

@@ -1,0 +1,185 @@
+"""Incremental tracking of contiguous virtual-to-physical mapping runs.
+
+A *mapping run* is the paper's larger-than-a-page contiguous mapping
+(Fig. 1a): ``N`` consecutive virtual pages mapped to ``N`` consecutive
+physical frames, identified by a single ``offset = vpn - pfn``.  This
+structure maintains the set of maximal runs of an address space
+incrementally, so that:
+
+- the contiguity metrics (coverage of the K largest mappings, number of
+  mappings for 99% coverage — Figs. 7/8/10/12, Table I) read it in
+  O(runs) instead of scanning page tables,
+- the kernel decides in O(log runs) whether a new allocation extended a
+  mapping past the SpOT contiguity-bit threshold (§IV-C),
+- range-based hardware models (vRMM) derive their range tables from it.
+
+The same composition logic (intersection of two run sets) produces the
+2D gVA→hPA runs for virtualized execution (:mod:`repro.virt.introspect`).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass
+class MappingRun:
+    """A maximal contiguous virtual-to-physical mapping."""
+
+    start_vpn: int
+    start_pfn: int
+    n_pages: int
+
+    @property
+    def end_vpn(self) -> int:
+        """One past the last virtual page of the run."""
+        return self.start_vpn + self.n_pages
+
+    @property
+    def end_pfn(self) -> int:
+        """One past the last frame of the run."""
+        return self.start_pfn + self.n_pages
+
+    @property
+    def offset(self) -> int:
+        """The paper's Offset identifier (vpn − pfn, in pages)."""
+        return self.start_vpn - self.start_pfn
+
+    def contains_vpn(self, vpn: int) -> bool:
+        """True when ``vpn`` falls inside the run."""
+        return self.start_vpn <= vpn < self.end_vpn
+
+    def translate(self, vpn: int) -> int:
+        """PFN backing ``vpn``."""
+        return vpn - self.offset
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Run(vpn={self.start_vpn:#x}->pfn={self.start_pfn:#x},"
+            f" {self.n_pages}p)"
+        )
+
+
+class MappingRuns:
+    """Sorted collection of maximal mapping runs with O(log n) updates."""
+
+    def __init__(self) -> None:
+        self._starts: list[int] = []  # sorted start_vpn keys
+        self._runs: dict[int, MappingRun] = {}
+
+    # -- updates ---------------------------------------------------------------
+
+    def add(self, vpn: int, pfn: int, n_pages: int = 1) -> MappingRun:
+        """Record a new mapping block; merges with adjacent runs.
+
+        Returns the (possibly merged) run now covering the block.
+        """
+        run = MappingRun(vpn, pfn, n_pages)
+        # Merge with predecessor when virtually adjacent with equal offset.
+        i = bisect.bisect_left(self._starts, vpn)
+        if i > 0:
+            prev = self._runs[self._starts[i - 1]]
+            if prev.end_vpn == vpn and prev.offset == run.offset:
+                self._drop(prev)
+                run = MappingRun(prev.start_vpn, prev.start_pfn, prev.n_pages + n_pages)
+        # Merge with successor.
+        i = bisect.bisect_left(self._starts, run.start_vpn)
+        if i < len(self._starts):
+            nxt = self._runs[self._starts[i]]
+            if run.end_vpn == nxt.start_vpn and nxt.offset == run.offset:
+                self._drop(nxt)
+                run = MappingRun(run.start_vpn, run.start_pfn, run.n_pages + nxt.n_pages)
+        self._insert(run)
+        return run
+
+    def remove(self, vpn: int, n_pages: int = 1) -> None:
+        """Remove ``n_pages`` starting at ``vpn``; splits runs as needed."""
+        end = vpn + n_pages
+        while vpn < end:
+            run = self.find(vpn)
+            if run is None:
+                vpn += 1
+                continue
+            cut_end = min(end, run.end_vpn)
+            self._drop(run)
+            if run.start_vpn < vpn:
+                self._insert(MappingRun(run.start_vpn, run.start_pfn, vpn - run.start_vpn))
+            if cut_end < run.end_vpn:
+                self._insert(
+                    MappingRun(cut_end, cut_end - run.offset, run.end_vpn - cut_end)
+                )
+            vpn = cut_end
+
+    def _insert(self, run: MappingRun) -> None:
+        bisect.insort(self._starts, run.start_vpn)
+        self._runs[run.start_vpn] = run
+
+    def _drop(self, run: MappingRun) -> None:
+        i = bisect.bisect_left(self._starts, run.start_vpn)
+        del self._starts[i]
+        del self._runs[run.start_vpn]
+
+    # -- queries --------------------------------------------------------------
+
+    def find(self, vpn: int) -> MappingRun | None:
+        """The run covering ``vpn``, or None."""
+        i = bisect.bisect_right(self._starts, vpn)
+        if i == 0:
+            return None
+        run = self._runs[self._starts[i - 1]]
+        return run if run.contains_vpn(vpn) else None
+
+    def run_length_at(self, vpn: int) -> int:
+        """Length (pages) of the run covering ``vpn``; 0 when unmapped."""
+        run = self.find(vpn)
+        return run.n_pages if run else 0
+
+    def __len__(self) -> int:
+        return len(self._runs)
+
+    def __iter__(self) -> Iterator[MappingRun]:
+        return (self._runs[s] for s in self._starts)
+
+    @property
+    def total_pages(self) -> int:
+        """Total pages covered by all runs."""
+        return sum(r.n_pages for r in self._runs.values())
+
+    def sizes_desc(self) -> list[int]:
+        """Run sizes in pages, largest first."""
+        return sorted((r.n_pages for r in self._runs.values()), reverse=True)
+
+    def snapshot(self) -> list[MappingRun]:
+        """Copy of all runs in VPN order."""
+        return [
+            MappingRun(r.start_vpn, r.start_pfn, r.n_pages)
+            for r in self
+        ]
+
+
+def compose(first: Iterable[MappingRun], second: MappingRuns) -> MappingRuns:
+    """Compose two translation dimensions into full 2D runs.
+
+    ``first`` maps A→B (e.g. gVA→gPA) and ``second`` maps B→C (e.g.
+    gPA→hPA); the result maps A→C (gVA→hPA).  Each first-dimension run
+    is intersected with the second-dimension runs covering its
+    intermediate range; a 2D run continues only while *both* dimensions
+    stay contiguous — exactly the paper's effective-contiguity notion
+    (Fig. 5) and the logic of our VMI introspection tool.
+    """
+    result = MappingRuns()
+    for run in first:
+        b = run.start_pfn  # intermediate address (dimension-B page)
+        b_end = run.end_pfn
+        while b < b_end:
+            inner = second.find(b)
+            if inner is None:
+                b += 1
+                continue
+            span = min(b_end, inner.end_vpn) - b
+            vpn = run.start_vpn + (b - run.start_pfn)
+            result.add(vpn, inner.translate(b), span)
+            b += span
+    return result

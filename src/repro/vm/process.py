@@ -1,0 +1,36 @@
+"""Process model: an address space plus identity and accounting."""
+
+from __future__ import annotations
+
+from repro.vm.address_space import AddressSpace
+
+
+class Process:
+    """One running process (or one guest kernel's pseudo-process)."""
+
+    __slots__ = (
+        "pid",
+        "name",
+        "space",
+        "preferred_node",
+        "touched_pages",
+        "alive",
+    )
+
+    def __init__(self, pid: int, name: str = "", preferred_node: int = 0):
+        self.pid = pid
+        self.name = name or f"pid{pid}"
+        self.space = AddressSpace()
+        self.preferred_node = preferred_node
+        #: Distinct pages the workload driver reports as touched (used
+        #: for bloat accounting in Table VI).
+        self.touched_pages = 0
+        self.alive = True
+
+    @property
+    def resident_pages(self) -> int:
+        """Base pages currently backed by frames."""
+        return self.space.resident_pages
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Process(pid={self.pid}, name={self.name!r})"

@@ -1,0 +1,63 @@
+"""Synthetic workload generators.
+
+Each workload reproduces the three properties of its paper counterpart
+that the experiments depend on (Table III):
+
+- the *VMA layout* (how many areas, their relative sizes, how densely
+  they are touched — this drives contiguity and bloat),
+- the *fault order* (sequential vs multithread-interleaved first
+  touches, anonymous faults interleaved with page-cache readahead),
+- the *access-pattern class* of the steady state (sequential scans,
+  power-law graph walks, uniform hash probes, gridded lookups), which
+  drives TLB miss rates and SpOT predictability.
+
+Footprints are scaled from the paper's gigabytes through a
+:class:`~repro.sim.config.ScaleProfile`.
+"""
+
+from repro.workloads.base import AccessTrace, AllocStep, FilePlan, TraceSite, VmaPlan, Workload
+from repro.workloads.bt import BT
+from repro.workloads.gups import Gups
+from repro.workloads.hashjoin import HashJoin
+from repro.workloads.pagerank import PageRank
+from repro.workloads.svm import SVM
+from repro.workloads.tlb_friendly import TlbFriendly
+from repro.workloads.xsbench import XSBench
+
+#: The paper's benchmark suite (Table III), in its order.
+PAPER_SUITE = (SVM, PageRank, HashJoin, XSBench, BT)
+#: Extra workloads shipped beyond the paper's suite.
+EXTRA_WORKLOADS = (TlbFriendly, Gups)
+
+
+def make_workload(name: str, scale, seed: int = 0) -> Workload:
+    """Instantiate a workload by its short name."""
+    registry = {cls.name: cls for cls in PAPER_SUITE}
+    registry.update({cls.name: cls for cls in EXTRA_WORKLOADS})
+    try:
+        cls = registry[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {sorted(registry)}"
+        ) from None
+    return cls(scale, seed=seed)
+
+
+__all__ = [
+    "AccessTrace",
+    "AllocStep",
+    "BT",
+    "EXTRA_WORKLOADS",
+    "FilePlan",
+    "Gups",
+    "HashJoin",
+    "PAPER_SUITE",
+    "PageRank",
+    "SVM",
+    "TlbFriendly",
+    "TraceSite",
+    "VmaPlan",
+    "Workload",
+    "XSBench",
+    "make_workload",
+]

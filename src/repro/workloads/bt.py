@@ -1,0 +1,65 @@
+"""NPB BT class E (167 GB, serial) — Table III.
+
+Block-tridiagonal CFD solver: several equally sized solution arrays are
+swept with regular strides.  Its distinguishing property in the paper
+is sheer size: the footprint does not fit one NUMA node, and CA
+paging's contiguity drops when irregular faults compete for the last
+free blocks of the first node right before spilling to the second
+(§VI-A) — BT is the workload where CA needs ~931 ranges (Table I).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import TraceSite, VmaPlan, Workload
+
+
+class BT(Workload):
+    """Serial NPB BT-style stencil solver."""
+
+    name = "bt"
+    paper_gb = 167.0
+    threads = 1
+    branch_fraction = 0.04  # loop-heavy numeric code
+    #: Instructions per traced reference: block-tridiagonal flops.
+    instructions_per_access = 20.0
+
+    def _build_vma_plans(self):
+        share = self.paper_gb / 5
+        return [
+            VmaPlan(f"field{i}", self.scaled(share), 0.999) for i in range(5)
+        ]
+
+    def alloc_steps(self):
+        """BT's initialization faults irregularly across its arrays.
+
+        The arrays are initialized plane-by-plane in an interleaved
+        order, so first-touch faults alternate between the five VMAs —
+        the fault pattern that stresses CA paging at the NUMA spill
+        point (§VI-A).
+        """
+        from repro.units import HUGE_PAGES
+        from repro.workloads.base import AllocStep, _round_robin
+
+        chunk = HUGE_PAGES
+        streams = [
+            [
+                AllocStep("anon", i, p, min(chunk, plan.touched_pages - p))
+                for p in range(0, plan.touched_pages, chunk)
+            ]
+            for i, plan in enumerate(self.vma_plans)
+        ]
+        return _round_robin(streams)
+
+    def trace_sites(self):
+        sites = []
+        for i in range(5):
+            sites.append(
+                TraceSite(pc=0x800 + 16 * i, vma=i, pattern="seq", weight=0.18)
+            )
+            sites.append(
+                TraceSite(
+                    pc=0x808 + 16 * i, vma=i, pattern="seq", weight=0.02,
+                    stride=96,  # plane-crossing stride
+                )
+            )
+        return sites

@@ -1,0 +1,39 @@
+"""GUPS: giant updates per second (random-access worst case).
+
+Not part of the paper's Table III suite, but the standard adversarial
+microbenchmark in the address-translation literature: one huge table,
+uniformly random read-modify-write updates, essentially zero locality.
+Useful for stress-testing the predictors — with CA paging the table is
+a handful of runs and SpOT still locks on; with default paging it is
+the nightmare case for every scheme.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import TraceSite, VmaPlan, Workload
+
+
+class Gups(Workload):
+    """HPCC RandomAccess-style update kernel."""
+
+    name = "gups"
+    paper_gb = 64.0
+    threads = 8
+    branch_fraction = 0.03  # tight unrolled update loop
+    #: Updates are cheap (xor + index math), but the page-level trace
+    #: still under-samples the surrounding instruction stream.
+    instructions_per_access = 12.0
+
+    def _build_vma_plans(self):
+        return [
+            VmaPlan("table", self.scaled(self.paper_gb * 0.94)),
+            VmaPlan("stream", self.scaled(self.paper_gb * 0.06)),
+        ]
+
+    def trace_sites(self):
+        return [
+            # The update: uniform random over the whole table.
+            TraceSite(pc=0xB00, vma=0, pattern="uniform", weight=0.80),
+            # The random-number stream being consumed.
+            TraceSite(pc=0xB10, vma=1, pattern="seq", weight=0.20),
+        ]

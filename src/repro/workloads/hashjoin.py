@@ -1,0 +1,49 @@
+"""hashjoin microbenchmark (102 GB, 10 threads) — Table III.
+
+The classic two-table hash join: a build table is populated, then the
+probe side streams while hashing *uniformly at random* into the build
+table.  Random probes are the paper's worst case for SpOT (the only
+workload with visible mispredictions, up to ~4%, Fig. 14): consecutive
+misses from the probe instruction land in different contiguous
+mappings, so offsets keep changing and the confidence counters throttle
+speculation.
+
+The build arena is heavily over-reserved (TCMalloc bloat) — this is the
+workload whose eager-paging bloat reaches ~47% in Table VI and which
+spans NUMA nodes under pre-allocation.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import TraceSite, VmaPlan, Workload
+
+
+class HashJoin(Workload):
+    """Multithreaded hash join microbenchmark."""
+
+    name = "hashjoin"
+    paper_gb = 102.0
+    threads = 10
+    branch_fraction = 0.045  # tight probe loops
+
+    def _build_vma_plans(self):
+        return [
+            # Hash build table: arena reserved ~2x what gets touched.
+            VmaPlan("build", self.scaled(self.paper_gb * 0.62), 0.53),
+            VmaPlan("probe", self.scaled(self.paper_gb * 0.30), 0.97),
+            VmaPlan("output", self.scaled(self.paper_gb * 0.08), 0.9),
+        ]
+
+    #: Instructions per traced reference: hashing + chain compares per
+    #: probe plus the tuple processing the page-level trace elides.
+    instructions_per_access = 80.0
+
+    def trace_sites(self):
+        return [
+            # The probe instruction: uniform random over the build table.
+            TraceSite(pc=0x600, vma=0, pattern="uniform", weight=0.12),
+            # Probe-side stream.
+            TraceSite(pc=0x610, vma=1, pattern="seq", weight=0.74),
+            # Output append.
+            TraceSite(pc=0x620, vma=2, pattern="seq", weight=0.14),
+        ]

@@ -1,0 +1,47 @@
+"""Ligra PageRank on the friendster graph (78 GB, serial) — Table III.
+
+CSR graph processing: the edge array is streamed front to back every
+iteration while vertex data is hit with power-law random accesses
+(high-degree vertices dominate).  The graph is loaded from a large
+input file through the page cache, interleaved with heap population —
+the condition that lets scattered page-cache pages fragment memory
+across consecutive runs (Fig. 1b).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import FilePlan, TraceSite, VmaPlan, Workload
+
+
+class PageRank(Workload):
+    """Serial Ligra-style PageRank."""
+
+    name = "pagerank"
+    paper_gb = 78.0
+    threads = 1
+
+    #: Instructions per traced reference: rank arithmetic per edge.
+    instructions_per_access = 8.0
+
+    def _build_vma_plans(self):
+        # The friendster edge array dominates (CSR: ~40 B/edge); vertex
+        # data (ranks, degrees, offsets: ~20 B/vertex) is a small slice
+        # of the footprint, like the real dataset.
+        return [
+            VmaPlan("edges", self.scaled(self.paper_gb * 0.88), 0.97),
+            VmaPlan("vertices", self.scaled(self.paper_gb * 0.06), 0.95),
+            VmaPlan("frontier", self.scaled(self.paper_gb * 0.06), 0.9),
+        ]
+
+    def _build_file_plans(self):
+        return [FilePlan("friendster", self.scaled(self.paper_gb * 0.6))]
+
+    def trace_sites(self):
+        return [
+            # Edge array streaming: dominant, highly predictable.
+            TraceSite(pc=0x500, vma=0, pattern="seq", weight=0.55),
+            # Vertex ranks: power-law random (hub vertices hot).
+            TraceSite(pc=0x510, vma=1, pattern="zipf", weight=0.33, zipf_a=1.2),
+            # Frontier bitmap updates.
+            TraceSite(pc=0x520, vma=2, pattern="seq", weight=0.12, stride=3),
+        ]

@@ -1,0 +1,31 @@
+"""TLB-friendly control workload (the paper's Spec2017 sanity check).
+
+§VI-A: "We also run a set of TLB friendly workloads from Spec2017 and
+find that the execution time is not affected by CA paging."  This
+workload has a small footprint with near-perfect locality; it exists to
+verify that CA paging adds no overhead when there is nothing to gain.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import TraceSite, VmaPlan, Workload
+
+
+class TlbFriendly(Workload):
+    """Small, cache-resident, stream-dominated control workload."""
+
+    name = "tlb_friendly"
+    paper_gb = 2.0
+    threads = 1
+
+    def _build_vma_plans(self):
+        return [
+            VmaPlan("heap", self.scaled(self.paper_gb * 0.8)),
+            VmaPlan("stack", self.scaled(self.paper_gb * 0.2)),
+        ]
+
+    def trace_sites(self):
+        return [
+            TraceSite(pc=0x900, vma=0, pattern="seq", weight=0.85),
+            TraceSite(pc=0x910, vma=1, pattern="seq", weight=0.15),
+        ]

@@ -1,0 +1,65 @@
+"""Trace persistence: save and replay access traces.
+
+Traces are the expensive, randomness-bearing half of a hardware
+experiment; persisting them makes runs exactly reproducible across
+machines and lets users capture a trace once and sweep hardware
+parameters over it (the BadgerTrap-log workflow).  Format: a ``.npz``
+with the three trace arrays plus a metadata record.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.workloads.base import AccessTrace, Workload
+
+#: Format marker for compatibility checks.
+FORMAT_VERSION = 1
+
+
+def save_trace(path: str | Path, trace: AccessTrace,
+               workload: Workload | None = None, **extra_meta) -> Path:
+    """Write a trace (and optional provenance metadata) to ``path``.
+
+    Returns the written path (``.npz`` suffix enforced).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    meta = {"format_version": FORMAT_VERSION, **extra_meta}
+    if workload is not None:
+        meta.update(
+            workload=workload.name,
+            seed=workload.seed,
+            footprint_pages=workload.footprint_pages,
+            scale=workload.scale.name,
+        )
+    np.savez_compressed(
+        path,
+        pc=trace.pc,
+        vma=trace.vma,
+        page=trace.page,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+    )
+    return path
+
+
+def load_trace(path: str | Path) -> tuple[AccessTrace, dict]:
+    """Read a trace and its metadata back."""
+    path = Path(path)
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"]))
+        if meta.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format {meta.get('format_version')!r} "
+                f"in {path}"
+            )
+        trace = AccessTrace(
+            pc=data["pc"].astype(np.int32),
+            vma=data["vma"].astype(np.int16),
+            page=data["page"].astype(np.int64),
+        )
+    return trace, meta

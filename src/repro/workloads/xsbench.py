@@ -1,0 +1,45 @@
+"""XSBench (122 GB, 10 threads) — Table III.
+
+The Monte Carlo neutron-transport kernel: each lookup picks a random
+(energy, material) point and reads a short sequential strip of
+cross-section data from the huge nuclide grid.  Random starts make the
+TLB suffer; the strip reads give SpOT repeated misses inside the same
+contiguous mapping, so with CA paging predictions succeed.
+
+XSBench's allocation phase is a large share of its total runtime, which
+is why post-allocation defragmentation (Ranger) is too late for it
+(Fig. 1c) while CA paging has the contiguity at first touch.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import FilePlan, TraceSite, VmaPlan, Workload
+
+
+class XSBench(Workload):
+    """Multithreaded Monte Carlo cross-section lookup kernel."""
+
+    name = "xsbench"
+    paper_gb = 122.0
+    threads = 10
+
+    def _build_vma_plans(self):
+        return [
+            VmaPlan("unionized_grid", self.scaled(self.paper_gb * 0.78)),
+            VmaPlan("nuclide_grids", self.scaled(self.paper_gb * 0.18)),
+            VmaPlan("index", self.scaled(self.paper_gb * 0.04)),
+        ]
+
+    def _build_file_plans(self):
+        return [FilePlan("xs_input", self.scaled(self.paper_gb * 0.05))]
+
+    #: Instructions per traced reference: cross-section interpolation math.
+    instructions_per_access = 25.0
+
+    def trace_sites(self):
+        return [
+            # Grid lookups: random start + sequential strip of gridpoints.
+            TraceSite(pc=0x700, vma=0, pattern="strip", weight=0.58, strip_len=48),
+            TraceSite(pc=0x710, vma=1, pattern="strip", weight=0.38, strip_len=24),
+            TraceSite(pc=0x720, vma=2, pattern="uniform", weight=0.04),
+        ]

@@ -1,0 +1,136 @@
+"""Smoke tests for the experiment drivers.
+
+Each driver runs with a reduced configuration (small scale, workload
+and policy subsets) and must produce well-formed results and a
+printable report.  Shape assertions live in ``benchmarks/``; here we
+check plumbing.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig1,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    table1,
+    table5,
+    table6,
+    table7,
+)
+from repro.sim.config import MIB, ScaleProfile
+
+#: Small-but-sufficient scale: machines hold one workload comfortably.
+SMOKE = ScaleProfile(name="smoke", bytes_per_paper_gb=MIB, machine_paper_gb=(128, 128))
+ONE = ("svm",)
+TWO = ("svm", "pagerank")
+
+
+class TestContiguityExperiments:
+    def test_fig1b(self):
+        r = fig1.run_fig1b(scale=SMOKE, runs=3)
+        assert set(r.coverage_by_run) == {"eager", "ca"}
+        assert all(len(s) == 3 for s in r.coverage_by_run.values())
+        assert "run3" in r.report()
+
+    def test_fig1c(self):
+        r = fig1.run_fig1c(scale=SMOKE, steady_epochs=3)
+        assert set(r.series_by_policy) == {"ranger", "ca"}
+        assert "cov32" in r.report()
+
+    def test_fig7(self):
+        r = fig7.run(scale=SMOKE, workloads=ONE, policies=("thp", "ca"),
+                     steady_epochs=2)
+        assert r.row("svm", "ca").final.total_runs >= 1
+        assert r.mappings_99("ca") >= 1
+        assert "svm" in r.report()
+
+    def test_fig8(self):
+        r = fig8.run(scale=SMOKE, pressures=(0.0, 0.3), workloads=ONE,
+                     policies=("thp", "ca"))
+        c32, c128, m99 = r.geomean_row(0.3, "ca")
+        assert 0 < c32 <= 1 and 0 < c128 <= 1 and m99 >= 1
+        assert "hog-30" in r.report()
+
+    def test_fig9(self):
+        r = fig9.run(scale=SMOKE, workloads=ONE)
+        assert set(r.histograms) == {"thp", "ca"}
+        assert "huge" in r.report()
+
+    def test_fig10(self):
+        r = fig10.run(scale=SMOKE, policies=("thp", "ca"))
+        assert len(r.series) == 4
+        assert all(series for series in r.series.values())
+
+    def test_fig11(self):
+        r = fig11.run(scale=SMOKE, workloads=ONE, policies=("thp", "ca"))
+        assert r.normalized[("svm", "thp")] == pytest.approx(1.0)
+        assert "mean" in r.report()
+
+    def test_fig12(self):
+        r = fig12.run(scale=SMOKE, workloads=ONE, policies=("ca",))
+        assert ("svm", "ca") in r.runs
+        assert r.mean_coverage_32("ca") > 0
+
+
+class TestTableExperiments:
+    def test_table1(self):
+        r = table1.run(scale=SMOKE, workloads=ONE, policies=("ca",))
+        row = r.row("svm", "ca")
+        assert row.ranges >= 1
+        assert row.vhc_entries >= row.ranges
+        assert "geomean" in r.report()
+
+    def test_table5(self):
+        r = table5.run(scale=SMOKE, workloads=ONE, policies=("thp", "eager"))
+        assert r.rows["thp"].total_faults > r.rows["eager"].total_faults
+        assert "p99" in r.report()
+
+    def test_table6(self):
+        r = table6.run(scale=SMOKE, workloads=ONE, policies=("thp", "eager"))
+        assert ("svm", "eager") in r.bloat
+        assert r.touched["svm"] > 0
+        assert "MB" in r.report()
+
+    def test_table7(self):
+        r = table7.run(scale=SMOKE, workloads=TWO, trace_len=20_000)
+        g = r.geomean_row()
+        assert g["spot_usl_per_instruction"] >= 0
+        assert "geomean" in r.report()
+
+
+class TestHardwareExperiments:
+    def test_fig13(self):
+        r = fig13.run(scale=SMOKE, workloads=ONE, trace_len=20_000)
+        for bar in fig13.BARS:
+            assert ("svm", bar) in r.overheads
+            assert r.overheads[("svm", bar)] >= 0
+        assert "mean" in r.report()
+
+    def test_fig14(self):
+        r = fig14.run(scale=SMOKE, workloads=ONE, trace_len=20_000)
+        assert abs(sum(r.breakdown["svm"].values()) - 1.0) < 1e-9
+        assert "correct" in r.report()
+
+
+class TestExtensionExperiments:
+    def test_ext_vhc(self):
+        from repro.experiments import ext_vhc
+
+        r = ext_vhc.run(scale=SMOKE, workloads=ONE, trace_len=20_000)
+        row = r.rows["svm"]
+        assert 0 <= row.vhc_miss_rate <= 1
+        assert row.anchor_distance >= 1
+        assert "anchor" in r.report()
+
+    def test_ext_multivm(self):
+        from repro.experiments import ext_multivm
+
+        r = ext_multivm.run(scale=SMOKE, host_policies=("ca",))
+        assert ("ca", 0) in r.mappings_99
+        assert "vm" in r.report()

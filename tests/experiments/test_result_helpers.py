@@ -1,0 +1,48 @@
+"""Tests for the small result-object helpers experiments expose."""
+
+import pytest
+
+from repro.experiments.fig1 import Fig1bResult, Fig1cResult
+from repro.experiments.fig13 import BARS, Fig13Result
+from repro.experiments.table1 import Table1Result, Table1Row
+
+
+class TestFig1Helpers:
+    def test_fig1b_decay(self):
+        r = Fig1bResult(coverage_by_run={"eager": [1.0, 0.6], "ca": [1.0, 0.9]})
+        assert r.decay("eager") == pytest.approx(0.4)
+        assert r.decay("ca") == pytest.approx(0.1)
+        assert "run2" in r.report()
+
+    def test_fig1c_allocation_end_coverage(self):
+        r = Fig1cResult(series_by_policy={
+            "ca": [(100, 0.5), (200, 0.8), (200, 0.9)],
+        })
+        # The first sample at peak touched pages is the allocation end.
+        assert r.coverage_at_allocation_end("ca") == pytest.approx(0.8)
+
+
+class TestFig13Helpers:
+    def test_mean_over_workloads(self):
+        r = Fig13Result()
+        for wl, v in (("a", 0.1), ("b", 0.3)):
+            for bar in BARS:
+                r.overheads[(wl, bar)] = v
+        assert r.mean("SpOT") == pytest.approx(0.2)
+
+
+class TestTable1Helpers:
+    def test_row_lookup_and_missing(self):
+        r = Table1Result(rows=[Table1Row("svm", "ca", 3, 9)])
+        assert r.row("svm", "ca").vhc_entries == 9
+        with pytest.raises(KeyError):
+            r.row("svm", "thp")
+
+    def test_geomean(self):
+        r = Table1Result(rows=[
+            Table1Row("a", "ca", 2, 4),
+            Table1Row("b", "ca", 8, 16),
+        ])
+        g_ranges, g_vhc = r.geomean("ca")
+        assert g_ranges == pytest.approx(4.0)
+        assert g_vhc == pytest.approx(8.0)

@@ -1,0 +1,138 @@
+"""Integration tests for the TranslationView + MMU simulator."""
+
+import numpy as np
+import pytest
+
+from repro.hw.mmu_sim import MmuSimulator
+from repro.hw.translation import TranslationView
+from repro.sim.config import HardwareConfig, SystemConfig
+from repro.sim.machine import build_machine
+from repro.sim.runner import RunOptions, run_native, run_virtualized
+from repro.units import HUGE_PAGES
+from repro.virt.hypervisor import VirtualMachine
+from repro.workloads import make_workload
+from repro.workloads.base import AccessTrace
+from tests.policies.conftest import SMALL
+
+
+def native_state(policy="ca", workload_name="tlb_friendly"):
+    from repro.sim.config import TEST_SCALE
+
+    machine = build_machine(policy, SMALL)
+    wl = make_workload(workload_name, TEST_SCALE)
+    result = run_native(machine, wl, RunOptions(sample_every=None, exit_after=False))
+    return machine, wl, result
+
+
+class TestTranslationView:
+    def test_translate_matches_page_table(self):
+        machine, wl, result = native_state()
+        view = TranslationView.native(result.process)
+        space = result.process.space
+        for vma_start in result.vma_start_vpns:
+            assert view.translate(vma_start) == space.translate(vma_start)
+
+    def test_force_4k_disables_huge_entries(self):
+        machine, wl, result = native_state()
+        view = TranslationView.native(result.process, force_4k=True)
+        trace = wl.trace(1000)
+        resolved = view.resolve(trace, result.vma_start_vpns)
+        assert not resolved.entry_huge.any()
+
+    def test_resolve_ppn_consistent_with_translate(self):
+        machine, wl, result = native_state()
+        view = TranslationView.native(result.process)
+        trace = wl.trace(500)
+        resolved = view.resolve(trace, result.vma_start_vpns)
+        for i in range(0, len(resolved), 97):
+            assert resolved.ppn[i] == view.translate(int(resolved.vpn[i]))
+
+    def test_unmapped_trace_rejected(self):
+        machine, wl, result = native_state()
+        view = TranslationView.native(result.process)
+        bogus = AccessTrace(
+            pc=np.zeros(4, dtype=np.int32),
+            vma=np.zeros(4, dtype=np.int16),
+            page=np.arange(4, dtype=np.int64),
+        )
+        with pytest.raises(ValueError):
+            view.resolve(bogus, [0xDEAD0000])
+
+    def test_segment_covers_anon_vmas(self):
+        machine, wl, result = native_state()
+        view = TranslationView.native(result.process)
+        trace = wl.trace(500)
+        resolved = view.resolve(trace, result.vma_start_vpns)
+        assert resolved.in_segment.all()
+
+    def test_contig_flag_respects_threshold(self):
+        machine, wl, result = native_state(policy="ca")
+        view = TranslationView.native(result.process, contig_threshold=10**9)
+        trace = wl.trace(500)
+        resolved = view.resolve(trace, result.vma_start_vpns)
+        assert not resolved.contig.any()
+
+
+class TestSimulator:
+    def test_counts_are_consistent(self):
+        machine, wl, result = native_state()
+        view = TranslationView.native(result.process)
+        sim = MmuSimulator(view, HardwareConfig())
+        res = sim.run(wl.trace(5000), result.vma_start_vpns, workload=wl)
+        assert res.accesses == 5000
+        assert res.l1_hits + res.l2_hits + res.walks == res.accesses
+        assert (
+            res.spot_correct + res.spot_mispredict + res.spot_no_prediction
+            == res.walks
+        )
+
+    def test_spot_loves_ca_hates_thp(self):
+        outcomes = {}
+        for policy in ("ca", "thp"):
+            machine, wl, result = native_state(policy=policy, workload_name="svm")
+            view = TranslationView.native(result.process)
+            sim = MmuSimulator(view, HardwareConfig())
+            res = sim.run(wl.trace(30_000), result.vma_start_vpns, workload=wl)
+            outcomes[policy] = res.spot_breakdown()["correct"]
+        assert outcomes["ca"] > outcomes["thp"]
+
+    def test_overheads_ordering(self):
+        machine, wl, result = native_state(policy="ca", workload_name="svm")
+        view = TranslationView.native(result.process)
+        sim = MmuSimulator(view, HardwareConfig())
+        res = sim.run(wl.trace(30_000), result.vma_start_vpns, workload=wl)
+        over = res.overheads()
+        assert over["spot"] <= over["paging"] + 1e-12
+        assert over["vrmm"] <= over["paging"] + 1e-12
+        assert over["ds"] <= over["paging"] + 1e-12
+
+    def test_4k_view_misses_more(self):
+        machine, wl, result = native_state(policy="thp", workload_name="svm")
+        trace = wl.trace(20_000)
+        thp_view = TranslationView.native(result.process)
+        res_thp = MmuSimulator(thp_view, HardwareConfig()).run(
+            trace, result.vma_start_vpns, workload=wl
+        )
+        k4_view = TranslationView.native(result.process, force_4k=True)
+        res_4k = MmuSimulator(k4_view, HardwareConfig()).run(
+            trace, result.vma_start_vpns, workload=wl
+        )
+        assert res_4k.walks > res_thp.walks
+
+    def test_virtualized_state_simulates(self):
+        from repro.sim.config import TEST_SCALE
+        from repro.units import order_pages
+
+        host = build_machine("ca", SMALL)
+        guest_pages = sum(SMALL.node_pages)
+        guest_pages -= guest_pages % order_pages(SMALL.max_order)
+        vm = VirtualMachine(host, guest_pages, "ca")
+        wl = make_workload("svm", TEST_SCALE)
+        r = run_virtualized(vm, wl, RunOptions(sample_every=None, exit_after=False))
+        view = TranslationView.virtualized(vm, r.process)
+        assert view.virtualized
+        res = MmuSimulator(view, HardwareConfig()).run(
+            wl.trace(10_000), r.vma_start_vpns, workload=wl
+        )
+        assert res.walks > 0
+        assert res.t_ideal_cycles > 1

@@ -1,0 +1,107 @@
+"""Unit tests for the PWC / mechanistic walk simulator."""
+
+import pytest
+
+from repro.hw.pwc import REF_CYCLES, WALK_FIXED_CYCLES, PageWalkCache, WalkSimulator
+from repro.hw.walk import WalkLatencyModel
+
+
+class TestPageWalkCache:
+    def test_cold_walk_skips_nothing(self):
+        pwc = PageWalkCache()
+        assert pwc.deepest_hit(vpn=0x12345, levels=4) == 0
+
+    def test_refill_enables_skips(self):
+        pwc = PageWalkCache()
+        pwc.fill(0x12345, levels=4)
+        # Same 2M region: everything above the leaf level is cached.
+        assert pwc.deepest_hit(0x12345, levels=4) == 3
+
+    def test_nearby_pages_share_upper_levels(self):
+        pwc = PageWalkCache()
+        pwc.fill(0, levels=4)
+        # A page in a different 2M region but same 1G region skips less.
+        assert 0 < pwc.deepest_hit(1 << 9, levels=4) < 3
+
+    def test_distant_pages_share_nothing(self):
+        pwc = PageWalkCache()
+        pwc.fill(0, levels=4)
+        assert pwc.deepest_hit(1 << 27, levels=4) == 0
+
+
+class TestWalkSimulator:
+    def test_native_cold_walk_references(self):
+        sim = WalkSimulator(virtualized=False)
+        cycles = sim.walk(0x999000, huge=False)
+        assert cycles == WALK_FIXED_CYCLES + 4 * REF_CYCLES
+
+    def test_native_warm_walk_is_cheap(self):
+        sim = WalkSimulator(virtualized=False)
+        sim.walk(0x999000, huge=False)
+        warm = sim.walk(0x999001, huge=False)
+        assert warm == WALK_FIXED_CYCLES + 1 * REF_CYCLES
+
+    def test_huge_walk_saves_a_level(self):
+        base = WalkSimulator(virtualized=False).walk(0, huge=False)
+        huge = WalkSimulator(virtualized=False).walk(0, huge=True)
+        assert huge == base - REF_CYCLES
+
+    def test_nested_cold_walk_in_paper_range(self):
+        sim = WalkSimulator(virtualized=True)
+        cycles = sim.walk(0x123456789, huge=False)
+        # Cold 2D walk: up to gl*(nl+1)+nl = 24 references.
+        refs = (cycles - WALK_FIXED_CYCLES) / REF_CYCLES
+        assert 20 <= refs <= 25
+
+    def test_nested_warm_average_near_measured_avgc(self):
+        # A stream of misses across nearby huge pages should average
+        # near the paper's ~81-cycle nested-THP walk.
+        sim = WalkSimulator(virtualized=True)
+        for i in range(2000):
+            sim.walk(i * 512, huge=True)
+        fixed = WalkLatencyModel().walk_costs().nested_thp
+        assert 0.4 * fixed <= sim.stats.avg_cycles <= 1.6 * fixed
+
+    def test_nested_costlier_than_native(self):
+        nat = WalkSimulator(virtualized=False)
+        virt = WalkSimulator(virtualized=True)
+        for i in range(500):
+            nat.walk(i * 513, huge=False)
+            virt.walk(i * 513, huge=False)
+        assert virt.stats.avg_cycles > nat.stats.avg_cycles * 1.5
+
+    def test_five_level_costlier(self):
+        four = WalkSimulator(virtualized=True, levels=4)
+        five = WalkSimulator(virtualized=True, levels=5)
+        for i in range(500):
+            four.walk(i * 100_003, huge=False)
+            five.walk(i * 100_003, huge=False)
+        assert five.stats.avg_cycles > four.stats.avg_cycles
+
+    def test_stats_accumulate(self):
+        sim = WalkSimulator()
+        for i in range(10):
+            sim.walk(i, huge=False)
+        assert sim.stats.walks == 10
+        assert sim.stats.avg_references > 0
+
+
+class TestMmuSimIntegration:
+    def test_measured_avg_walk_reported(self):
+        from repro.hw.mmu_sim import MmuSimulator
+        from repro.hw.translation import TranslationView
+        from repro.sim.config import TEST_SCALE, HardwareConfig
+        from repro.sim.machine import build_machine
+        from repro.sim.runner import RunOptions, run_native
+        from repro.workloads import make_workload
+        from tests.policies.conftest import SMALL
+
+        machine = build_machine("ca", SMALL)
+        wl = make_workload("svm", TEST_SCALE)
+        r = run_native(machine, wl, RunOptions(sample_every=None, exit_after=False))
+        view = TranslationView.native(r.process)
+        sim = MmuSimulator(view, HardwareConfig(), walk_sim=WalkSimulator())
+        res = sim.run(wl.trace(20_000), r.vma_start_vpns, workload=wl)
+        assert res.measured_avg_walk_cycles is not None
+        assert res.measured_avg_walk_cycles > WALK_FIXED_CYCLES
+        assert sim.walk_sim.stats.walks == res.walks

@@ -1,0 +1,122 @@
+"""Unit tests for the SpOT prediction table (paper §IV-C mechanics)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.spot import CORRECT, MISPREDICT, NO_PREDICTION, SpotPredictor
+
+
+def offset_walk(spot, pc, vpn, offset, contig=True):
+    """Complete one walk where the true mapping has the given offset."""
+    return spot.on_walk_complete(pc, vpn, vpn - offset, contig)
+
+
+class TestConfidence:
+    def test_first_two_misses_never_predict(self):
+        spot = SpotPredictor()
+        assert offset_walk(spot, 1, 100, 7) == NO_PREDICTION  # fill, conf=1
+        assert offset_walk(spot, 1, 101, 7) == NO_PREDICTION  # conf 1->2
+
+    def test_third_consistent_miss_predicts_correctly(self):
+        spot = SpotPredictor()
+        offset_walk(spot, 1, 100, 7)
+        offset_walk(spot, 1, 101, 7)
+        assert offset_walk(spot, 1, 102, 7) == CORRECT
+
+    def test_offset_change_after_confidence_mispredicts(self):
+        spot = SpotPredictor()
+        for vpn in range(100, 103):
+            offset_walk(spot, 1, vpn, 7)
+        assert offset_walk(spot, 1, 500, 9999) == MISPREDICT
+
+    def test_counter_saturates_at_three(self):
+        spot = SpotPredictor()
+        for vpn in range(100, 120):
+            offset_walk(spot, 1, vpn, 7)
+        # Two mismatches drop confidence 3 -> 1: prediction throttled,
+        # not yet replaced.
+        assert offset_walk(spot, 1, 300, 1) == MISPREDICT
+        assert offset_walk(spot, 1, 301, 1) == MISPREDICT
+        assert offset_walk(spot, 1, 302, 1) == NO_PREDICTION
+
+    def test_offset_replaced_only_at_zero(self):
+        spot = SpotPredictor()
+        offset_walk(spot, 1, 100, 7)  # conf=1
+        # One mismatch: conf 1 -> 0 -> replace with new offset, conf=1.
+        offset_walk(spot, 1, 200, 9)
+        # The new offset must now build confidence from scratch.
+        assert offset_walk(spot, 1, 201, 9) == NO_PREDICTION  # conf 1->2
+        assert offset_walk(spot, 1, 202, 9) == CORRECT
+
+    def test_alternating_offsets_get_throttled(self):
+        spot = SpotPredictor()
+        outcomes = [
+            offset_walk(spot, 1, vpn, 7 if vpn % 2 else 9)
+            for vpn in range(100, 160)
+        ]
+        # The confidence counter keeps the damage bounded: flushes
+        # (mispredictions) must be a minority of outcomes.
+        assert outcomes.count(MISPREDICT) < len(outcomes) / 3
+
+
+class TestContiguityFilter:
+    def test_non_contiguous_translations_never_fill(self):
+        spot = SpotPredictor()
+        for vpn in range(100, 110):
+            assert offset_walk(spot, 1, vpn, 7, contig=False) == NO_PREDICTION
+        assert spot.occupancy == 0
+
+    def test_existing_entries_update_even_without_bit(self):
+        spot = SpotPredictor()
+        offset_walk(spot, 1, 100, 7, contig=True)
+        offset_walk(spot, 1, 101, 7, contig=False)  # still bumps conf
+        assert offset_walk(spot, 1, 102, 7, contig=False) == CORRECT
+
+
+class TestTableGeometry:
+    def test_lru_within_set(self):
+        spot = SpotPredictor(entries=4, ways=4)  # one set
+        for pc in range(1, 5):
+            offset_walk(spot, pc, 100, pc)
+        offset_walk(spot, 99, 100, 99)  # evicts LRU (pc=1)
+        assert spot.occupancy == 4
+        assert spot.lookup(1) is None
+
+    def test_lookup_refreshes_lru(self):
+        spot = SpotPredictor(entries=4, ways=4)
+        for pc in range(1, 5):
+            offset_walk(spot, pc, 100, pc)
+        spot.lookup(1)
+        offset_walk(spot, 99, 100, 99)
+        assert spot.lookup(1) is not None
+        assert spot.lookup(2) is None
+
+    def test_strided_pcs_spread_across_sets(self):
+        # Instruction addresses at small strides must not all alias
+        # into one set (regression: BT's ten PCs at stride 8).
+        spot = SpotPredictor(entries=32, ways=4)
+        for pc in range(0x800, 0x800 + 10 * 8, 8):
+            offset_walk(spot, pc, 100, 1)
+        assert spot.occupancy == 10
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            SpotPredictor(entries=10, ways=4)
+
+    def test_prediction_requires_confidence(self):
+        spot = SpotPredictor()
+        assert spot.predict(1, 100) is None
+        offset_walk(spot, 1, 100, 7)
+        assert spot.predict(1, 101) is None  # conf == 1
+        offset_walk(spot, 1, 101, 7)
+        assert spot.predict(1, 102) == 102 - 7
+
+
+class TestStats:
+    def test_breakdown_sums_to_one(self):
+        spot = SpotPredictor()
+        for vpn in range(100, 150):
+            offset_walk(spot, 1, vpn, 7 if vpn < 130 else 11)
+        b = spot.stats.breakdown()
+        assert abs(sum(b.values()) - 1.0) < 1e-9
+        assert spot.stats.total == 50

@@ -1,0 +1,94 @@
+"""Property-based tests of SpOT's confidence automaton.
+
+A reference model of the per-entry state machine (§IV-C) is driven with
+random miss sequences alongside the real predictor; outcomes must agree
+exactly.  Separately, invariants: outcomes partition all misses, the
+table never exceeds capacity, and the filter keeps non-contiguous
+translations out.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.spot import CONF_FEED, CONF_MAX, SpotPredictor
+
+
+class ModelEntry:
+    def __init__(self, offset):
+        self.offset = offset
+        self.conf = 1
+
+
+def model_step(entry, actual_offset, contig):
+    """Reference transition: returns (outcome, entry_or_none)."""
+    if entry is None:
+        if contig:
+            return "no_prediction", ModelEntry(actual_offset)
+        return "no_prediction", None
+    fed = entry.conf >= CONF_FEED
+    match = entry.offset == actual_offset
+    if match:
+        entry.conf = min(CONF_MAX, entry.conf + 1)
+    else:
+        entry.conf -= 1
+        if entry.conf <= 0:
+            entry.offset = actual_offset
+            entry.conf = 1
+    if fed and match:
+        return "correct", entry
+    if fed:
+        return "mispredict", entry
+    return "no_prediction", entry
+
+
+@st.composite
+def miss_sequences(draw):
+    n = draw(st.integers(min_value=1, max_value=200))
+    return [
+        (
+            draw(st.integers(min_value=0, max_value=3)),  # offset choice
+            draw(st.booleans()),  # contiguity bit
+        )
+        for _ in range(n)
+    ]
+
+
+@settings(max_examples=100, deadline=None)
+@given(seq=miss_sequences())
+def test_single_pc_matches_reference_model(seq):
+    spot = SpotPredictor(entries=4, ways=4)
+    entry = None
+    pc = 0x1234
+    for i, (offset_choice, contig) in enumerate(seq):
+        vpn = 1000 + i
+        offset = offset_choice * 100 + 7
+        outcome = spot.on_walk_complete(pc, vpn, vpn - offset, contig)
+        expected, entry = model_step(entry, offset, contig)
+        assert outcome == expected, f"step {i}: {outcome} != {expected}"
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seq=miss_sequences(),
+    n_pcs=st.integers(min_value=1, max_value=12),
+)
+def test_outcomes_partition_and_capacity(seq, n_pcs):
+    spot = SpotPredictor(entries=8, ways=2)
+    for i, (offset_choice, contig) in enumerate(seq):
+        pc = (i * 7919) % n_pcs  # spread misses over PCs
+        vpn = 5000 + i
+        spot.on_walk_complete(pc, vpn, vpn - offset_choice, contig)
+        assert spot.occupancy <= 8
+    stats = spot.stats
+    assert stats.correct + stats.mispredict + stats.no_prediction == len(seq)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seq=miss_sequences())
+def test_filter_blocks_all_fills_without_contig(seq):
+    spot = SpotPredictor()
+    for i, (offset_choice, _) in enumerate(seq):
+        vpn = 100 + i
+        spot.on_walk_complete(i % 5, vpn, vpn - offset_choice, False)
+    assert spot.occupancy == 0
+    assert spot.stats.correct == 0 and spot.stats.mispredict == 0

@@ -1,0 +1,153 @@
+"""Unit tests for the metric helpers (contiguity, perf model, USL)."""
+
+import pytest
+
+from repro.metrics.contiguity import (
+    ContiguitySample,
+    average_samples,
+    coverage_of_k_largest,
+    geomean,
+    mappings_for_coverage,
+    sample_contiguity,
+)
+from repro.metrics.faults import percentile
+from repro.metrics.perf_model import PerfModel, WalkCosts
+from repro.metrics.usl import estimate_usl
+from repro.vm.mapping_runs import MappingRuns
+
+
+class TestCoverage:
+    def test_k_largest_coverage(self):
+        sizes = [500, 300, 100, 50, 50]
+        assert coverage_of_k_largest(sizes, 1000, 2) == 0.8
+        assert coverage_of_k_largest(sizes, 1000, 100) == 1.0
+
+    def test_coverage_capped_at_one(self):
+        assert coverage_of_k_largest([2000], 1000, 1) == 1.0
+
+    def test_empty_footprint(self):
+        assert coverage_of_k_largest([10], 0, 1) == 0.0
+        assert mappings_for_coverage([10], 0) == 0
+
+    def test_mappings_for_coverage(self):
+        sizes = [500, 300, 100, 50, 50]
+        assert mappings_for_coverage(sizes, 1000, 0.5) == 1
+        assert mappings_for_coverage(sizes, 1000, 0.8) == 2
+        assert mappings_for_coverage(sizes, 1000, 0.99) == 5
+
+    def test_unreachable_coverage_visible(self):
+        # Runs cover only half the footprint: one past the run count.
+        assert mappings_for_coverage([500], 1000, 0.99) == 2
+
+    def test_accepts_mapping_runs(self):
+        runs = MappingRuns()
+        runs.add(0, 0, n_pages=90)
+        runs.add(1000, 500, n_pages=10)
+        assert mappings_for_coverage(runs, 100, 0.89) == 1
+        assert coverage_of_k_largest(runs, 100, 1) == 0.9
+
+    def test_sample_and_average(self):
+        runs = MappingRuns()
+        runs.add(0, 0, n_pages=100)
+        s1 = sample_contiguity(runs, 100, touched_pages=50)
+        assert s1.coverage_32 == 1.0 and s1.mappings_99 == 1
+        s2 = ContiguitySample(100, 100, 0.5, 0.6, 3, 4)
+        avg = average_samples([s1, s2])
+        assert avg.coverage_32 == pytest.approx(0.75)
+        assert avg.mappings_99 == 2
+
+    def test_average_of_nothing(self):
+        assert average_samples([]).footprint_pages == 0
+
+    def test_geomean(self):
+        assert geomean([1, 100]) == pytest.approx(10.0)
+        assert geomean([]) == 0.0
+        assert geomean([0.0, 1.0]) < 1e-3  # floored, not crashing
+
+
+class TestPercentile:
+    def test_p99_of_uniform(self):
+        values = list(range(1, 101))
+        assert percentile(values, 99.0) == 99
+
+    def test_empty(self):
+        assert percentile([], 99.0) == 0.0
+
+    def test_bad_pct_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 150.0)
+
+    def test_p0_and_p100(self):
+        assert percentile([5.0, 1.0, 3.0], 100.0) == 5.0
+        assert percentile([5.0, 1.0, 3.0], 0.0) == 1.0
+
+
+class TestPerfModel:
+    def test_table_iv_paging(self):
+        model = PerfModel(t_ideal_cycles=1_000_000)
+        over = model.paging_overhead(1000, virtualized=True, huge=True)
+        assert over == pytest.approx(1000 * 81.0 / 1e6)
+
+    def test_spot_overhead_components(self):
+        model = PerfModel(t_ideal_cycles=1_000_000)
+        base = model.spot_overhead(no_predictions=100, mispredictions=0)
+        with_flush = model.spot_overhead(no_predictions=0, mispredictions=100)
+        # Mispredictions cost the walk plus the 20-cycle flush.
+        assert with_flush > base
+        assert with_flush == pytest.approx(100 * (81.0 + 20.0) / 1e6)
+
+    def test_perfect_spot_is_free(self):
+        model = PerfModel(t_ideal_cycles=1_000_000)
+        assert model.spot_overhead(0, 0) == 0.0
+
+    def test_ds_uses_4k_cost(self):
+        model = PerfModel(t_ideal_cycles=1_000_000)
+        assert model.ds_overhead(10) == pytest.approx(10 * 120.0 / 1e6)
+
+    def test_bad_ideal_rejected(self):
+        with pytest.raises(ValueError):
+            PerfModel(t_ideal_cycles=0).paging_overhead(1, True, True)
+
+    def test_walk_cost_selection(self):
+        costs = WalkCosts()
+        assert costs.walk_cost(True, True) == costs.nested_thp
+        assert costs.walk_cost(False, False) == costs.native_4k
+
+
+class TestUsl:
+    def test_table_vii_equations(self):
+        est = estimate_usl(
+            instructions=1_000_000,
+            branches=58_700,
+            dtlb_misses=2_500,
+            loads=250_000,
+            cycles=1_200_000,
+            walk_cycles=81.0,
+        )
+        loads_per_cycle = 250_000 / 1_200_000
+        assert est.spectre_usl_per_instruction == pytest.approx(
+            58_700 * 20.0 * loads_per_cycle / 1_000_000
+        )
+        assert est.spot_usl_per_instruction == pytest.approx(
+            2_500 * 81.0 * loads_per_cycle / 1_000_000
+        )
+
+    def test_spot_usl_below_spectre_in_paper_regime(self):
+        # Paper Table VII regime: branches ~5.9%/ins, misses ~0.25%/ins.
+        est = estimate_usl(
+            instructions=10**6,
+            branches=58_700,
+            dtlb_misses=2_500,
+            loads=250_000,
+            cycles=1_250_000,
+        )
+        assert est.spot_usl_per_instruction < est.spectre_usl_per_instruction
+
+    def test_percent_rendering(self):
+        est = estimate_usl(10**6, 10_000, 100, 250_000, 10**6)
+        pct = est.as_percentages()
+        assert pct["branches/instructions(%)"] == pytest.approx(1.0)
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_usl(0, 1, 1, 1, 1)

@@ -1,0 +1,182 @@
+"""Unit tests for the contiguity map (cluster tracking + placement)."""
+
+import pytest
+
+from repro.mm.buddy import BuddyAllocator
+from repro.mm.contiguity_map import Cluster, ContiguityMap
+from repro.mm.zone import Zone
+from repro.units import order_pages
+
+
+BLOCK = order_pages(5)  # max-order block = 32 pages in these tests
+
+
+def make_map():
+    return ContiguityMap(max_order=5)
+
+
+def wired_zone(n_pages=1024):
+    return Zone(0, 0, n_pages, max_order=5)
+
+
+class TestClusterTracking:
+    def test_single_block_forms_cluster(self):
+        cmap = make_map()
+        cmap.on_max_order_event(0, True)
+        assert len(cmap) == 1
+        assert cmap.largest().n_pages == BLOCK
+
+    def test_adjacent_blocks_merge(self):
+        cmap = make_map()
+        cmap.on_max_order_event(0, True)
+        cmap.on_max_order_event(BLOCK, True)
+        assert len(cmap) == 1
+        assert cmap.largest().n_pages == 2 * BLOCK
+
+    def test_downward_extension_moves_start(self):
+        cmap = make_map()
+        cmap.on_max_order_event(BLOCK, True)
+        cmap.on_max_order_event(0, True)
+        (cluster,) = list(cmap)
+        assert cluster.start_pfn == 0 and cluster.n_pages == 2 * BLOCK
+
+    def test_bridge_merges_two_clusters(self):
+        cmap = make_map()
+        cmap.on_max_order_event(0, True)
+        cmap.on_max_order_event(2 * BLOCK, True)
+        assert len(cmap) == 2
+        cmap.on_max_order_event(BLOCK, True)
+        assert len(cmap) == 1
+        assert cmap.largest().n_pages == 3 * BLOCK
+
+    def test_gap_keeps_clusters_separate(self):
+        cmap = make_map()
+        cmap.on_max_order_event(0, True)
+        cmap.on_max_order_event(10 * BLOCK, True)
+        assert len(cmap) == 2
+
+    def test_remove_middle_splits_cluster(self):
+        cmap = make_map()
+        for i in range(3):
+            cmap.on_max_order_event(i * BLOCK, True)
+        cmap.on_max_order_event(BLOCK, False)
+        sizes = cmap.cluster_sizes()
+        assert sizes == [BLOCK, BLOCK]
+
+    def test_remove_edge_shrinks_cluster(self):
+        cmap = make_map()
+        for i in range(3):
+            cmap.on_max_order_event(i * BLOCK, True)
+        cmap.on_max_order_event(0, False)
+        (cluster,) = list(cmap)
+        assert cluster.start_pfn == BLOCK and cluster.n_pages == 2 * BLOCK
+
+    def test_remove_last_block_empties_map(self):
+        cmap = make_map()
+        cmap.on_max_order_event(0, True)
+        cmap.on_max_order_event(0, False)
+        assert len(cmap) == 0
+        assert cmap.largest() is None
+
+    def test_total_free_pages(self):
+        cmap = make_map()
+        for i in (0, 1, 5):
+            cmap.on_max_order_event(i * BLOCK, True)
+        assert cmap.total_free_pages == 3 * BLOCK
+
+    def test_iteration_in_address_order(self):
+        cmap = make_map()
+        for i in (7, 0, 3):
+            cmap.on_max_order_event(i * BLOCK, True)
+        starts = [c.start_pfn for c in cmap]
+        assert starts == sorted(starts)
+
+
+class TestPlacement:
+    def _populated(self):
+        # Clusters: [0, 2 blocks), [4*B, 1 block), [8*B, 4 blocks)
+        cmap = make_map()
+        for i in (0, 1, 4, 8, 9, 10, 11):
+            cmap.on_max_order_event(i * BLOCK, True)
+        return cmap
+
+    def test_next_fit_finds_first_fitting(self):
+        cmap = self._populated()
+        cluster = cmap.next_fit(BLOCK)
+        assert cluster.start_pfn == 0
+
+    def test_next_fit_resumes_after_previous(self):
+        cmap = self._populated()
+        first = cmap.next_fit(BLOCK)
+        second = cmap.next_fit(BLOCK)
+        assert second.start_pfn > first.start_pfn
+
+    def test_next_fit_wraps_around(self):
+        cmap = self._populated()
+        for _ in range(3):
+            cmap.next_fit(BLOCK)
+        wrapped = cmap.next_fit(BLOCK)
+        assert wrapped.start_pfn == 0
+
+    def test_next_fit_falls_back_to_largest(self):
+        cmap = self._populated()
+        cluster = cmap.next_fit(100 * BLOCK)
+        assert cluster.n_pages == 4 * BLOCK
+
+    def test_next_fit_empty_map(self):
+        assert make_map().next_fit(1) is None
+
+    def test_first_fit_ignores_rover(self):
+        cmap = self._populated()
+        cmap.next_fit(BLOCK)
+        assert cmap.first_fit(BLOCK).start_pfn == 0
+
+    def test_best_fit_prefers_tightest(self):
+        cmap = self._populated()
+        assert cmap.best_fit(BLOCK).start_pfn == 4 * BLOCK
+
+    def test_best_fit_falls_back_to_largest(self):
+        cmap = self._populated()
+        assert cmap.best_fit(100 * BLOCK).n_pages == 4 * BLOCK
+
+    def test_search_counter(self):
+        cmap = self._populated()
+        cmap.next_fit(1)
+        cmap.best_fit(1)
+        assert cmap.searches == 2
+
+
+class TestZoneWiring:
+    """The map must track the buddy allocator automatically."""
+
+    def test_fresh_zone_single_cluster(self):
+        zone = wired_zone(1024)
+        assert len(zone.contiguity_map) == 1
+        assert zone.largest_cluster_pages() == 1024
+
+    def test_small_allocation_shrinks_cluster(self):
+        zone = wired_zone(1024)
+        zone.alloc_block(0)
+        # One max-order block left the list; cluster shrinks by a block.
+        assert zone.largest_cluster_pages() == 1024 - BLOCK
+
+    def test_free_restores_cluster(self):
+        zone = wired_zone(1024)
+        pfn = zone.alloc_block(0)
+        zone.free_block(pfn, 0)
+        assert zone.largest_cluster_pages() == 1024
+
+    def test_targeted_alloc_in_middle_splits_cluster(self):
+        zone = wired_zone(1024)
+        assert zone.alloc_target(512, 0)
+        sizes = zone.contiguity_map.cluster_sizes()
+        # The broken max-order block leaves [0, 512) and [544, 1024).
+        assert sizes == [512, 512 - BLOCK]
+
+    def test_map_consistent_with_buddy_free_list(self):
+        zone = wired_zone(1024)
+        pfns = [zone.alloc_block(3) for _ in range(20)]
+        for pfn in pfns[::2]:
+            zone.free_block(pfn, 3)
+        blocks_in_list = len(list(zone.buddy.iter_free_blocks(5)))
+        assert zone.contiguity_map.total_free_pages == blocks_in_list * BLOCK

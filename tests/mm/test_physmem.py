@@ -1,0 +1,138 @@
+"""Unit tests for machine-level physical memory (zones, hog, churn)."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError, OutOfMemoryError
+from repro.mm.free_stats import free_block_histogram
+from repro.mm.physmem import PhysicalMemory
+from repro.units import MIB, PAGE_SIZE, order_pages
+
+
+def make_mem(nodes=(1024, 1024), **kw):
+    return PhysicalMemory(list(nodes), max_order=5, **kw)
+
+
+class TestZones:
+    def test_zone_layout_is_contiguous(self):
+        mem = make_mem()
+        assert mem.zones[0].base_pfn == 0
+        assert mem.zones[1].base_pfn == 1024
+        assert mem.n_pages == 2048
+
+    def test_zone_of(self):
+        mem = make_mem()
+        assert mem.zone_of(10).node_id == 0
+        assert mem.zone_of(1500).node_id == 1
+        with pytest.raises(IndexError):
+            mem.zone_of(99999)
+
+    def test_no_nodes_rejected(self):
+        with pytest.raises(ConfigError):
+            PhysicalMemory([])
+
+    def test_unaligned_node_size_rejected(self):
+        with pytest.raises(ConfigError):
+            PhysicalMemory([100], max_order=5)
+
+
+class TestAllocationFallback:
+    def test_prefers_requested_node(self):
+        mem = make_mem()
+        pfn = mem.alloc_block(0, preferred_node=1)
+        assert mem.zone_of(pfn).node_id == 1
+
+    def test_falls_back_when_node_full(self):
+        mem = make_mem(nodes=(32, 1024))
+        mem.zones[0].alloc_block(5)  # node 0 now empty
+        pfn = mem.alloc_block(0, preferred_node=0)
+        assert mem.zone_of(pfn).node_id == 1
+
+    def test_raises_when_all_full(self):
+        mem = make_mem(nodes=(32, 32))
+        mem.alloc_block(5)
+        mem.alloc_block(5)
+        with pytest.raises(OutOfMemoryError):
+            mem.alloc_block(0)
+
+    def test_targeted_routes_to_owner(self):
+        mem = make_mem()
+        assert mem.alloc_target(1500, 0)
+        assert not mem.zones[1].is_free(1500)
+
+
+class TestHog:
+    def test_hog_pins_requested_fraction(self):
+        mem = make_mem()
+        pinned = mem.hog(0.25, random.Random(1))
+        pinned_pages = sum(order_pages(o) for _, o in pinned)
+        assert abs(pinned_pages - 512) <= order_pages(5)
+
+    def test_hog_fragments_clusters(self):
+        mem = make_mem(nodes=(2048,))
+        assert len(mem.zones[0].contiguity_map) == 1
+        mem.hog(0.4, random.Random(7))
+        assert len(mem.zones[0].contiguity_map) > 3
+
+    def test_release_restores_memory(self):
+        mem = make_mem()
+        pinned = mem.hog(0.3, random.Random(3))
+        mem.release(pinned)
+        assert mem.free_pages == mem.n_pages
+
+    def test_bad_fraction_rejected(self):
+        mem = make_mem()
+        with pytest.raises(ConfigError):
+            mem.hog(1.5, random.Random(0))
+
+
+class TestChurn:
+    def test_churn_restores_all_memory(self):
+        mem = make_mem()
+        mem.churn(500, random.Random(11), max_block_order=4)
+        assert mem.free_pages == mem.n_pages
+
+    def test_churn_randomizes_allocation_order(self):
+        # Splitting keeps pages inside one max-order block sequential, so
+        # randomization shows up at block granularity: consecutive
+        # max-order allocations should no longer be one ascending run.
+        mem = make_mem(nodes=(4096,))
+        mem.churn(800, random.Random(13), max_block_order=4)
+        blocks = [mem.alloc_block(5) for _ in range(16)]
+        step = order_pages(5)
+        ascending = all(b == a + step for a, b in zip(blocks, blocks[1:]))
+        assert not ascending
+
+
+class TestFreeStats:
+    def test_fresh_machine_one_big_run_per_zone(self):
+        mem = make_mem()
+        hist = free_block_histogram(mem)
+        assert hist.total_free_pages == 2048
+        assert len(hist.runs) == 2
+        assert hist.largest_run_pages() == 1024
+
+    def test_buckets_sum_to_total(self):
+        mem = make_mem()
+        mem.hog(0.3, random.Random(5))
+        hist = free_block_histogram(mem)
+        assert sum(hist.bucket_pages.values()) == hist.total_free_pages
+
+    def test_fraction_of_unknown_bucket(self):
+        mem = make_mem()
+        hist = free_block_histogram(mem)
+        assert hist.fraction("nope") == 0.0
+
+    def test_fragmented_machine_has_smaller_runs(self):
+        mem = make_mem(nodes=(4096,))
+        before = free_block_histogram(mem).largest_run_pages()
+        mem.hog(0.4, random.Random(2))
+        after = free_block_histogram(mem).largest_run_pages()
+        assert after < before
+
+    def test_custom_buckets(self):
+        mem = make_mem(nodes=(1024,))
+        buckets = (("small", 128 * PAGE_SIZE), ("big", 1 << 62))
+        hist = free_block_histogram(mem, buckets=buckets)
+        assert hist.fraction("big") == 1.0

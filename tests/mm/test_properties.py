@@ -1,0 +1,115 @@
+"""Property-based tests for the buddy allocator and contiguity map.
+
+These drive random allocate/free/target sequences and check the global
+invariants that every other layer of the library relies on:
+
+- conservation: free pages + allocated pages == total pages,
+- the contiguity map always mirrors the buddy MAX_ORDER list,
+- clusters are maximal (never two adjacent clusters),
+- full release always coalesces back to the initial state.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mm.zone import Zone
+from repro.units import order_pages
+
+MAX_ORDER = 5
+BLOCK = order_pages(MAX_ORDER)
+N_PAGES = 2048
+
+
+def check_invariants(zone: Zone) -> None:
+    # 1. Conservation of frames.
+    assert zone.free_pages + zone.frames.allocated_pages() == zone.n_pages
+    # 2. The map mirrors the buddy MAX_ORDER list exactly.
+    list_blocks = sorted(zone.buddy.iter_free_blocks(MAX_ORDER))
+    map_blocks = sorted(
+        head
+        for cluster in zone.contiguity_map
+        for head in range(cluster.start_pfn, cluster.end_pfn, BLOCK)
+    )
+    assert list_blocks == map_blocks
+    # 3. Clusters are maximal and disjoint.
+    clusters = list(zone.contiguity_map)
+    for a, b in zip(clusters, clusters[1:]):
+        assert a.end_pfn < b.start_pfn, "adjacent clusters must merge"
+        assert a.n_pages % BLOCK == 0
+
+
+@st.composite
+def op_sequences(draw):
+    n_ops = draw(st.integers(min_value=1, max_value=120))
+    return [
+        (
+            draw(st.sampled_from(["alloc", "free", "target"])),
+            draw(st.integers(min_value=0, max_value=MAX_ORDER)),
+            draw(st.integers(min_value=0, max_value=N_PAGES - 1)),
+        )
+        for _ in range(n_ops)
+    ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=op_sequences(), seed=st.integers(min_value=0, max_value=2**16))
+def test_random_workload_keeps_invariants(ops, seed):
+    zone = Zone(0, 0, N_PAGES, max_order=MAX_ORDER)
+    rng = random.Random(seed)
+    held: list[tuple[int, int]] = []
+    for op, order, pfn_hint in ops:
+        if op == "alloc":
+            try:
+                held.append((zone.alloc_block(order), order))
+            except Exception:
+                pass
+        elif op == "target":
+            target = pfn_hint - pfn_hint % order_pages(order)
+            if zone.alloc_target(target, order):
+                held.append((target, order))
+        elif op == "free" and held:
+            pfn, o = held.pop(rng.randrange(len(held)))
+            zone.free_block(pfn, o)
+        check_invariants(zone)
+    # Full release returns to one maximal cluster.
+    for pfn, o in held:
+        zone.free_block(pfn, o)
+    check_invariants(zone)
+    assert zone.free_pages == N_PAGES
+    assert len(zone.contiguity_map) == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    targets=st.lists(
+        st.integers(min_value=0, max_value=N_PAGES - 1), min_size=1, max_size=64
+    )
+)
+def test_targeted_allocs_never_overlap(targets):
+    zone = Zone(0, 0, N_PAGES, max_order=MAX_ORDER)
+    granted: set[int] = set()
+    for t in targets:
+        if zone.alloc_target(t, 0):
+            assert t not in granted, "same frame granted twice"
+            granted.add(t)
+        else:
+            assert t in granted, "free frame refused"
+    assert zone.frames.allocated_pages() == len(granted)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    fraction=st.floats(min_value=0.0, max_value=0.6),
+)
+def test_hog_release_roundtrip(seed, fraction):
+    from repro.mm.physmem import PhysicalMemory
+
+    mem = PhysicalMemory([N_PAGES], max_order=MAX_ORDER)
+    pinned = mem.hog(fraction, random.Random(seed))
+    check_invariants(mem.zones[0])
+    mem.release(pinned)
+    check_invariants(mem.zones[0])
+    assert mem.free_pages == N_PAGES

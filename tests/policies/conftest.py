@@ -1,0 +1,28 @@
+"""Shared fixtures for policy/kernel tests: small, fast machines."""
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.machine import Machine, build_machine
+
+#: Small two-node machine: 32K + 32K pages (128 MiB + 128 MiB).
+SMALL = SystemConfig(node_pages=(32 * 1024, 32 * 1024), churn_ops=400)
+
+
+@pytest.fixture
+def small_config():
+    return SMALL
+
+
+def machine(policy_name, config=SMALL, aged=True, **kw):
+    return build_machine(policy_name, config, aged=aged, **kw)
+
+
+@pytest.fixture
+def thp_machine():
+    return machine("thp")
+
+
+@pytest.fixture
+def ca_machine():
+    return machine("ca")

@@ -1,0 +1,191 @@
+"""Unit tests for the baseline policies (eager, ingens, ranger, ideal)."""
+
+import pytest
+
+from repro.policies import make_policy
+from repro.units import HUGE_ORDER, HUGE_PAGES
+
+from tests.policies.conftest import machine
+
+
+class TestEager:
+    def test_whole_vma_backed_at_mmap(self):
+        m = machine("eager")
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = kern.mmap(proc, HUGE_PAGES * 8)
+        # No faults were taken, yet everything is mapped.
+        assert proc.resident_pages == vma.n_pages
+        assert kern.major_faults >= 1  # pre-allocation events recorded
+
+    def test_fresh_machine_gives_one_run(self):
+        m = machine("eager", aged=False)
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = kern.mmap(proc, HUGE_PAGES * 16)
+        assert len(proc.space.runs) == 1
+
+    def test_fault_count_far_below_demand_paging(self):
+        m_eager = machine("eager")
+        m_thp = machine("thp")
+        for m in (m_eager, m_thp):
+            proc = m.kernel.create_process("t")
+            vma = m.kernel.mmap(proc, HUGE_PAGES * 16)
+            m.kernel.touch_range(proc, vma.start_vpn, vma.n_pages)
+        assert m_eager.kernel.major_faults < m_thp.kernel.major_faults / 4
+
+    def test_eager_latency_tail_is_heavy(self):
+        m = machine("eager")
+        proc = m.kernel.create_process("t")
+        m.kernel.mmap(proc, HUGE_PAGES * 32)
+        worst_eager = max(m.kernel.fault_latencies_us())
+        m2 = machine("thp")
+        proc2 = m2.kernel.create_process("t")
+        vma2 = m2.kernel.mmap(proc2, HUGE_PAGES * 32)
+        m2.kernel.touch_range(proc2, vma2.start_vpn, vma2.n_pages)
+        worst_thp = max(m2.kernel.fault_latencies_us())
+        assert worst_eager > worst_thp * 8
+
+    def test_fragmentation_shatters_eager_runs(self):
+        m = machine("eager")
+        m.hog(0.4)
+        proc = m.kernel.create_process("t")
+        vma = m.kernel.mmap(proc, HUGE_PAGES * 16)
+        assert proc.resident_pages == vma.n_pages
+        assert len(proc.space.runs) > 1
+
+    def test_bloat_includes_untouched_pages(self):
+        m = machine("eager")
+        proc = m.kernel.create_process("t")
+        vma = m.kernel.mmap(proc, HUGE_PAGES * 8)
+        m.kernel.touch_range(proc, vma.start_vpn, HUGE_PAGES)  # touch 1/8
+        assert proc.resident_pages == vma.n_pages
+        assert proc.touched_pages == HUGE_PAGES
+
+
+class TestIngens:
+    def test_faults_are_base_pages(self):
+        m = machine("ingens")
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = kern.mmap(proc, HUGE_PAGES * 2)
+        result = kern.fault(proc, vma.start_vpn)
+        assert result.order == 0
+
+    def test_promotion_after_utilization(self):
+        m = machine("ingens")
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = kern.mmap(proc, HUGE_PAGES * 2)
+        kern.touch_range(proc, vma.start_vpn, HUGE_PAGES)  # 100% of region 0
+        kern.run_daemons()
+        pte = proc.space.page_table.lookup(vma.start_vpn)
+        assert pte.huge
+        assert kern.policy.stats.promoted_huge_pages == 1
+
+    def test_underutilized_region_not_promoted(self):
+        m = machine("ingens")
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = kern.mmap(proc, HUGE_PAGES * 2)
+        kern.touch_range(proc, vma.start_vpn, HUGE_PAGES // 2)  # 50% < 90%
+        kern.run_daemons()
+        pte = proc.space.page_table.lookup(vma.start_vpn)
+        assert not pte.huge
+        # Bloat stays zero: only touched pages are resident.
+        assert proc.resident_pages == HUGE_PAGES // 2
+
+    def test_promotion_counts_migrations(self):
+        m = machine("ingens")
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = kern.mmap(proc, HUGE_PAGES * 2)
+        kern.touch_range(proc, vma.start_vpn, HUGE_PAGES)
+        kern.run_daemons()
+        assert kern.policy.stats.migrations == HUGE_PAGES
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("ingens", util_threshold=0.0)
+
+
+class TestRanger:
+    def test_epochs_coalesce_footprint(self):
+        m = machine("ranger", migrations_per_epoch=HUGE_PAGES * 4)
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = kern.mmap(proc, HUGE_PAGES * 8)
+        kern.touch_range(proc, vma.start_vpn, vma.n_pages)
+        before = len(proc.space.runs)
+        for _ in range(10):
+            kern.run_daemons()
+        after = len(proc.space.runs)
+        assert after <= before
+        assert after <= 2  # nearly fully coalesced
+
+    def test_migration_budget_limits_progress(self):
+        m = machine("ranger", migrations_per_epoch=HUGE_PAGES)
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = kern.mmap(proc, HUGE_PAGES * 8)
+        kern.touch_range(proc, vma.start_vpn, vma.n_pages)
+        kern.run_daemons()
+        # One epoch with a one-huge-page budget cannot coalesce 8 regions.
+        assert kern.policy.stats.migrations <= HUGE_PAGES
+
+    def test_migrations_counted_and_shootdowns_fire(self):
+        m = machine("ranger", migrations_per_epoch=HUGE_PAGES * 8)
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = kern.mmap(proc, HUGE_PAGES * 8)
+        kern.touch_range(proc, vma.start_vpn, vma.n_pages)
+        shootdowns_before = kern.tlb_shootdowns
+        kern.run_daemons()
+        if kern.policy.stats.migrations:
+            assert kern.tlb_shootdowns > shootdowns_before
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("ranger", migrations_per_epoch=0)
+
+    def test_forget_drops_anchors(self):
+        m = machine("ranger")
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = kern.mmap(proc, HUGE_PAGES * 2)
+        kern.touch_range(proc, vma.start_vpn, vma.n_pages)
+        kern.run_daemons()
+        kern.policy.forget(proc)
+        assert not kern.policy._anchors
+
+
+class TestIdeal:
+    def test_reservation_gives_single_run(self):
+        m = machine("ideal")
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = kern.mmap(proc, HUGE_PAGES * 16)
+        kern.touch_range(proc, vma.start_vpn, vma.n_pages)
+        assert len(proc.space.runs) == 1
+
+    def test_reservations_do_not_collide(self):
+        m = machine("ideal")
+        kern = m.kernel
+        proc = kern.create_process("t")
+        a = kern.mmap(proc, HUGE_PAGES * 8)
+        b = kern.mmap(proc, HUGE_PAGES * 8)
+        for i in range(8):
+            kern.fault(proc, a.start_vpn + i * HUGE_PAGES)
+            kern.fault(proc, b.start_vpn + i * HUGE_PAGES)
+        assert len(proc.space.runs) == 2
+
+    def test_snapshot_is_pre_execution_state(self):
+        m = machine("ideal")
+        m.hog(0.5)
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = kern.mmap(proc, HUGE_PAGES * 16)
+        kern.touch_range(proc, vma.start_vpn, vma.n_pages)
+        # Under fragmentation ideal still maps everything, in the best
+        # achievable number of pieces given the snapshot.
+        assert proc.space.runs.total_pages == vma.n_pages

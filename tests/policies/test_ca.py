@@ -1,0 +1,169 @@
+"""Unit tests for CA paging behaviour."""
+
+import pytest
+
+from repro.units import HUGE_ORDER, HUGE_PAGES
+from repro.vm.flags import DEFAULT_ANON
+
+from tests.policies.conftest import machine
+
+
+def touch_all(kern, proc, vma):
+    kern.touch_range(proc, vma.start_vpn, vma.n_pages)
+
+
+class TestSingleVma:
+    def test_whole_vma_becomes_one_run(self):
+        m = machine("ca")
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = kern.mmap(proc, HUGE_PAGES * 16)
+        touch_all(kern, proc, vma)
+        assert proc.space.runs.run_length_at(vma.start_vpn) == vma.n_pages
+        assert len(proc.space.runs) == 1
+
+    def test_thp_baseline_scatters_by_contrast(self):
+        m = machine("thp")
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = kern.mmap(proc, HUGE_PAGES * 16)
+        touch_all(kern, proc, vma)
+        # An aged machine's randomized lists scatter THP allocations.
+        assert len(proc.space.runs) > 1
+
+    def test_offset_recorded_on_first_fault(self):
+        m = machine("ca")
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = kern.mmap(proc, HUGE_PAGES * 4)
+        kern.fault(proc, vma.start_vpn)
+        assert len(vma.offsets) == 1
+        pfn = proc.space.translate(vma.start_vpn)
+        assert vma.offsets[0].offset == vma.start_vpn - pfn
+
+    def test_faults_in_any_order_stay_contiguous(self):
+        m = machine("ca")
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = kern.mmap(proc, HUGE_PAGES * 8)
+        order = [3, 0, 6, 1, 7, 2, 5, 4]
+        for i in order:
+            kern.fault(proc, vma.start_vpn + i * HUGE_PAGES)
+        assert len(proc.space.runs) == 1
+
+    def test_middle_first_fault_still_fits_whole_vma(self):
+        m = machine("ca")
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = kern.mmap(proc, HUGE_PAGES * 8)
+        kern.fault(proc, vma.start_vpn + 4 * HUGE_PAGES)  # first touch mid-VMA
+        touch_all(kern, proc, vma)
+        assert len(proc.space.runs) == 1
+
+
+class TestMultiVma:
+    def test_two_vmas_get_disjoint_regions(self):
+        m = machine("ca")
+        kern = m.kernel
+        proc = kern.create_process("t")
+        a = kern.mmap(proc, HUGE_PAGES * 8)
+        b = kern.mmap(proc, HUGE_PAGES * 8)
+        # Interleave faults between the VMAs.
+        for i in range(8):
+            kern.fault(proc, a.start_vpn + i * HUGE_PAGES)
+            kern.fault(proc, b.start_vpn + i * HUGE_PAGES)
+        assert len(proc.space.runs) == 2
+
+    def test_two_processes_do_not_interfere(self):
+        m = machine("ca")
+        kern = m.kernel
+        p1 = kern.create_process("a")
+        p2 = kern.create_process("b")
+        v1 = kern.mmap(p1, HUGE_PAGES * 8)
+        v2 = kern.mmap(p2, HUGE_PAGES * 8)
+        for i in range(8):
+            kern.fault(p1, v1.start_vpn + i * HUGE_PAGES)
+            kern.fault(p2, v2.start_vpn + i * HUGE_PAGES)
+        assert len(p1.space.runs) == 1
+        assert len(p2.space.runs) == 1
+
+
+class TestFragmentation:
+    def test_sub_vma_placement_under_pressure(self):
+        m = machine("ca")
+        m.hog(0.5)
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = kern.mmap(proc, HUGE_PAGES * 24)
+        touch_all(kern, proc, vma)
+        # The footprint no longer fits one cluster but must still be
+        # fully mapped, in a handful of sub-VMA runs.
+        assert proc.space.runs.total_pages == vma.n_pages
+        assert len(vma.offsets) >= 1
+
+    def test_ca_beats_thp_under_pressure(self):
+        results = {}
+        for name in ("ca", "thp"):
+            m = machine(name)
+            m.hog(0.4)
+            kern = m.kernel
+            proc = kern.create_process("t")
+            vma = kern.mmap(proc, HUGE_PAGES * 24)
+            touch_all(kern, proc, vma)
+            results[name] = len(proc.space.runs)
+        assert results["ca"] < results["thp"]
+
+    def test_offsets_bounded_by_fifo(self):
+        m = machine("ca")
+        m.hog(0.6, block_order=8)  # fine-grained fragmentation
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = kern.mmap(proc, HUGE_PAGES * 32)
+        touch_all(kern, proc, vma)
+        assert len(vma.offsets) <= 64
+
+
+class TestFallbacks:
+    def test_4k_failure_falls_back_without_offset(self):
+        m = machine("ca")
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = kern.mmap(proc, 64)  # too small for huge faults
+        kern.fault(proc, vma.start_vpn)
+        offsets_after_first = len(vma.offsets)
+        # Occupy the next CA target so the targeted allocation fails.
+        next_target = proc.space.translate(vma.start_vpn) + 1
+        assert m.mem.alloc_target(next_target, 0)
+        kern.fault(proc, vma.start_vpn + 1)
+        # 4K failure: default fallback, no new offset recorded.
+        assert len(vma.offsets) == offsets_after_first
+        assert m.kernel.policy.stats.fallbacks >= 1
+
+    def test_huge_failure_triggers_replacement(self):
+        m = machine("ca")
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = kern.mmap(proc, HUGE_PAGES * 8)
+        kern.fault(proc, vma.start_vpn)
+        # Block the next huge target.
+        target = proc.space.translate(vma.start_vpn) + HUGE_PAGES
+        assert m.mem.alloc_target(target, 0)
+        kern.fault(proc, vma.start_vpn + HUGE_PAGES)
+        assert len(vma.offsets) == 2  # re-placement happened
+
+    def test_bad_placement_params_rejected(self):
+        from repro.policies.ca import CAPaging
+
+        with pytest.raises(ValueError):
+            CAPaging(placement="worst_fit")
+
+
+class TestPlacementAblations:
+    @pytest.mark.parametrize("placement", ["next_fit", "first_fit", "best_fit"])
+    def test_all_placements_build_contiguity(self, placement):
+        m = machine("ca", placement=placement)
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = kern.mmap(proc, HUGE_PAGES * 8)
+        touch_all(kern, proc, vma)
+        assert len(proc.space.runs) == 1

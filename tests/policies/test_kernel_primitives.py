@@ -1,0 +1,192 @@
+"""Unit tests for the kernel's migration/exchange/reclaim primitives."""
+
+import pytest
+
+from repro.units import HUGE_ORDER, HUGE_PAGES
+from repro.vm.flags import DEFAULT_ANON, PteFlags
+
+from tests.policies.conftest import machine
+
+
+def make_two_leaves(kern, proc, n_pages=HUGE_PAGES * 4):
+    vma = kern.mmap(proc, n_pages)
+    kern.touch_range(proc, vma.start_vpn, n_pages)
+    return vma
+
+
+class TestSwapMappings:
+    def test_swap_exchanges_frames(self):
+        m = machine("thp")
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = make_two_leaves(kern, proc)
+        a, b = vma.start_vpn, vma.start_vpn + HUGE_PAGES
+        pfn_a = proc.space.translate(a)
+        pfn_b = proc.space.translate(b)
+        assert kern.swap_mappings(proc, a, b)
+        assert proc.space.translate(a) == pfn_b
+        assert proc.space.translate(b) == pfn_a
+
+    def test_swap_updates_runs(self):
+        m = machine("thp")
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = make_two_leaves(kern, proc)
+        a, b = vma.start_vpn, vma.start_vpn + HUGE_PAGES
+        kern.swap_mappings(proc, a, b)
+        # Run tracking still translates consistently with the tables.
+        for vpn in (a, a + 5, b, b + 511):
+            assert proc.space.runs.find(vpn).translate(vpn) == proc.space.translate(vpn)
+
+    def test_swap_rejects_mismatched_orders(self):
+        m = machine("thp")
+        kern = m.kernel
+        proc = kern.create_process("t")
+        big = kern.mmap(proc, HUGE_PAGES * 2)
+        kern.touch_range(proc, big.start_vpn, big.n_pages)
+        small = kern.mmap(proc, 16)
+        kern.touch_range(proc, small.start_vpn, 16)
+        assert not kern.swap_mappings(proc, big.start_vpn, small.start_vpn)
+
+    def test_swap_rejects_same_leaf_and_unmapped(self):
+        m = machine("thp")
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = make_two_leaves(kern, proc)
+        assert not kern.swap_mappings(proc, vma.start_vpn, vma.start_vpn + 5)
+        assert not kern.swap_mappings(proc, vma.start_vpn, vma.end_vpn + 999)
+
+    def test_swap_rejects_cow_shared(self):
+        m = machine("thp")
+        kern = m.kernel
+        parent = kern.create_process("p")
+        vma = kern.mmap(parent, 64)
+        kern.touch_range(parent, vma.start_vpn, 2)
+        kern.fork(parent)
+        assert not kern.swap_mappings(parent, vma.start_vpn, vma.start_vpn + 1)
+
+    def test_swap_counts_shootdowns(self):
+        m = machine("thp")
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = make_two_leaves(kern, proc)
+        before = kern.tlb_shootdowns
+        kern.swap_mappings(proc, vma.start_vpn, vma.start_vpn + HUGE_PAGES)
+        assert kern.tlb_shootdowns == before + 2
+
+
+class TestRelocateLeaf:
+    def test_relocate_moves_frame(self):
+        m = machine("thp")
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = make_two_leaves(kern, proc)
+        old = proc.space.translate(vma.start_vpn)
+        assert kern.relocate_leaf(proc, vma.start_vpn)
+        assert proc.space.translate(vma.start_vpn) != old
+        # The old frame returned to the allocator.
+        assert m.mem.is_free(old)
+
+    def test_relocate_unmapped_fails(self):
+        m = machine("thp")
+        kern = m.kernel
+        proc = kern.create_process("t")
+        kern.mmap(proc, 64)
+        assert not kern.relocate_leaf(proc, 0xDEAD000)
+
+
+class TestOwnerLookup:
+    def test_owner_vpn_of_frame(self):
+        m = machine("ca")
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = make_two_leaves(kern, proc)
+        pfn = proc.space.translate(vma.start_vpn + 700)
+        assert kern.owner_vpn_of_frame(proc, pfn) == vma.start_vpn + 700
+
+    def test_owner_of_foreign_frame_is_none(self):
+        m = machine("ca")
+        kern = m.kernel
+        proc = kern.create_process("t")
+        make_two_leaves(kern, proc)
+        other = m.mem.alloc_block(0)
+        assert kern.owner_vpn_of_frame(proc, other) is None
+
+
+class TestReclaim:
+    def test_reclaim_drops_cached_files(self):
+        m = machine("ca")
+        kern = m.kernel
+        f = kern.page_cache.open(128, name="log")
+        for i in range(0, 128, 8):
+            kern.file_read(f, i)
+        freed = kern.reclaim_pages(64)
+        assert freed >= 64
+        assert f.resident_pages == 0
+
+    def test_reclaim_when_nothing_cached(self):
+        m = machine("ca")
+        assert m.kernel.reclaim_pages(10) == 0
+
+    def test_allocation_pressure_triggers_reclaim(self):
+        m = machine("thp", aged=False)
+        kern = m.kernel
+        # Fill the cache, then allocate (nearly) everything anonymous:
+        # the cache must get reclaimed instead of OOMing.
+        f = kern.page_cache.open(4096, name="data")
+        for i in range(0, 4096, 8):
+            kern.file_read(f, i)
+        free = m.mem.free_pages
+        proc = kern.create_process("big")
+        # Demand more than what is free: only cache reclaim can serve it.
+        vma = kern.mmap(proc, free + 2048)
+        kern.touch_range(proc, vma.start_vpn, vma.n_pages)
+        assert proc.resident_pages == vma.n_pages
+        assert kern.page_cache.resident_pages < 4096
+
+    def test_drop_caches_frees_everything(self):
+        m = machine("ca")
+        kern = m.kernel
+        for name in ("a", "b"):
+            f = kern.page_cache.open(64, name=name)
+            kern.file_read(f, 0)
+        assert kern.drop_caches() > 0
+        assert kern.page_cache.resident_pages == 0
+
+
+class TestCachePageRelocation:
+    def test_relocate_cache_page(self):
+        m = machine("ca")
+        kern = m.kernel
+        f = kern.page_cache.open(16, name="x")
+        kern.file_read(f, 0)
+        pfn = f.pages[0]
+        assert kern.relocate_cache_page(pfn)
+        assert f.pages[0] != pfn
+        assert m.mem.is_free(pfn)
+
+    def test_relocate_respects_avoid(self):
+        m = machine("ca")
+        kern = m.kernel
+        f = kern.page_cache.open(16, name="x")
+        kern.file_read(f, 0)
+        pfn = f.pages[0]
+        # Vetoing every destination must fail cleanly.
+        assert not kern.relocate_cache_page(pfn, avoid=lambda _: True)
+        assert f.pages[0] == pfn
+
+    def test_relocate_non_cache_frame_fails(self):
+        m = machine("ca")
+        kern = m.kernel
+        pfn = m.mem.alloc_block(0)
+        assert not kern.relocate_cache_page(pfn)
+
+    def test_page_cache_move_updates_runs(self):
+        m = machine("ca")
+        kern = m.kernel
+        f = kern.page_cache.open(16, name="x")
+        kern.file_read(f, 0)
+        pfn = f.pages[3]
+        kern.relocate_cache_page(pfn)
+        runs = kern.page_cache.runs[f.inode]
+        assert runs.find(3).translate(3) == f.pages[3]

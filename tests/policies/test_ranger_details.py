@@ -1,0 +1,126 @@
+"""Detailed tests for Translation Ranger's plan/exchange machinery."""
+
+import pytest
+
+from repro.policies.ranger import RangerPaging
+from repro.units import HUGE_PAGES
+
+from tests.policies.conftest import machine
+
+
+def run_workload(m, n_pages=HUGE_PAGES * 8, epochs=12):
+    kern = m.kernel
+    proc = kern.create_process("t")
+    vma = kern.mmap(proc, n_pages)
+    kern.touch_range(proc, vma.start_vpn, n_pages)
+    for _ in range(epochs):
+        kern.run_daemons()
+    return proc, vma
+
+
+class TestAnchorPlan:
+    def test_plan_carved_once(self):
+        m = machine("ranger")
+        kern = m.kernel
+        proc, vma = run_workload(m)
+        plan_a = kern.policy._anchors[(proc.pid, vma.start_vpn)]
+        kern.run_daemons()
+        plan_b = kern.policy._anchors[(proc.pid, vma.start_vpn)]
+        assert plan_a is plan_b
+
+    def test_plans_of_vmas_disjoint(self):
+        m = machine("ranger")
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vmas = [kern.mmap(proc, HUGE_PAGES * 4) for _ in range(3)]
+        for vma in vmas:
+            kern.touch_range(proc, vma.start_vpn, vma.n_pages)
+        for _ in range(10):
+            kern.run_daemons()
+        # After convergence each VMA's physical band must not overlap
+        # another's (the shared span pool guarantees disjoint plans).
+        bands = []
+        for vma in vmas:
+            pfns = sorted(
+                r.start_pfn for r in proc.space.runs
+                if vma.start_vpn <= r.start_vpn < vma.end_vpn
+            )
+            runs = [
+                (r.start_pfn, r.end_pfn)
+                for r in proc.space.runs
+                if vma.start_vpn <= r.start_vpn < vma.end_vpn
+            ]
+            bands.append(runs)
+        flat = sorted(b for band in bands for b in band)
+        for (s1, e1), (s2, e2) in zip(flat, flat[1:]):
+            assert e1 <= s2, "physical bands overlap"
+
+    def test_forget_clears_pool(self):
+        m = machine("ranger")
+        kern = m.kernel
+        proc, vma = run_workload(m, epochs=2)
+        kern.policy.forget(proc)
+        assert proc.pid not in kern.policy._span_pool
+        assert (proc.pid, vma.start_vpn) not in kern.policy._anchors
+
+
+class TestConvergence:
+    def test_migrations_stop_after_convergence(self):
+        m = machine("ranger")
+        kern = m.kernel
+        run_workload(m, epochs=10)
+        migrated = kern.policy.stats.migrations
+        kern.run_daemons()
+        # Once coalesced, further epochs migrate nothing.
+        assert kern.policy.stats.migrations == migrated
+
+    def test_budget_is_respected_per_epoch(self):
+        m = machine("ranger", migrations_per_epoch=512)
+        kern = m.kernel
+        proc = kern.create_process("t")
+        vma = kern.mmap(proc, HUGE_PAGES * 8)
+        kern.touch_range(proc, vma.start_vpn, vma.n_pages)
+        before = kern.policy.stats.migrations
+        kern.run_daemons()
+        assert kern.policy.stats.migrations - before <= 512 + HUGE_PAGES
+
+
+class TestExchange:
+    def test_exchange_swaps_own_pages(self):
+        m = machine("ranger")
+        kern = m.kernel
+        proc, vma = run_workload(m, epochs=12)
+        # Converged: single (or near-single) run despite LIFO scatter.
+        assert len(proc.space.runs) <= 3
+
+    def test_move_page_cache_option(self):
+        policy = RangerPaging(move_page_cache=True)
+        assert policy.move_page_cache
+        assert not RangerPaging().move_page_cache
+
+    def test_cache_exchange_disabled_by_default(self):
+        m = machine("ranger")
+        kern = m.kernel
+        # A cached file sits in the way; default ranger must not move it.
+        f = kern.page_cache.open(256, name="blocker")
+        for i in range(0, 256, 8):
+            kern.file_read(f, i)
+        pages_before = dict(f.pages)
+        run_workload(m, epochs=6)
+        assert f.pages == pages_before
+
+
+class TestMultiprocess:
+    def test_serial_scanning_shares_budget(self):
+        m = machine("ranger", migrations_per_epoch=1024)
+        kern = m.kernel
+        procs = []
+        for i in range(2):
+            proc = kern.create_process(f"p{i}")
+            vma = kern.mmap(proc, HUGE_PAGES * 8)
+            kern.touch_range(proc, vma.start_vpn, vma.n_pages)
+            procs.append(proc)
+        kern.run_daemons()
+        # The budget drains on the first process scanned: the paper's
+        # serial-scan weakness in miniature.
+        assert kern.policy.stats.migrations <= 1024 + HUGE_PAGES

@@ -1,0 +1,75 @@
+"""Unit tests for scale profiles and machine configuration."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.config import (
+    EAGER_MAX_ORDER,
+    HardwareConfig,
+    ScaleProfile,
+    SystemConfig,
+)
+from repro.units import MIB, order_pages
+
+
+class TestScaleProfile:
+    def test_paper_gb_to_pages(self):
+        scale = ScaleProfile(bytes_per_paper_gb=4 * MIB)
+        assert scale.paper_gb_pages(1) == 1024
+        assert scale.paper_gb_pages(0.5) == 512
+
+    def test_minimum_one_page(self):
+        scale = ScaleProfile(bytes_per_paper_gb=4 * MIB)
+        assert scale.paper_gb_pages(1e-9) == 1
+
+    def test_node_pages_aligned(self):
+        scale = ScaleProfile(bytes_per_paper_gb=MIB, machine_paper_gb=(3, 5))
+        for pages in scale.node_pages(max_order=10):
+            assert pages % order_pages(10) == 0
+
+
+class TestSystemConfig:
+    def test_from_scale(self):
+        scale = ScaleProfile(bytes_per_paper_gb=4 * MIB, machine_paper_gb=(8, 8))
+        cfg = SystemConfig.from_scale(scale)
+        assert len(cfg.node_pages) == 2
+        assert cfg.node_pages[0] == 8 * 1024
+
+    def test_from_scale_node_override(self):
+        scale = ScaleProfile(bytes_per_paper_gb=4 * MIB)
+        cfg = SystemConfig.from_scale(scale, node_pages=(2048,))
+        assert cfg.node_pages == (2048,)
+
+    def test_for_policy_eager_raises_max_order(self):
+        cfg = SystemConfig(node_pages=(32 * 1024,))
+        eager = cfg.for_policy("eager")
+        assert eager.max_order == EAGER_MAX_ORDER
+        assert eager.node_pages[0] % order_pages(EAGER_MAX_ORDER) == 0
+
+    def test_for_policy_ca_sorts_list(self):
+        cfg = SystemConfig(node_pages=(1024,))
+        assert cfg.for_policy("ca").sorted_max_order
+        assert not cfg.for_policy("thp").sorted_max_order
+
+    def test_for_policy_ingens_disables_thp(self):
+        cfg = SystemConfig(node_pages=(1024,))
+        assert not cfg.for_policy("ingens").thp
+        assert cfg.for_policy("ca").thp
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(node_pages=())
+        with pytest.raises(ConfigError):
+            SystemConfig(node_pages=(1024,), max_order=0)
+
+
+class TestHardwareConfig:
+    def test_broadwell_matches_table_ii(self):
+        hw = HardwareConfig.broadwell()
+        assert hw.l1_4k_entries == 64
+        assert hw.l1_2m_entries == 32
+        assert hw.l2_entries == 1536
+        assert hw.l2_ways == 6
+
+    def test_scaled_default_is_smaller(self):
+        assert HardwareConfig().l2_entries < HardwareConfig.broadwell().l2_entries

@@ -1,0 +1,68 @@
+"""Tests for the multi-programmed interleaving API."""
+
+import pytest
+
+from repro.sim.config import TEST_SCALE
+from repro.sim.machine import build_machine
+from repro.sim.multiprog import guest_instances, interleave, native_instances
+from repro.units import order_pages
+from repro.virt.hypervisor import VirtualMachine
+from repro.workloads import make_workload
+from tests.policies.conftest import SMALL
+
+
+class TestNativeInterleave:
+    def test_two_instances_complete(self):
+        machine = build_machine("ca", SMALL)
+        workloads = [make_workload("svm", TEST_SCALE, seed=i) for i in range(2)]
+        instances = native_instances(machine, workloads)
+        interleave(instances, sample_every=8)
+        for instance, wl in zip(instances, workloads):
+            assert instance.final.footprint_pages >= wl.footprint_pages
+            assert len(instance.samples) > 1
+
+    def test_daemons_invoked(self):
+        machine = build_machine("ranger", SMALL)
+        calls = []
+        workloads = [make_workload("svm", TEST_SCALE)]
+        instances = native_instances(machine, workloads)
+        interleave(instances, sample_every=4, daemons=lambda: calls.append(1))
+        assert calls
+
+    def test_instances_isolated(self):
+        machine = build_machine("ca", SMALL)
+        workloads = [make_workload("svm", TEST_SCALE, seed=i) for i in range(2)]
+        instances = native_instances(machine, workloads)
+        interleave(instances, sample_every=8)
+        procs = list(machine.kernel.iter_processes())
+        runs_a = procs[0].space.runs.snapshot()
+        runs_b = procs[1].space.runs.snapshot()
+        pfns_a = {(r.start_pfn, r.end_pfn) for r in runs_a}
+        for rb in runs_b:
+            for sa, ea in pfns_a:
+                assert rb.end_pfn <= sa or rb.start_pfn >= ea
+
+    def test_uneven_stream_lengths(self):
+        machine = build_machine("thp", SMALL)
+        workloads = [
+            make_workload("svm", TEST_SCALE),
+            make_workload("tlb_friendly", TEST_SCALE),
+        ]
+        instances = native_instances(machine, workloads)
+        interleave(instances, sample_every=16)
+        for instance, wl in zip(instances, workloads):
+            assert instance.final.touched_pages >= 0
+            assert instance.final.footprint_pages >= wl.footprint_pages
+
+
+class TestGuestInterleave:
+    def test_two_vms(self):
+        host = build_machine("ca", SMALL)
+        top = order_pages(SMALL.max_order)
+        vm_pages = (sum(SMALL.node_pages) // 2) // top * top
+        vms = [VirtualMachine(host, vm_pages, "ca", name=f"vm{i}") for i in range(2)]
+        workloads = [make_workload("svm", TEST_SCALE, seed=i) for i in range(2)]
+        instances = guest_instances(vms, workloads)
+        interleave(instances, sample_every=16)
+        for instance, wl in zip(instances, workloads):
+            assert instance.final.footprint_pages >= wl.footprint_pages

@@ -1,0 +1,113 @@
+"""Integration tests for the workload runners."""
+
+import pytest
+
+from repro.sim.config import TEST_SCALE
+from repro.sim.machine import build_machine
+from repro.sim.runner import RunOptions, run_native, run_virtualized
+from repro.units import order_pages
+from repro.virt.hypervisor import VirtualMachine
+from repro.workloads import make_workload
+from tests.policies.conftest import SMALL
+
+
+def native(policy="ca", name="svm", options=None):
+    machine = build_machine(policy, SMALL)
+    wl = make_workload(name, TEST_SCALE)
+    return machine, wl, run_native(machine, wl, options or RunOptions())
+
+
+class TestRunNative:
+    def test_runs_to_completion_and_exits(self):
+        machine, wl, result = native()
+        assert result.workload == "svm"
+        assert result.footprint_pages == wl.footprint_pages
+        assert result.process is None  # exited
+        # All anonymous memory was released on exit; page cache persists.
+        cached = machine.kernel.page_cache.resident_pages
+        used = machine.mem.n_pages - machine.mem.free_pages
+        assert used >= cached
+
+    def test_touched_pages_match_plan(self):
+        machine, wl, result = native()
+        assert result.touched_pages == wl.footprint_pages
+
+    def test_exit_after_false_keeps_process(self):
+        machine, wl, result = native(options=RunOptions(exit_after=False))
+        assert result.process is not None
+        assert result.process.resident_pages > 0
+        assert len(result.vma_start_vpns) == len(wl.vma_plans)
+
+    def test_samples_collected(self):
+        machine, wl, result = native(options=RunOptions(sample_every=4))
+        assert len(result.samples) > 3
+        # Touched pages are monotonic through the allocation phase.
+        touched = [s.touched_pages for s in result.samples]
+        assert touched == sorted(touched)
+
+    def test_no_sampling_still_has_final(self):
+        machine, wl, result = native(options=RunOptions(sample_every=None))
+        assert result.final.footprint_pages > 0
+        assert result.samples  # at least the final sample
+
+    def test_fault_summary_present(self):
+        machine, wl, result = native()
+        assert result.faults.total_faults > 0
+        assert result.fault_latencies_us
+        assert result.software.fault_us > 0
+
+    def test_file_workload_populates_cache(self):
+        machine, wl, result = native(name="pagerank")
+        assert machine.kernel.page_cache.resident_pages > 0
+
+    def test_scratch_file_persists(self):
+        machine = build_machine("ca", SMALL)
+        wl = make_workload("svm", TEST_SCALE)
+        before = machine.kernel.page_cache.resident_pages
+        run_native(machine, wl, RunOptions(scratch_file_pages=64))
+        assert machine.kernel.page_cache.resident_pages >= before + 64
+
+    def test_consecutive_runs_share_input_files(self):
+        machine = build_machine("ca", SMALL)
+        wl = make_workload("pagerank", TEST_SCALE)
+        run_native(machine, wl, RunOptions(sample_every=None))
+        files_after_first = len(list(machine.kernel.page_cache.iter_files()))
+        run_native(machine, wl, RunOptions(sample_every=None))
+        assert len(list(machine.kernel.page_cache.iter_files())) == files_after_first
+
+
+class TestRunVirtualized:
+    def make_vm(self, policy="ca"):
+        host = build_machine(policy, SMALL)
+        guest_pages = sum(SMALL.node_pages)
+        if host.policy.prefaults:
+            # An eager host backs the whole VM at creation: the guest
+            # must fit in what the host has left after boot reserve.
+            guest_pages //= 2
+        guest_pages -= guest_pages % order_pages(host.config.max_order)
+        return VirtualMachine(host, guest_pages, policy)
+
+    def test_runs_and_reports_2d(self):
+        vm = self.make_vm()
+        wl = make_workload("svm", TEST_SCALE)
+        result = run_virtualized(vm, wl, RunOptions(sample_every=8))
+        assert result.virtualized
+        assert result.policy == "ca+ca"
+        # The 2D footprint is the resident set: touched pages rounded
+        # up to the huge mappings THP installed.
+        assert result.final.footprint_pages >= wl.footprint_pages
+        assert result.final.touched_pages == wl.footprint_pages
+        assert result.run_sizes
+
+    def test_guest_exit_keeps_nested_mappings(self):
+        vm = self.make_vm()
+        wl = make_workload("svm", TEST_SCALE)
+        run_virtualized(vm, wl, RunOptions(sample_every=None))
+        assert vm.qemu.space.resident_pages > 0
+
+    def test_eager_guest_prefaults_gpa(self):
+        vm = self.make_vm("eager")
+        wl = make_workload("svm", TEST_SCALE)
+        result = run_virtualized(vm, wl, RunOptions(sample_every=None))
+        # The whole VMA capacity is backed, not just the touched part.
+        assert result.resident_pages >= result.touched_pages

@@ -1,0 +1,175 @@
+"""Tests for the optional/extension features.
+
+Covers the paper's "future work" items implemented here: CA paging
+reservation (§III-D), the dynamic contiguity-bit threshold (§IV-C),
+5-level paging (intro), the SpOT confidence ablation switch, and the
+CLI.
+"""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.hw.spot import CORRECT, MISPREDICT, NO_PREDICTION, SpotPredictor
+from repro.metrics.contiguity import suggest_contig_threshold
+from repro.policies.ca import CAPaging
+from repro.sim.machine import Machine, build_machine
+from repro.units import HUGE_PAGES
+from repro.vm.mapping_runs import MappingRuns
+from repro.vm.page_table import PageTable
+from tests.policies.conftest import SMALL
+
+
+class TestCaReservation:
+    def _run_interleaved(self, reserve: bool):
+        machine = build_machine("ca", SMALL, reserve=reserve)
+        machine.hog(0.3)  # make contiguous blocks scarce
+        kern = machine.kernel
+        proc = kern.create_process("t")
+        vmas = [kern.mmap(proc, HUGE_PAGES * 12) for _ in range(3)]
+        for i in range(12):
+            for vma in vmas:
+                kern.fault(proc, vma.start_vpn + i * HUGE_PAGES)
+        return machine, proc, vmas
+
+    def test_reservation_reduces_interference(self):
+        runs = {}
+        for reserve in (False, True):
+            _, proc, _ = self._run_interleaved(reserve)
+            runs[reserve] = len(proc.space.runs)
+        assert runs[True] <= runs[False]
+
+    def test_reservation_released_on_munmap(self):
+        machine, proc, vmas = self._run_interleaved(True)
+        policy = machine.kernel.policy
+        assert policy._reservations
+        for vma in vmas:
+            machine.kernel.munmap(proc, vma)
+        assert not policy._reservations
+
+    def test_reservation_default_off(self):
+        policy = CAPaging()
+        assert not policy.reserve
+
+
+class TestDynamicThreshold:
+    def test_empty_runs_default(self):
+        assert suggest_contig_threshold(MappingRuns()) == 32
+
+    def test_threshold_tracks_median(self):
+        small = suggest_contig_threshold([16] * 10)
+        big = suggest_contig_threshold([100_000] * 10)
+        assert small < big
+        assert big <= 512  # clamped
+
+    def test_threshold_is_power_of_two(self):
+        for sizes in ([100], [5000, 80, 9], [3]):
+            t = suggest_contig_threshold(sizes)
+            assert t & (t - 1) == 0
+
+    def test_auto_threshold_in_view(self):
+        from repro.hw.translation import TranslationView
+        from repro.sim.config import TEST_SCALE
+        from repro.sim.runner import RunOptions, run_native
+        from repro.workloads import make_workload
+
+        machine = build_machine("ca", SMALL)
+        wl = make_workload("svm", TEST_SCALE)
+        r = run_native(machine, wl, RunOptions(sample_every=None, exit_after=False))
+        view = TranslationView.native(r.process, contig_threshold="auto")
+        assert isinstance(view.contig_threshold, int)
+        assert view.contig_threshold >= 8
+
+
+class TestFiveLevelPaging:
+    def test_five_level_walk_depth(self):
+        pt = PageTable(levels=5)
+        pt.map(0, 0)
+        assert pt.walk(0).levels == 5
+        pt.map(HUGE_PAGES, 512, order=9)
+        assert pt.walk(HUGE_PAGES).levels == 4  # huge leaf saves a level
+
+    def test_five_level_translates(self):
+        pt = PageTable(levels=5)
+        vpn = 1 << 44  # beyond 4-level reach at 9 bits/level
+        pt.map(vpn, 7)
+        assert pt.translate(vpn) == 7
+
+    def test_huge_slot_probe_five_levels(self):
+        pt = PageTable(levels=5)
+        assert pt.huge_slot_free(0)
+        pt.map(3, 30)
+        assert not pt.huge_slot_free(0)
+
+    def test_too_few_levels_rejected(self):
+        with pytest.raises(MappingError):
+            PageTable(levels=2)
+
+    def test_nested_5level_walk_is_costlier(self):
+        from repro.hw.walk import WalkLatencyModel
+
+        model = WalkLatencyModel()
+        refs4 = model.nested_references(4, 4)
+        refs5 = model.nested_references(5, 5)
+        assert refs4 == 24 and refs5 == 35
+        assert model.cycles(refs5) > model.cycles(refs4)
+
+
+class TestSpotConfidenceAblation:
+    def test_no_confidence_predicts_immediately(self):
+        spot = SpotPredictor(use_confidence=False)
+        spot.on_walk_complete(1, 100, 93, True)  # fill
+        assert spot.on_walk_complete(1, 101, 94, True) == CORRECT
+
+    def test_no_confidence_flushes_on_every_offset_change(self):
+        spot = SpotPredictor(use_confidence=False)
+        spot.on_walk_complete(1, 100, 93, True)
+        outcomes = [
+            spot.on_walk_complete(1, vpn, vpn - (7 if vpn % 2 else 9), True)
+            for vpn in range(101, 121)
+        ]
+        # Alternating offsets: without the counter, every miss is fed
+        # and (almost) every one flushes.
+        assert outcomes.count(MISPREDICT) >= len(outcomes) - 2
+
+    def test_confidence_beats_no_confidence_on_irregular(self):
+        flushes = {}
+        for use in (True, False):
+            spot = SpotPredictor(use_confidence=use)
+            for vpn in range(100, 400):
+                spot.on_walk_complete(1, vpn, vpn - (7 if vpn % 3 else 9), True)
+            flushes[use] = spot.stats.mispredict
+        assert flushes[True] < flushes[False]
+
+    def test_predict_without_confidence(self):
+        spot = SpotPredictor(use_confidence=False)
+        spot.on_walk_complete(1, 100, 93, True)
+        assert spot.predict(1, 200) == 193
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out and "table7" in out
+
+    def test_unknown_experiment(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "fig99"]) == 2
+
+    def test_parser_rejects_bad_scale(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig7", "--scale", "galactic"])
+
+    def test_experiment_registry_matches_modules(self):
+        import importlib
+
+        from repro.cli import EXPERIMENTS
+
+        for name in EXPERIMENTS:
+            module = importlib.import_module(f"repro.experiments.{name}")
+            assert hasattr(module, "run") or hasattr(module, "run_fig1b")

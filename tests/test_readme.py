@@ -1,0 +1,44 @@
+"""Documentation consistency: the README's code must actually run."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def _code_blocks(language: str) -> list[str]:
+    text = README.read_text()
+    return re.findall(rf"```{language}\n(.*?)```", text, flags=re.S)
+
+
+class TestReadme:
+    def test_quickstart_snippet_runs(self):
+        blocks = [b for b in _code_blocks("python") if "run_native" in b]
+        assert blocks, "README lost its quickstart snippet"
+        # Executing the snippet verbatim must work end to end.
+        namespace: dict = {}
+        exec(compile(blocks[0], "<README quickstart>", "exec"), namespace)
+
+    def test_documented_modules_exist(self):
+        import importlib
+
+        text = README.read_text()
+        for module in re.findall(r"python -m (repro\.experiments\.\w+)", text):
+            importlib.import_module(module)
+
+    def test_documented_docs_exist(self):
+        root = README.parent
+        for rel in re.findall(r"\]\((docs/[\w.-]+\.md)\)", README.read_text()):
+            assert (root / rel).exists(), f"README links missing doc {rel}"
+
+    def test_examples_listed_exist(self):
+        root = README.parent
+        for rel in re.findall(r"`(examples/[\w.-]+\.py)`", README.read_text()):
+            assert (root / rel).exists(), f"README lists missing {rel}"
+
+    def test_design_and_experiments_docs_exist(self):
+        root = README.parent
+        for name in ("DESIGN.md", "EXPERIMENTS.md", "LICENSE", "CONTRIBUTING.md"):
+            assert (root / name).exists()

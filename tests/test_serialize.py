@@ -1,0 +1,68 @@
+"""Tests for result serialization and the CLI JSON flag."""
+
+import json
+
+import pytest
+
+from repro.experiments.serialize import load_result, save_result, to_jsonable
+from repro.metrics.contiguity import ContiguitySample
+from repro.sim.results import RunResult
+
+
+class TestToJsonable:
+    def test_dataclass(self):
+        sample = ContiguitySample(10, 100, 0.5, 0.9, 3, 4)
+        out = to_jsonable(sample)
+        assert out["coverage_32"] == 0.5
+        assert out["mappings_99"] == 3
+
+    def test_tuple_keys_flattened(self):
+        out = to_jsonable({("svm", "ca"): 1, ("bt", "thp"): 2})
+        assert out == {"svm|ca": 1, "bt|thp": 2}
+
+    def test_numpy_scalars(self):
+        import numpy as np
+
+        out = to_jsonable({"x": np.int64(7), "y": np.float64(0.25)})
+        assert out == {"x": 7, "y": 0.25}
+        assert isinstance(out["x"], int)
+
+    def test_nested_run_result(self):
+        r = RunResult(
+            workload="svm", policy="ca", virtualized=False,
+            footprint_pages=100,
+        )
+        r.samples.append(ContiguitySample(1, 100, 0.1, 0.2, 3, 4))
+        out = to_jsonable(r)
+        assert out["workload"] == "svm"
+        assert out["samples"][0]["coverage_128"] == 0.2
+        json.dumps(out)  # fully serializable
+
+    def test_plain_object_falls_back_to_vars(self):
+        class Thing:
+            def __init__(self):
+                self.a = 1
+                self._hidden = 2
+
+        assert to_jsonable(Thing()) == {"a": 1}
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        sample = ContiguitySample(10, 100, 0.5, 0.9, 3, 4)
+        path = save_result(tmp_path / "r.json", "fig_test", sample, scale="quick")
+        payload = load_result(path)
+        assert payload["experiment"] == "fig_test"
+        assert payload["meta"]["scale"] == "quick"
+        assert payload["result"]["mappings_99"] == 3
+
+
+class TestCliJson:
+    def test_run_with_json_dir(self, tmp_path, capsys):
+        from repro.cli import main
+
+        # fig9 is the fastest whole experiment at quick scale.
+        assert main(["run", "fig9", "--json", str(tmp_path)]) == 0
+        payload = load_result(tmp_path / "fig9.json")
+        assert payload["experiment"] == "fig9"
+        assert "histograms" in payload["result"]

@@ -1,0 +1,126 @@
+"""Tests for trace persistence and the ASCII chart helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.charts import bar_chart, grouped_bar_chart, stacked_fraction_chart
+from repro.sim.config import TEST_SCALE
+from repro.workloads import make_workload
+from repro.workloads.traceio import load_trace, save_trace
+
+
+class TestTraceIo:
+    def test_roundtrip(self, tmp_path):
+        wl = make_workload("svm", TEST_SCALE)
+        trace = wl.trace(2000)
+        path = save_trace(tmp_path / "svm_trace", trace, workload=wl)
+        assert path.suffix == ".npz"
+        loaded, meta = load_trace(path)
+        assert np.array_equal(loaded.pc, trace.pc)
+        assert np.array_equal(loaded.vma, trace.vma)
+        assert np.array_equal(loaded.page, trace.page)
+        assert meta["workload"] == "svm"
+        assert meta["footprint_pages"] == wl.footprint_pages
+
+    def test_extra_metadata(self, tmp_path):
+        wl = make_workload("bt", TEST_SCALE)
+        path = save_trace(tmp_path / "t.npz", wl.trace(100), note="calibration")
+        _, meta = load_trace(path)
+        assert meta["note"] == "calibration"
+
+    def test_version_check(self, tmp_path):
+        import json
+
+        wl = make_workload("svm", TEST_SCALE)
+        trace = wl.trace(10)
+        np.savez(
+            tmp_path / "bad.npz",
+            pc=trace.pc, vma=trace.vma, page=trace.page,
+            meta=np.frombuffer(
+                json.dumps({"format_version": 999}).encode(), dtype=np.uint8
+            ),
+        )
+        with pytest.raises(ValueError):
+            load_trace(tmp_path / "bad.npz")
+
+    def test_loaded_trace_drives_simulator(self, tmp_path):
+        from repro.hw.mmu_sim import MmuSimulator
+        from repro.hw.translation import TranslationView
+        from repro.sim.config import HardwareConfig
+        from repro.sim.machine import build_machine
+        from repro.sim.runner import RunOptions, run_native
+        from tests.policies.conftest import SMALL
+
+        machine = build_machine("ca", SMALL)
+        wl = make_workload("svm", TEST_SCALE)
+        r = run_native(machine, wl, RunOptions(sample_every=None, exit_after=False))
+        path = save_trace(tmp_path / "t", wl.trace(5000), workload=wl)
+        trace, _ = load_trace(path)
+        view = TranslationView.native(r.process)
+        res = MmuSimulator(view, HardwareConfig()).run(
+            trace, r.vma_start_vpns, workload=wl
+        )
+        assert res.accesses == 5000
+
+
+class TestCharts:
+    def test_bar_chart_basic(self):
+        out = bar_chart(["a", "bb"], [0.5, 1.0], title="T", fmt="{:.1f}")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "bb" in lines[2] and "1.0" in lines[2]
+        # The max value gets the longest bar.
+        assert lines[2].count("█") > lines[1].count("█")
+
+    def test_bar_chart_log_scale(self):
+        out = bar_chart(["x", "y"], [0.001, 10.0], log=True)
+        assert "(log scale)" in out
+        # Both bars visible despite 4 orders of magnitude.
+        assert all("█" in line for line in out.splitlines()[:2])
+
+    def test_bar_chart_zero_values(self):
+        out = bar_chart(["z"], [0.0])
+        assert "z" in out
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_grouped_chart(self):
+        out = grouped_bar_chart(
+            ["g1", "g2"], {"s1": [1.0, 2.0], "s2": [0.5, 0.1]}
+        )
+        assert "g1:" in out and "g2:" in out and "s2" in out
+
+    def test_stacked_chart_sums_to_width(self):
+        out = stacked_fraction_chart(
+            ["w"], {"a": [0.5], "b": [0.3], "c": [0.2]}, width=20
+        )
+        bar_line = out.splitlines()[0]
+        inner = bar_line.split("| ", 1)[1].rstrip("|")
+        assert len(inner.rstrip()) <= 20
+        assert "a" in out.splitlines()[-1]  # legend
+
+    def test_stacked_too_many_parts(self):
+        with pytest.raises(ValueError):
+            stacked_fraction_chart(
+                ["w"], {str(i): [0.25] for i in range(5)}
+            )
+
+    def test_fig13_chart_renders(self):
+        from repro.experiments.fig13 import BARS, Fig13Result
+
+        r = Fig13Result()
+        for i, bar in enumerate(BARS):
+            r.overheads[("svm", bar)] = 10.0 / (i + 1)
+        out = r.chart()
+        assert "Fig 13" in out and "SpOT" in out
+
+    def test_fig14_chart_renders(self):
+        from repro.experiments.fig14 import Fig14Result
+
+        r = Fig14Result(breakdown={
+            "svm": {"correct": 0.9, "mispredict": 0.02, "no_prediction": 0.08}
+        })
+        out = r.chart()
+        assert "Fig 14" in out and "correct" in out

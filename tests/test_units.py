@@ -1,0 +1,80 @@
+"""Unit tests for address-space units and helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestSizes:
+    def test_page_constants(self):
+        assert units.PAGE_SIZE == 4096
+        assert units.HUGE_PAGES == 512
+        assert units.HUGE_SIZE == 2 * units.MIB
+
+    def test_pages_rounds_up(self):
+        assert units.pages(1) == 1
+        assert units.pages(4096) == 1
+        assert units.pages(4097) == 2
+        assert units.pages(units.GIB) == 262144
+
+    def test_bytes_of(self):
+        assert units.bytes_of(512) == 2 * units.MIB
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert units.align_down(1000, 512) == 512
+        assert units.align_down(512, 512) == 512
+        assert units.align_down(0, 512) == 0
+
+    def test_align_up(self):
+        assert units.align_up(1, 512) == 512
+        assert units.align_up(512, 512) == 512
+
+    def test_is_aligned(self):
+        assert units.is_aligned(1024, 512)
+        assert not units.is_aligned(1025, 512)
+
+
+class TestOrders:
+    def test_order_pages(self):
+        assert units.order_pages(0) == 1
+        assert units.order_pages(9) == 512
+        assert units.order_pages(10) == 1024
+
+    def test_order_for_pages(self):
+        assert units.order_for_pages(1) == 0
+        assert units.order_for_pages(2) == 1
+        assert units.order_for_pages(3) == 2
+        assert units.order_for_pages(512) == 9
+        assert units.order_for_pages(513) == 10
+
+    def test_order_for_zero_rejected(self):
+        with pytest.raises(ValueError):
+            units.order_for_pages(0)
+
+
+class TestHumanPages:
+    def test_rendering(self):
+        assert units.human_pages(1) == "4.0K"
+        assert units.human_pages(512) == "2.0M"
+        assert units.human_pages(262144) == "1.0G"
+        assert units.human_pages(0) == "0B"
+
+
+class TestErrorsHierarchy:
+    def test_all_errors_derive_from_base(self):
+        from repro import errors
+
+        for name in (
+            "OutOfMemoryError", "BuddyError", "MappingError",
+            "AddressSpaceError", "ConfigError", "VirtualizationError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_flags_writable(self):
+        from repro.vm.flags import VmaFlags
+
+        assert (VmaFlags.READ | VmaFlags.WRITE).writable
+        assert not VmaFlags.READ.writable

@@ -1,0 +1,149 @@
+"""Unit tests for nested paging and 2D introspection."""
+
+import pytest
+
+from repro.errors import VirtualizationError
+from repro.sim.config import SystemConfig
+from repro.sim.machine import build_machine
+from repro.units import HUGE_PAGES
+from repro.virt.hypervisor import VirtualMachine
+from repro.virt.introspect import (
+    entry_is_huge_2d,
+    nested_runs,
+    pte_contiguous_2d,
+    two_d_runs,
+)
+
+SMALL = SystemConfig(node_pages=(32 * 1024, 32 * 1024), churn_ops=400)
+GUEST_PAGES = 16 * 1024
+
+
+def make_vm(host_policy="ca", guest_policy="ca", **kw):
+    host = build_machine(host_policy, SMALL)
+    return VirtualMachine(host, GUEST_PAGES, guest_policy, **kw)
+
+
+class TestNestedBacking:
+    def test_guest_fault_backs_host(self):
+        vm = make_vm()
+        proc = vm.create_guest_process("g")
+        vma = vm.guest_mmap(proc, HUGE_PAGES * 2)
+        vm.guest_fault(proc, vma.start_vpn)
+        gpa = proc.space.translate(vma.start_vpn)
+        assert vm.gpa_to_hpa(gpa) is not None
+        assert vm.nested_faults >= 1
+
+    def test_nested_mappings_persist_after_guest_exit(self):
+        vm = make_vm()
+        proc = vm.create_guest_process("g")
+        vma = vm.guest_mmap(proc, HUGE_PAGES * 2)
+        vm.guest_touch_range(proc, vma.start_vpn, vma.n_pages)
+        backed_before = vm.qemu.space.resident_pages
+        vm.guest_exit_process(proc)
+        assert vm.qemu.space.resident_pages == backed_before
+
+    def test_rebacking_is_noop(self):
+        vm = make_vm()
+        proc = vm.create_guest_process("g")
+        vma = vm.guest_mmap(proc, HUGE_PAGES)
+        vm.guest_touch_range(proc, vma.start_vpn, vma.n_pages)
+        count = vm.nested_faults
+        vm.ensure_backed(proc.space.translate(vma.start_vpn), HUGE_PAGES)
+        assert vm.nested_faults == count
+
+    def test_gpa_bounds_checked(self):
+        vm = make_vm()
+        with pytest.raises(VirtualizationError):
+            vm.host_vpn(GUEST_PAGES)
+
+    def test_bad_guest_size_rejected(self):
+        host = build_machine("ca", SMALL)
+        with pytest.raises(VirtualizationError):
+            VirtualMachine(host, GUEST_PAGES + 3, "ca")
+
+    def test_guest_reuse_after_exit_takes_no_new_host_memory(self):
+        # Default guest paging reuses freed gPA frames LIFO, so the
+        # second process lands on already-backed guest memory.  (A CA
+        # guest would move its rover to a fresh cluster instead.)
+        vm = make_vm(guest_policy="thp")
+        p1 = vm.create_guest_process("g1")
+        v1 = vm.guest_mmap(p1, HUGE_PAGES * 4)
+        vm.guest_touch_range(p1, v1.start_vpn, v1.n_pages)
+        vm.guest_exit_process(p1)
+        host_resident = vm.qemu.space.resident_pages
+        p2 = vm.create_guest_process("g2")
+        v2 = vm.guest_mmap(p2, HUGE_PAGES * 4)
+        vm.guest_touch_range(p2, v2.start_vpn, v2.n_pages)
+        # The guest buddy reuses freed gPA frames, already backed.
+        assert vm.qemu.space.resident_pages == host_resident
+
+
+class TestTwoDComposition:
+    def test_ca_both_dims_yields_few_2d_runs(self):
+        vm = make_vm("ca", "ca")
+        proc = vm.create_guest_process("g")
+        vma = vm.guest_mmap(proc, HUGE_PAGES * 8)
+        vm.guest_touch_range(proc, vma.start_vpn, vma.n_pages)
+        runs = two_d_runs(vm, proc)
+        assert runs.total_pages == vma.n_pages
+        assert len(runs) <= 4
+
+    def test_thp_both_dims_yields_many_2d_runs(self):
+        vm = make_vm("thp", "thp")
+        proc = vm.create_guest_process("g")
+        vma = vm.guest_mmap(proc, HUGE_PAGES * 8)
+        vm.guest_touch_range(proc, vma.start_vpn, vma.n_pages)
+        ca_vm = make_vm("ca", "ca")
+        ca_proc = ca_vm.create_guest_process("g")
+        ca_vma = ca_vm.guest_mmap(ca_proc, HUGE_PAGES * 8)
+        ca_vm.guest_touch_range(ca_proc, ca_vma.start_vpn, ca_vma.n_pages)
+        assert len(two_d_runs(vm, proc)) > len(two_d_runs(ca_vm, ca_proc))
+
+    def test_2d_translation_matches_walks(self):
+        vm = make_vm()
+        proc = vm.create_guest_process("g")
+        vma = vm.guest_mmap(proc, HUGE_PAGES * 2)
+        vm.guest_touch_range(proc, vma.start_vpn, vma.n_pages)
+        runs = two_d_runs(vm, proc)
+        for vpn in (vma.start_vpn, vma.start_vpn + 700, vma.end_vpn - 1):
+            gpa = proc.space.translate(vpn)
+            hpa = vm.gpa_to_hpa(gpa)
+            assert runs.find(vpn).translate(vpn) == hpa
+
+    def test_nested_runs_rebased_to_gpa(self):
+        vm = make_vm()
+        proc = vm.create_guest_process("g")
+        vma = vm.guest_mmap(proc, HUGE_PAGES)
+        vm.guest_touch_range(proc, vma.start_vpn, vma.n_pages)
+        for run in nested_runs(vm):
+            assert 0 <= run.start_vpn < vm.guest_pages
+
+
+class TestContiguityBit2D:
+    def test_bit_set_when_both_dims_contiguous(self):
+        vm = make_vm("ca", "ca")
+        proc = vm.create_guest_process("g")
+        vma = vm.guest_mmap(proc, HUGE_PAGES * 4)
+        vm.guest_touch_range(proc, vma.start_vpn, vma.n_pages)
+        assert pte_contiguous_2d(vm, proc, vma.start_vpn)
+
+    def test_bit_clear_for_small_mapping(self):
+        vm = make_vm("ca", "ca")
+        proc = vm.create_guest_process("g")
+        vma = vm.guest_mmap(proc, 8)  # below the 32-page threshold
+        vm.guest_touch_range(proc, vma.start_vpn, vma.n_pages)
+        assert not pte_contiguous_2d(vm, proc, vma.start_vpn)
+
+    def test_huge_2d_entry_detection(self):
+        vm = make_vm("ca", "ca")
+        proc = vm.create_guest_process("g")
+        vma = vm.guest_mmap(proc, HUGE_PAGES * 4)
+        vm.guest_touch_range(proc, vma.start_vpn, vma.n_pages)
+        assert entry_is_huge_2d(vm, proc, vma.start_vpn)
+
+    def test_no_huge_2d_entry_for_base_pages(self):
+        vm = make_vm("ca", "ca")
+        proc = vm.create_guest_process("g")
+        vma = vm.guest_mmap(proc, 64)
+        vm.guest_touch_range(proc, vma.start_vpn, vma.n_pages)
+        assert not entry_is_huge_2d(vm, proc, vma.start_vpn)

@@ -1,0 +1,117 @@
+"""Unit tests for the shadow-paging extension."""
+
+import pytest
+
+from repro.sim.config import TEST_SCALE, SystemConfig
+from repro.sim.machine import build_machine
+from repro.sim.runner import RunOptions, run_virtualized
+from repro.units import HUGE_PAGES, order_pages
+from repro.virt.hypervisor import VirtualMachine
+from repro.virt.shadow import ShadowPager, attach_shadow_paging
+from repro.workloads import make_workload
+
+SMALL = SystemConfig(node_pages=(32 * 1024, 32 * 1024), churn_ops=400)
+
+
+def make_vm(host="ca", guest="ca"):
+    machine = build_machine(host, SMALL)
+    guest_pages = sum(SMALL.node_pages)
+    guest_pages -= guest_pages % order_pages(SMALL.max_order)
+    return VirtualMachine(machine, guest_pages, guest)
+
+
+class TestShadowSync:
+    def test_shadow_mirrors_guest_mapping(self):
+        vm = make_vm()
+        pager = attach_shadow_paging(vm)
+        proc = vm.create_guest_process("g")
+        vma = vm.guest_mmap(proc, HUGE_PAGES * 2)
+        vm.guest_touch_range(proc, vma.start_vpn, vma.n_pages)
+        assert pager.stats.syncs == 2
+        # Shadow translations agree with the composed 2D translation.
+        assert pager.verify(
+            proc, [vma.start_vpn, vma.start_vpn + 700, vma.end_vpn - 1]
+        )
+
+    def test_huge_leaf_stays_huge_with_huge_backing(self):
+        vm = make_vm()
+        pager = attach_shadow_paging(vm)
+        proc = vm.create_guest_process("g")
+        vma = vm.guest_mmap(proc, HUGE_PAGES * 2)
+        vm.guest_touch_range(proc, vma.start_vpn, vma.n_pages)
+        shadow = pager.table_for(proc)
+        walk = shadow.walk(vma.start_vpn)
+        assert walk.hit and walk.pte.huge
+        assert pager.stats.splintered_leaves == 0
+
+    def test_splintering_without_huge_backing(self):
+        # THP-off host: nested mappings are 4K, so guest huge leaves
+        # splinter in the shadow (Glue's problem, visible here).
+        from dataclasses import replace
+
+        machine = build_machine("thp", replace(SMALL, thp=False))
+        guest_pages = sum(SMALL.node_pages)
+        guest_pages -= guest_pages % order_pages(SMALL.max_order)
+        vm = VirtualMachine(machine, guest_pages, "ca", guest_thp=True)
+        pager = attach_shadow_paging(vm)
+        proc = vm.create_guest_process("g")
+        vma = vm.guest_mmap(proc, HUGE_PAGES)
+        vm.guest_touch_range(proc, vma.start_vpn, vma.n_pages)
+        assert pager.stats.splintered_leaves == 1
+        assert pager.verify(proc, [vma.start_vpn, vma.start_vpn + 13])
+
+    def test_cow_break_resyncs_shadow(self):
+        vm = make_vm()
+        pager = attach_shadow_paging(vm)
+        parent = vm.create_guest_process("p")
+        vma = vm.guest_mmap(parent, 64)
+        vm.guest_touch_range(parent, vma.start_vpn, 8)
+        child = vm.guest_kernel.fork(parent)
+        vm.guest_fault(child, vma.start_vpn, write=True)  # COW break
+        assert pager.verify(child, [vma.start_vpn])
+
+    def test_guest_exit_drops_table(self):
+        vm = make_vm()
+        pager = attach_shadow_paging(vm)
+        proc = vm.create_guest_process("g")
+        vma = vm.guest_mmap(proc, 64)
+        vm.guest_touch_range(proc, vma.start_vpn, 8)
+        vm.guest_exit_process(proc)
+        assert pager.stats.dropped_tables == 1
+
+    def test_unmapped_translates_to_none(self):
+        vm = make_vm()
+        pager = ShadowPager(vm)
+        proc = vm.create_guest_process("g")
+        assert pager.translate(proc, 12345) is None
+
+
+class TestShadowWithRunner:
+    def test_full_run_keeps_shadow_consistent(self):
+        vm = make_vm()
+        pager = attach_shadow_paging(vm)
+        wl = make_workload("svm", TEST_SCALE)
+        r = run_virtualized(vm, wl, RunOptions(sample_every=None, exit_after=False))
+        start = r.vma_start_vpns[0]
+        samples = [start, start + 100, start + 1000]
+        assert pager.verify(r.process, samples)
+        assert pager.stats.syncs >= r.faults.total_faults
+
+
+class TestExtShadowExperiment:
+    def test_experiment_smoke(self):
+        from repro.experiments import ext_shadow
+        from repro.sim.config import MIB, ScaleProfile
+
+        scale = ScaleProfile(name="smoke", bytes_per_paper_gb=MIB,
+                             machine_paper_gb=(128, 128))
+        result = ext_shadow.run(scale=scale, workloads=("svm",), trace_len=20_000)
+        row = result.rows["svm"]
+        # Shadow walks are cheaper than nested walks...
+        assert row.shadow_walk_overhead < row.nested_overhead
+        # ...but sync costs are real.
+        assert row.shadow_sync_overhead > 0
+        # SpOT shrinks both steady-state overheads.
+        assert row.nested_spot_overhead <= row.nested_overhead
+        assert row.shadow_spot_overhead <= row.shadow_walk_overhead
+        assert "shadow" in result.report()

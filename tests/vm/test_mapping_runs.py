@@ -1,0 +1,184 @@
+"""Unit tests for contiguous mapping-run tracking and 2D composition."""
+
+import pytest
+
+from repro.vm.mapping_runs import MappingRun, MappingRuns, compose
+
+
+class TestAddMerge:
+    def test_single_page_run(self):
+        runs = MappingRuns()
+        runs.add(10, 100)
+        assert runs.run_length_at(10) == 1
+
+    def test_forward_merge(self):
+        runs = MappingRuns()
+        runs.add(10, 100)
+        runs.add(11, 101)
+        assert len(runs) == 1
+        assert runs.run_length_at(10) == 2
+
+    def test_backward_merge(self):
+        runs = MappingRuns()
+        runs.add(11, 101)
+        runs.add(10, 100)
+        assert len(runs) == 1
+
+    def test_bridge_merge(self):
+        runs = MappingRuns()
+        runs.add(10, 100)
+        runs.add(12, 102)
+        runs.add(11, 101)
+        assert len(runs) == 1
+        assert runs.run_length_at(12) == 3
+
+    def test_adjacent_virtual_different_offset_no_merge(self):
+        runs = MappingRuns()
+        runs.add(10, 100)
+        runs.add(11, 200)
+        assert len(runs) == 2
+
+    def test_block_add(self):
+        runs = MappingRuns()
+        runs.add(0, 1000, n_pages=512)
+        assert runs.run_length_at(511) == 512
+
+    def test_blocks_with_matching_offsets_merge(self):
+        runs = MappingRuns()
+        runs.add(0, 1000, n_pages=512)
+        runs.add(512, 1512, n_pages=512)
+        assert len(runs) == 1
+        assert runs.total_pages == 1024
+
+
+class TestRemoveSplit:
+    def test_remove_middle_splits(self):
+        runs = MappingRuns()
+        runs.add(0, 100, n_pages=10)
+        runs.remove(4, 2)
+        assert runs.sizes_desc() == [4, 4]
+        assert runs.find(4) is None
+        assert runs.find(3).n_pages == 4
+
+    def test_remove_edge_shrinks(self):
+        runs = MappingRuns()
+        runs.add(0, 100, n_pages=10)
+        runs.remove(0, 3)
+        (run,) = list(runs)
+        assert run.start_vpn == 3 and run.start_pfn == 103 and run.n_pages == 7
+
+    def test_remove_across_runs(self):
+        runs = MappingRuns()
+        runs.add(0, 100, n_pages=4)
+        runs.add(4, 500, n_pages=4)
+        runs.remove(2, 4)
+        assert runs.sizes_desc() == [2, 2]
+
+    def test_remove_unmapped_is_noop(self):
+        runs = MappingRuns()
+        runs.add(0, 100, n_pages=2)
+        runs.remove(50, 5)
+        assert runs.total_pages == 2
+
+    def test_remove_whole_run(self):
+        runs = MappingRuns()
+        runs.add(0, 100, n_pages=8)
+        runs.remove(0, 8)
+        assert len(runs) == 0
+
+
+class TestQueries:
+    def test_find_miss_between_runs(self):
+        runs = MappingRuns()
+        runs.add(0, 100, n_pages=2)
+        runs.add(10, 200, n_pages=2)
+        assert runs.find(5) is None
+
+    def test_translate(self):
+        run = MappingRun(10, 100, 5)
+        assert run.translate(12) == 102
+        assert run.offset == -90
+
+    def test_sizes_desc(self):
+        runs = MappingRuns()
+        runs.add(0, 0, n_pages=3)
+        runs.add(100, 50, n_pages=7)
+        runs.add(200, 400, n_pages=1)
+        assert runs.sizes_desc() == [7, 3, 1]
+
+    def test_snapshot_is_a_copy(self):
+        runs = MappingRuns()
+        runs.add(0, 0, n_pages=3)
+        snap = runs.snapshot()
+        runs.remove(0, 3)
+        assert snap[0].n_pages == 3
+
+    def test_iteration_in_vpn_order(self):
+        runs = MappingRuns()
+        for vpn in (50, 5, 500):
+            runs.add(vpn, vpn + 1000)
+        starts = [r.start_vpn for r in runs]
+        assert starts == sorted(starts)
+
+
+class TestCompose:
+    def test_both_dimensions_contiguous(self):
+        guest = MappingRuns()
+        guest.add(0, 100, n_pages=10)  # gVA 0..10 -> gPA 100..110
+        host = MappingRuns()
+        host.add(100, 5000, n_pages=10)  # gPA 100..110 -> hPA 5000..5010
+        two_d = compose(guest, host)
+        assert len(two_d) == 1
+        run = two_d.find(0)
+        assert run.start_pfn == 5000 and run.n_pages == 10
+
+    def test_host_split_breaks_2d_run(self):
+        guest = MappingRuns()
+        guest.add(0, 100, n_pages=10)
+        host = MappingRuns()
+        host.add(100, 5000, n_pages=5)
+        host.add(105, 9000, n_pages=5)
+        two_d = compose(guest, host)
+        assert two_d.sizes_desc() == [5, 5]
+
+    def test_guest_split_breaks_2d_run(self):
+        guest = MappingRuns()
+        guest.add(0, 100, n_pages=5)
+        guest.add(5, 300, n_pages=5)
+        host = MappingRuns()
+        host.add(0, 0, n_pages=1024)
+        two_d = compose(guest, host)
+        assert two_d.sizes_desc() == [5, 5]
+
+    def test_unaligned_overlap_intersects(self):
+        # One guest run backed by two host runs at an unaligned cut:
+        # the paper's Fig. 5 mismatch case.
+        guest = MappingRuns()
+        guest.add(0, 103, n_pages=10)
+        host = MappingRuns()
+        host.add(100, 5000, n_pages=7)  # covers gPA 100..107
+        host.add(107, 9000, n_pages=10)  # covers gPA 107..117
+        two_d = compose(guest, host)
+        # gVA 0..4 -> hPA 5003..5007 (tail of run 1), gVA 4..10 ->
+        # hPA 9000..9006 (head of run 2).
+        assert two_d.sizes_desc() == [6, 4]
+        assert two_d.find(0).start_pfn == 5003
+        assert two_d.find(4).start_pfn == 9000
+
+    def test_unbacked_intermediate_pages_skipped(self):
+        guest = MappingRuns()
+        guest.add(0, 100, n_pages=4)
+        host = MappingRuns()
+        host.add(102, 7000, n_pages=2)  # only gPA 102..104 backed
+        two_d = compose(guest, host)
+        assert two_d.total_pages == 2
+        assert two_d.find(2).start_pfn == 7000
+
+    def test_adjacent_host_runs_do_not_merge_through_offset_change(self):
+        guest = MappingRuns()
+        guest.add(0, 100, n_pages=4)
+        host = MappingRuns()
+        host.add(100, 7000, n_pages=2)
+        host.add(102, 9000, n_pages=2)  # physically elsewhere
+        two_d = compose(guest, host)
+        assert two_d.sizes_desc() == [2, 2]

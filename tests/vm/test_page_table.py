@@ -1,0 +1,144 @@
+"""Unit tests for the 4-level radix page table."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.units import HUGE_ORDER, HUGE_PAGES
+from repro.vm.flags import PteFlags
+from repro.vm.page_table import LEVELS, PageTable
+
+
+class TestBaseMappings:
+    def test_map_and_translate(self):
+        pt = PageTable()
+        pt.map(0x1000, 42)
+        assert pt.translate(0x1000) == 42
+
+    def test_unmapped_translates_to_none(self):
+        pt = PageTable()
+        assert pt.translate(0x1000) is None
+
+    def test_remap_rejected(self):
+        pt = PageTable()
+        pt.map(7, 1)
+        with pytest.raises(MappingError):
+            pt.map(7, 2)
+
+    def test_unmap_returns_pte(self):
+        pt = PageTable()
+        pt.map(7, 99, flags=PteFlags.WRITE)
+        pte = pt.unmap(7)
+        assert pte.pfn == 99
+        assert pte.flags & PteFlags.WRITE
+        assert not pt.is_mapped(7)
+
+    def test_unmap_absent_rejected(self):
+        pt = PageTable()
+        with pytest.raises(MappingError):
+            pt.unmap(7)
+
+    def test_leaf_count(self):
+        pt = PageTable()
+        for vpn in range(10):
+            pt.map(vpn, vpn + 100)
+        pt.unmap(3)
+        assert pt.leaf_count == 9
+
+    def test_widely_separated_vpns(self):
+        pt = PageTable()
+        vpns = [0, 1 << 20, 1 << 30, (1 << 36) - 1]
+        for i, vpn in enumerate(vpns):
+            pt.map(vpn, i)
+        for i, vpn in enumerate(vpns):
+            assert pt.translate(vpn) == i
+
+
+class TestHugeMappings:
+    def test_huge_map_covers_512_pages(self):
+        pt = PageTable()
+        pt.map(HUGE_PAGES, 1024, order=HUGE_ORDER)
+        assert pt.translate(HUGE_PAGES) == 1024
+        assert pt.translate(HUGE_PAGES + 511) == 1024 + 511
+
+    def test_huge_requires_alignment(self):
+        pt = PageTable()
+        with pytest.raises(MappingError):
+            pt.map(1, 1024, order=HUGE_ORDER)
+        with pytest.raises(MappingError):
+            pt.map(HUGE_PAGES, 1, order=HUGE_ORDER)
+
+    def test_bad_order_rejected(self):
+        pt = PageTable()
+        with pytest.raises(MappingError):
+            pt.map(0, 0, order=3)
+
+    def test_huge_walk_is_three_levels(self):
+        pt = PageTable()
+        pt.map(0, 0, order=HUGE_ORDER)
+        assert pt.walk(5).levels == 3
+
+    def test_base_walk_is_four_levels(self):
+        pt = PageTable()
+        pt.map(0, 0)
+        assert pt.walk(0).levels == LEVELS
+
+    def test_huge_unmap_by_interior_page(self):
+        pt = PageTable()
+        pt.map(0, 0, order=HUGE_ORDER)
+        pt.unmap(100)
+        assert not pt.is_mapped(0)
+
+    def test_huge_over_existing_4k_rejected(self):
+        pt = PageTable()
+        pt.map(3, 30)
+        with pytest.raises(MappingError):
+            pt.map(0, 0, order=HUGE_ORDER)
+
+    def test_4k_under_huge_rejected(self):
+        pt = PageTable()
+        pt.map(0, 0, order=HUGE_ORDER)
+        with pytest.raises(MappingError):
+            pt.map(3, 30)
+
+    def test_huge_slot_free_probe(self):
+        pt = PageTable()
+        assert pt.huge_slot_free(0)
+        pt.map(3, 30)
+        assert not pt.huge_slot_free(0)
+        assert pt.huge_slot_free(HUGE_PAGES)
+        pt.map(HUGE_PAGES, 512, order=HUGE_ORDER)
+        assert not pt.huge_slot_free(HUGE_PAGES + 5)
+        pt.unmap(3)
+        assert pt.huge_slot_free(0)
+
+
+class TestIterationAndStats:
+    def test_iter_leaves_in_vpn_order(self):
+        pt = PageTable()
+        for vpn in (500, 3, HUGE_PAGES * 4, 77):
+            if vpn % HUGE_PAGES == 0:
+                pt.map(vpn, vpn, order=HUGE_ORDER)
+            else:
+                pt.map(vpn, vpn)
+        vpns = [vpn for vpn, _ in pt.iter_leaves()]
+        assert vpns == sorted(vpns)
+
+    def test_mapped_pages_counts_huge(self):
+        pt = PageTable()
+        pt.map(0, 0, order=HUGE_ORDER)
+        pt.map(HUGE_PAGES, 512)
+        assert pt.mapped_pages() == HUGE_PAGES + 1
+
+    def test_node_count_grows_with_spread(self):
+        pt = PageTable()
+        pt.map(0, 0)
+        dense = pt.node_count()
+        pt.map(1 << 30, 1)
+        assert pt.node_count() > dense
+
+    def test_walk_result_translate_miss_raises(self):
+        pt = PageTable()
+        walk = pt.walk(1234)
+        assert not walk.hit
+        with pytest.raises(MappingError):
+            walk.translate(1234)

@@ -1,0 +1,159 @@
+"""Property-based tests for the vm substrate.
+
+Model-based testing: the mapping-run tracker and the radix page table
+are driven with random operation sequences and checked against naive
+dictionary models after every step.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MappingError
+from repro.units import HUGE_ORDER, HUGE_PAGES
+from repro.vm.mapping_runs import MappingRuns, compose
+from repro.vm.page_table import PageTable
+
+VPN_SPACE = 512
+PFN_SPACE = 4096
+
+
+@st.composite
+def run_ops(draw):
+    n = draw(st.integers(min_value=1, max_value=80))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["add", "remove"]))
+        vpn = draw(st.integers(min_value=0, max_value=VPN_SPACE - 8))
+        if kind == "add":
+            pfn = draw(st.integers(min_value=0, max_value=PFN_SPACE))
+            pages = draw(st.integers(min_value=1, max_value=8))
+            ops.append(("add", vpn, pfn, pages))
+        else:
+            pages = draw(st.integers(min_value=1, max_value=16))
+            ops.append(("remove", vpn, 0, pages))
+    return ops
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=run_ops())
+def test_mapping_runs_match_dict_model(ops):
+    runs = MappingRuns()
+    model: dict[int, int] = {}  # vpn -> pfn
+    for kind, vpn, pfn, pages in ops:
+        if kind == "add":
+            # Skip adds that would overlap existing pages (the runner
+            # never remaps without removing first).
+            if any((vpn + i) in model for i in range(pages)):
+                continue
+            runs.add(vpn, pfn, pages)
+            for i in range(pages):
+                model[vpn + i] = pfn + i
+        else:
+            runs.remove(vpn, pages)
+            for i in range(pages):
+                model.pop(vpn + i, None)
+        # Invariants after every operation:
+        assert runs.total_pages == len(model)
+        snapshot = runs.snapshot()
+        # 1. Runs are disjoint, sorted and maximal.
+        for a, b in zip(snapshot, snapshot[1:]):
+            assert a.end_vpn <= b.start_vpn
+            if a.end_vpn == b.start_vpn:
+                assert a.offset != b.offset, "adjacent equal-offset runs must merge"
+        # 2. Every page translates exactly like the model.
+        for run in snapshot:
+            for v in range(run.start_vpn, run.end_vpn):
+                assert model[v] == run.translate(v)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    n_ops=st.integers(min_value=1, max_value=60),
+)
+def test_page_table_matches_dict_model(seed, n_ops):
+    rng = random.Random(seed)
+    pt = PageTable()
+    model: dict[int, int] = {}  # base vpn -> pfn (leaf granularity)
+    huge_bases: set[int] = set()
+    for _ in range(n_ops):
+        op = rng.choice(["map4k", "map2m", "unmap", "lookup"])
+        if op == "map4k":
+            vpn = rng.randrange(0, 4 * HUGE_PAGES)
+            try:
+                pt.map(vpn, vpn + 10_000)
+                model[vpn] = vpn + 10_000
+            except MappingError:
+                covered = vpn in model or any(
+                    b <= vpn < b + HUGE_PAGES for b in huge_bases
+                )
+                assert covered
+        elif op == "map2m":
+            base = rng.randrange(0, 4) * HUGE_PAGES
+            try:
+                pt.map(base, base + 100 * HUGE_PAGES, order=HUGE_ORDER)
+                huge_bases.add(base)
+            except MappingError:
+                conflict = base in huge_bases or any(
+                    base <= v < base + HUGE_PAGES for v in model
+                )
+                assert conflict
+        elif op == "unmap":
+            vpn = rng.randrange(0, 4 * HUGE_PAGES)
+            try:
+                pte = pt.unmap(vpn)
+                if pte.huge:
+                    huge_bases.discard(vpn & ~(HUGE_PAGES - 1))
+                else:
+                    del model[vpn]
+            except MappingError:
+                assert vpn not in model and not any(
+                    b <= vpn < b + HUGE_PAGES for b in huge_bases
+                )
+        else:
+            vpn = rng.randrange(0, 4 * HUGE_PAGES)
+            got = pt.translate(vpn)
+            base = vpn & ~(HUGE_PAGES - 1)
+            if vpn in model:
+                assert got == model[vpn]
+            elif base in huge_bases:
+                assert got == base + 100 * HUGE_PAGES + (vpn - base)
+            else:
+                assert got is None
+    assert pt.leaf_count == len(model) + len(huge_bases)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    guest=run_ops(),
+    host=run_ops(),
+)
+def test_compose_agrees_with_pointwise_translation(guest, host):
+    """2D composition must equal translating page by page."""
+    g = MappingRuns()
+    h = MappingRuns()
+    taken_g: set[int] = set()
+    taken_h: set[int] = set()
+    for kind, vpn, pfn, pages in guest:
+        if kind == "add" and not any((vpn + i) in taken_g for i in range(pages)):
+            g.add(vpn, pfn, pages)
+            taken_g.update(vpn + i for i in range(pages))
+    for kind, vpn, pfn, pages in host:
+        if kind == "add" and not any((vpn + i) in taken_h for i in range(pages)):
+            h.add(vpn, pfn, pages)
+            taken_h.update(vpn + i for i in range(pages))
+
+    two_d = compose(g, h)
+    for vpn in range(VPN_SPACE):
+        g_run = g.find(vpn)
+        expected = None
+        if g_run is not None:
+            mid = g_run.translate(vpn)
+            h_run = h.find(mid)
+            if h_run is not None:
+                expected = h_run.translate(mid)
+        run_2d = two_d.find(vpn)
+        got = run_2d.translate(vpn) if run_2d else None
+        assert got == expected

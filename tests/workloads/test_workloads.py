@@ -1,0 +1,185 @@
+"""Unit tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import TEST_SCALE, ScaleProfile
+from repro.units import HUGE_PAGES, MIB
+from repro.workloads import PAPER_SUITE, make_workload
+from repro.workloads.base import TraceSite, VmaPlan, Workload
+
+
+ALL_NAMES = [cls.name for cls in PAPER_SUITE] + ["tlb_friendly", "gups"]
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_make_workload(self, name):
+        wl = make_workload(name, TEST_SCALE)
+        assert wl.name == name
+        assert wl.footprint_pages > 0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload("doom", TEST_SCALE)
+
+    def test_footprints_ordered_like_paper(self):
+        # Table III: SVM < PageRank < hashjoin < XSBench < BT (reserved
+        # VMA capacity; hashjoin's *touched* footprint is smaller than
+        # its arena, which is exactly its eager-bloat story).
+        sizes = [
+            sum(p.n_pages for p in make_workload(n, TEST_SCALE).vma_plans)
+            for n in ("svm", "pagerank", "hashjoin", "xsbench", "bt")
+        ]
+        assert sizes == sorted(sizes)
+
+
+class TestPlans:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_vma_plans_well_formed(self, name):
+        wl = make_workload(name, TEST_SCALE)
+        for plan in wl.vma_plans:
+            assert plan.n_pages > 0
+            assert 0 < plan.touched_pages <= plan.n_pages
+
+    def test_touched_fraction_clamped(self):
+        plan = VmaPlan("x", 100, touched_fraction=2.0)
+        assert plan.touched_pages == 100
+        tiny = VmaPlan("y", 100, touched_fraction=0.0)
+        assert tiny.touched_pages == 1
+
+    def test_hashjoin_arena_overreserved(self):
+        wl = make_workload("hashjoin", TEST_SCALE)
+        build = wl.vma_plans[0]
+        assert build.touched_pages < build.n_pages * 0.6
+
+    def test_scaling_is_proportional(self):
+        small = make_workload("svm", TEST_SCALE)
+        big = make_workload(
+            "svm", ScaleProfile(name="2x", bytes_per_paper_gb=2 * MIB)
+        )
+        ratio = big.footprint_pages / small.footprint_pages
+        assert 1.8 < ratio < 2.2
+
+
+class TestAllocSteps:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_steps_cover_touched_pages(self, name):
+        wl = make_workload(name, TEST_SCALE)
+        covered = [0] * len(wl.vma_plans)
+        for step in wl.alloc_steps():
+            if step.kind == "anon":
+                covered[step.index] += step.n_pages
+        for plan, got in zip(wl.vma_plans, covered):
+            assert got == plan.touched_pages
+
+    def test_file_steps_cover_files(self):
+        wl = make_workload("pagerank", TEST_SCALE)
+        file_pages = sum(
+            s.n_pages for s in wl.alloc_steps() if s.kind == "file"
+        )
+        assert file_pages == sum(f.n_pages for f in wl.file_plans)
+
+    def test_multithreaded_steps_interleave(self):
+        wl = make_workload("xsbench", TEST_SCALE)
+        first_steps = [s for s in wl.alloc_steps()][: wl.threads]
+        starts = {s.start_page for s in first_steps if s.kind == "anon"}
+        assert len(starts) > 1  # different partitions fault concurrently
+
+    def test_bt_interleaves_its_arrays(self):
+        wl = make_workload("bt", TEST_SCALE)
+        first = [s.index for s in list(wl.alloc_steps())[:5]]
+        assert sorted(first) == [0, 1, 2, 3, 4]
+
+
+class TestTraces:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_trace_within_bounds(self, name):
+        wl = make_workload(name, TEST_SCALE)
+        trace = wl.trace(5000)
+        assert len(trace) == 5000
+        for i, plan in enumerate(wl.vma_plans):
+            mask = trace.vma == i
+            if mask.any():
+                assert trace.page[mask].max() < plan.touched_pages
+                assert trace.page[mask].min() >= 0
+
+    def test_trace_deterministic_per_seed(self):
+        wl = make_workload("svm", TEST_SCALE)
+        a = wl.trace(1000, seed=5)
+        b = wl.trace(1000, seed=5)
+        assert np.array_equal(a.page, b.page)
+        c = wl.trace(1000, seed=6)
+        assert not np.array_equal(a.page, c.page)
+
+    def test_site_weights_respected(self):
+        wl = make_workload("pagerank", TEST_SCALE)
+        trace = wl.trace(20_000)
+        sites = wl.trace_sites()
+        total_w = sum(s.weight for s in sites)
+        for site in sites:
+            frac = float((trace.pc == site.pc).mean())
+            assert abs(frac - site.weight / total_w) < 0.05
+
+    def test_sequential_pattern_is_sequential(self):
+        class Seq(Workload):
+            name = "seq"
+
+            def _build_vma_plans(self):
+                return [VmaPlan("a", 10_000)]
+
+            def trace_sites(self):
+                return [TraceSite(pc=1, vma=0, pattern="seq", weight=1.0)]
+
+        wl = Seq(TEST_SCALE)
+        trace = wl.trace(100)
+        deltas = np.diff(trace.page)
+        assert ((deltas == 1) | (deltas < 0)).all()  # wraps allowed
+
+    def test_unknown_pattern_rejected(self):
+        class Bad(Workload):
+            name = "bad"
+
+            def _build_vma_plans(self):
+                return [VmaPlan("a", 100)]
+
+            def trace_sites(self):
+                return [TraceSite(pc=1, vma=0, pattern="fancy", weight=1.0)]
+
+        with pytest.raises(ValueError):
+            Bad(TEST_SCALE).trace(10)
+
+    def test_zipf_is_skewed(self):
+        class Z(Workload):
+            name = "z"
+
+            def _build_vma_plans(self):
+                return [VmaPlan("a", 100_000)]
+
+            def trace_sites(self):
+                return [TraceSite(pc=1, vma=0, pattern="zipf", weight=1.0)]
+
+        trace = Z(TEST_SCALE).trace(10_000)
+        # A power law concentrates mass on the lowest pages.
+        assert float((trace.page < 100).mean()) > 0.5
+
+    def test_strip_pattern_reads_runs(self):
+        class S(Workload):
+            name = "s"
+
+            def _build_vma_plans(self):
+                return [VmaPlan("a", 100_000)]
+
+            def trace_sites(self):
+                return [
+                    TraceSite(pc=1, vma=0, pattern="strip", weight=1.0, strip_len=8)
+                ]
+
+        trace = S(TEST_SCALE).trace(800)
+        deltas = np.diff(trace.page)
+        # Most steps advance by one (inside a strip).
+        assert float((deltas == 1).mean()) > 0.7
+
+    def test_instruction_count(self):
+        wl = make_workload("hashjoin", TEST_SCALE)
+        assert wl.instruction_count(1000) == 1000 * wl.instructions_per_access
