@@ -29,6 +29,11 @@ def _pick(env_default: str):
     return _SCALES[name]
 
 
+def active_scale_name() -> str:
+    """The scale profile name benchmarks in this session resolve to."""
+    return os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
 @pytest.fixture(scope="session")
 def contiguity_scale():
     """Scale for allocation/contiguity experiments (Figs 1,7-12, tables)."""
@@ -42,5 +47,11 @@ def hw_scale():
 
 
 def run_once(benchmark, fn, *args, **kwargs):
-    """Run an experiment exactly once under pytest-benchmark."""
+    """Run an experiment exactly once under pytest-benchmark.
+
+    Results are tagged with the active scale profile so saved timings
+    from different ``REPRO_BENCH_SCALE`` settings are never compared
+    against each other.
+    """
+    benchmark.extra_info["scale"] = active_scale_name()
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

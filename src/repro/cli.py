@@ -6,6 +6,7 @@ Usage::
     python -m repro run fig7 --scale quick
     python -m repro run fig13 fig14 --scale default
     python -m repro suite --scale quick
+    python -m repro bench --scale default --out BENCH_engine.json
 
 Each experiment prints the same rows/series the paper reports; see
 EXPERIMENTS.md for paper-vs-measured commentary.
@@ -118,6 +119,36 @@ def _cmd_suite(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import os
+
+    from repro.bench import BENCH_SCALES, run_bench, write_report
+
+    scale_name = args.scale or os.environ.get("REPRO_BENCH_SCALE", "default")
+    if scale_name not in BENCH_SCALES:
+        print(f"unknown bench scale {scale_name!r}; "
+              f"choose from {sorted(BENCH_SCALES)}", file=sys.stderr)
+        return 2
+    print(f"=== bench: engine A/B (scale={scale_name}, "
+          f"workload={args.workload}) ===")
+    report = run_bench(scale_name, args.workload, args.trace_len)
+    out = write_report(report, args.out)
+    fault = report["fault_path"]
+    for policy, row in fault["policies"].items():
+        print(f"fault path [{policy:>6}]: scalar {row['scalar']['seconds']:.2f}s"
+              f" -> fast {row['fast']['seconds']:.2f}s"
+              f" ({row['speedup']}x, identical={row['engines_identical']})")
+    print(f"fault path aggregate: {report['fault_speedup']}x faults/sec")
+    for name, row in report["replay"]["states"].items():
+        print(f"replay [{name}]: {row['scalar_accesses_per_sec']:.0f}"
+              f" -> {row['vector_accesses_per_sec']:.0f} accesses/sec"
+              f" ({row['speedup']}x, identical={row['engines_identical']})")
+    print(f"replay speedup (min over states): {report['replay_speedup']}x")
+    print(f"engines identical: {report['engines_identical']}")
+    print(f"[saved {out} in {report['wall_seconds']}s]")
+    return 0 if report["engines_identical"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -152,6 +183,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write each result as JSON into this directory",
     )
     suite_p.set_defaults(func=_cmd_suite)
+
+    bench_p = sub.add_parser(
+        "bench", help="A/B the scalar vs batched simulation engines"
+    )
+    bench_p.add_argument(
+        "--scale", default=None,
+        help="bench scale: test/quick/default/big (default: "
+             "$REPRO_BENCH_SCALE or default)",
+    )
+    bench_p.add_argument(
+        "--workload", default="svm", help="workload to replay (default: svm)",
+    )
+    bench_p.add_argument(
+        "--trace-len", type=int, default=200_000,
+        help="replay-phase trace length (default: 200000)",
+    )
+    bench_p.add_argument(
+        "--out", default="BENCH_engine.json", metavar="FILE",
+        help="JSON report path (default: BENCH_engine.json)",
+    )
+    bench_p.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -10,6 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.errors import ConfigError
 from repro.hw.direct_segment import DirectSegment
 from repro.hw.rmm import RangeTlb
 from repro.hw.spot import CORRECT, MISPREDICT, NO_PREDICTION, SpotPredictor
@@ -94,8 +97,14 @@ class MmuSimulator:
     #: when set, each miss is fed through it and the result reports the
     #: measured average walk cost alongside the fixed-model overheads.
     walk_sim: object | None = None
+    #: ``"vector"`` filters L1 hits in numpy batches and runs only the
+    #: L1 misses through the per-access state machines; ``"scalar"`` is
+    #: the reference sequential loop.  Counters are bit-identical.
+    engine: str = "vector"
 
     def __post_init__(self) -> None:
+        if self.engine not in ("vector", "scalar"):
+            raise ConfigError(f"unknown MMU engine {self.engine!r}")
         self.tlb = TlbHierarchy.from_config(self.hw)
         self.spot = SpotPredictor(
             self.hw.spot_entries,
@@ -118,7 +127,10 @@ class MmuSimulator:
             virtualized=self.view.virtualized,
             huge=bool(resolved.entry_huge.any()),
         )
-        self._loop(resolved, result)
+        if self.engine == "vector":
+            self._loop_vector(resolved, result)
+        else:
+            self._loop(resolved, result)
         if workload is not None:
             instructions = workload.instruction_count(len(resolved))
             result.t_ideal_cycles = max(1.0, instructions * IDEAL_CPI)
@@ -164,5 +176,49 @@ class MmuSimulator:
             if rmm_on(vpn, run_starts[i], run_lens[i]) == "uncovered":
                 result.rmm_uncovered += 1
             # DS: segment check.
+            if not ds_on(segs[i]):
+                result.ds_outside += 1
+
+    def _loop_vector(self, t: ResolvedTrace, result: MmuSimResult) -> None:
+        """Vectorized replay: decide every TLB outcome up front.
+
+        Set-associative LRU outcomes are a pure function of the access
+        stream (every access — hit or miss — moves its key to MRU), so
+        :meth:`TlbHierarchy.simulate` resolves the whole hierarchy in
+        numpy and only the page walks run through the per-access scheme
+        machines (SpOT, vRMM, DS) — in trace order, exactly like the
+        scalar loop.  Counters and scheme state match it bit for bit.
+        """
+        levels = self.tlb.simulate(t.entry_base, t.entry_huge)
+        walk_idx = np.flatnonzero(levels == 2)
+        result.l1_hits += int((levels == 0).sum())
+        result.l2_hits += int((levels == 1).sum())
+        result.walks += int(walk_idx.size)
+        if walk_idx.size == 0:
+            return
+        spot_done = self.spot.on_walk_complete
+        rmm_on = self.rmm.on_miss
+        ds_on = self.ds.on_miss
+        pcs = t.pc[walk_idx].tolist()
+        vpns = t.vpn[walk_idx].tolist()
+        ppns = t.ppn[walk_idx].tolist()
+        huges = t.entry_huge[walk_idx].tolist()
+        contigs = t.contig[walk_idx].tolist()
+        segs = t.in_segment[walk_idx].tolist()
+        run_starts = t.run_start[walk_idx].tolist()
+        run_lens = t.run_len[walk_idx].tolist()
+        for i in range(len(vpns)):
+            vpn = vpns[i]
+            if self.walk_sim is not None:
+                self.walk_sim.walk(vpn, huges[i])
+            outcome = spot_done(pcs[i], vpn, ppns[i], contigs[i])
+            if outcome == CORRECT:
+                result.spot_correct += 1
+            elif outcome == MISPREDICT:
+                result.spot_mispredict += 1
+            else:
+                result.spot_no_prediction += 1
+            if rmm_on(vpn, run_starts[i], run_lens[i]) == "uncovered":
+                result.rmm_uncovered += 1
             if not ds_on(segs[i]):
                 result.ds_outside += 1

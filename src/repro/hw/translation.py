@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.units import HUGE_PAGES
+from repro.units import HUGE_ORDER, HUGE_PAGES
 from repro.virt.hypervisor import VirtualMachine
 from repro.virt.introspect import two_d_runs
 from repro.vm.mapping_runs import MappingRuns
@@ -69,7 +69,7 @@ class TranslationView:
         self.starts = np.array([r.start_vpn for r in snapshot], dtype=np.int64)
         self.ends = np.array([r.end_vpn for r in snapshot], dtype=np.int64)
         self.ppns = np.array([r.start_pfn for r in snapshot], dtype=np.int64)
-        self.lengths = self.ends - self.starts
+        self.lengths = (self.ends - self.starts).astype(np.int32)
         self.huge_regions = np.asarray(huge_regions, dtype=np.int64)
         self.segment_bounds = segment_bounds
         self.contig_threshold = contig_threshold
@@ -162,38 +162,78 @@ class TranslationView:
 
     # -- vectorized resolution ---------------------------------------------------
 
+    #: ``resolve`` swaps per-access binary searches for direct lookup
+    #: tables when the trace's vpn footprint is compact enough to index
+    #: (tables this size build in microseconds and fit in cache).
+    _LUT_SPAN_CAP = 1 << 22
+
     def resolve(self, trace: AccessTrace, vma_start_vpns: list[int]) -> ResolvedTrace:
         """Resolve a trace into per-access attributes (numpy, no loops)."""
         base = np.asarray(vma_start_vpns, dtype=np.int64)
         vpn = base[trace.vma] + trace.page
-        idx = np.searchsorted(self.starts, vpn, side="right") - 1
+        vmin = int(vpn.min()) if vpn.size else 0
+        span = (int(vpn.max()) - vmin + 1) if vpn.size else 0
+        region = vpn & ~np.int64(HUGE_PAGES - 1)
+
+        if 0 < span <= self._LUT_SPAN_CAP:
+            rel = (vpn - vmin).astype(np.int32)
+            # Step function #{starts <= v}: one count per bucket, then a
+            # prefix sum.  Starts below the window land in bucket 0 and
+            # count for every v; starts above it land in the sentinel
+            # bucket no lookup reaches.
+            d = np.zeros(span + 1, dtype=np.int32)
+            np.add.at(d, np.clip(self.starts - vmin, 0, span), 1)
+            idx = np.cumsum(d, dtype=np.int32)[rel] - 1
+
+            rbase = vmin >> HUGE_ORDER
+            rsize = ((vmin + span - 1) >> HUGE_ORDER) - rbase + 1
+            lut_huge = np.zeros(rsize, dtype=bool)
+            if len(self.huge_regions):
+                hr = (self.huge_regions >> HUGE_ORDER) - rbase
+                lut_huge[hr[(hr >= 0) & (hr < rsize)]] = True
+            entry_huge = lut_huge[(vpn >> HUGE_ORDER) - rbase]
+
+            # Segment coverage as a +1/-1 fence diff over the window.
+            d2 = np.zeros(span + 1, dtype=np.int32)
+            for lo, hi in self.segment_bounds:
+                d2[min(max(lo - vmin, 0), span)] += 1
+                d2[min(max(hi - vmin, 0), span)] -= 1
+            in_segment = np.cumsum(d2, dtype=np.int32)[rel] > 0
+        else:
+            idx = np.searchsorted(self.starts, vpn, side="right") - 1
+            if len(self.huge_regions):
+                pos = np.searchsorted(self.huge_regions, region)
+                pos_c = np.clip(pos, 0, len(self.huge_regions) - 1)
+                entry_huge = self.huge_regions[pos_c] == region
+            else:
+                entry_huge = np.zeros(len(vpn), dtype=bool)
+            # Segment bounds are disjoint intervals: a page is inside one
+            # iff its insertion point into the flattened edge list is odd.
+            if self.segment_bounds:
+                edges = np.asarray(
+                    [e for b in sorted(self.segment_bounds) for e in b],
+                    dtype=np.int64,
+                )
+                in_segment = (np.searchsorted(edges, vpn, side="right") & 1) == 1
+            else:
+                in_segment = np.zeros(len(vpn), dtype=bool)
+
         idx_clipped = np.clip(idx, 0, max(0, len(self.starts) - 1))
-        mapped = (idx >= 0) & (len(self.starts) > 0)
+        starts = self.starts[idx_clipped]
+        bad = (idx < 0) | (len(self.starts) == 0)
         if len(self.starts):
-            mapped &= vpn < self.ends[idx_clipped]
-        if not mapped.all():
-            missing = vpn[~mapped]
+            bad |= vpn >= self.ends[idx_clipped]
+        if bad.any():
+            missing = vpn[bad]
             raise ValueError(
                 f"trace touches {len(missing)} unmapped pages "
                 f"(first vpn {int(missing[0]):#x}) — run the workload first"
             )
-        ppn = self.ppns[idx_clipped] + (vpn - self.starts[idx_clipped])
+        ppn = self.ppns[idx_clipped] + (vpn - starts)
         run_len = self.lengths[idx_clipped]
         contig = run_len >= self.contig_threshold
         range_covered = run_len >= self.range_min_pages
-
-        region = vpn & ~np.int64(HUGE_PAGES - 1)
-        if len(self.huge_regions):
-            pos = np.searchsorted(self.huge_regions, region)
-            pos_c = np.clip(pos, 0, len(self.huge_regions) - 1)
-            entry_huge = self.huge_regions[pos_c] == region
-        else:
-            entry_huge = np.zeros(len(vpn), dtype=bool)
         entry_base = np.where(entry_huge, region, vpn)
-
-        in_segment = np.zeros(len(vpn), dtype=bool)
-        for lo, hi in self.segment_bounds:
-            in_segment |= (vpn >= lo) & (vpn < hi)
 
         return ResolvedTrace(
             pc=trace.pc,
@@ -204,7 +244,7 @@ class TranslationView:
             contig=contig,
             in_segment=in_segment,
             range_covered=range_covered,
-            run_start=self.starts[idx_clipped],
+            run_start=starts,
             run_len=run_len,
         )
 

@@ -1,0 +1,74 @@
+"""Lightweight wall-clock timing hooks for the simulation engine.
+
+The bench harness (``python -m repro bench``) wraps each phase in a
+:class:`Timer` / :class:`Profiler` section and derives throughput rates
+from the recorded seconds and event counts.  Kept dependency-free and
+cheap enough to leave enabled in experiment code.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+
+
+class Timer:
+    """Context-manager stopwatch: ``with Timer() as t: ...; t.seconds``."""
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._started: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._started = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds += perf_counter() - self._started
+        self._started = None
+
+
+@dataclass
+class Profiler:
+    """Named timing sections with event counts and derived rates."""
+
+    seconds: dict[str, float] = field(default_factory=dict)
+    events: dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, name: str):
+        """Time a block under ``name`` (accumulates across entries)."""
+        started = perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, perf_counter() - started)
+
+    def add(self, name: str, seconds: float, events: int = 0) -> None:
+        """Record time (and optionally an event count) for a section."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+        if events:
+            self.events[name] = self.events.get(name, 0) + events
+
+    def count(self, name: str, events: int) -> None:
+        """Add events to a section without adding time."""
+        self.events[name] = self.events.get(name, 0) + events
+
+    def rate(self, name: str) -> float:
+        """Events per second for a section (0 when untimed)."""
+        seconds = self.seconds.get(name, 0.0)
+        if seconds <= 0.0:
+            return 0.0
+        return self.events.get(name, 0) / seconds
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary: per-section seconds, events, rates."""
+        return {
+            name: {
+                "seconds": round(self.seconds[name], 6),
+                "events": self.events.get(name, 0),
+                "per_second": round(self.rate(name), 1),
+            }
+            for name in self.seconds
+        }

@@ -45,6 +45,22 @@ class Cluster:
         return f"Cluster({self.start_pfn:#x}+{self.n_pages})"
 
 
+class _Handle:
+    """Union-find indirection cell between block heads and clusters.
+
+    Block heads map to a handle; handles chain (with path compression)
+    to the *root* handle of their cluster, which targets the cluster
+    itself.  Merging two clusters links one root to the other instead of
+    rewriting every member block's entry, so merge is O(α); splits
+    retarget only the smaller side's heads (smaller-half amortization).
+    """
+
+    __slots__ = ("target",)
+
+    def __init__(self, target):
+        self.target = target
+
+
 class ContiguityMap:
     """Index of free clusters above the buddy heap, with a next-fit rover.
 
@@ -60,8 +76,9 @@ class ContiguityMap:
         # start_pfn -> Cluster, plus a sorted list of starts for iteration.
         self._clusters: dict[int, Cluster] = {}
         self._starts: list[int] = []
-        # block head -> owning cluster (the repurposed page->mapping).
-        self._block_cluster: dict[int, Cluster] = {}
+        # block head -> handle -> ... -> owning cluster (the repurposed
+        # page->mapping, behind a union-find indirection).
+        self._block_cluster: dict[int, _Handle] = {}
         # Next-fit rover: physical address where the next search begins.
         self._rover = 0
         self.searches = 0  # placement decisions served (statistics)
@@ -75,43 +92,82 @@ class ContiguityMap:
         else:
             self._remove_block(pfn)
 
+    @staticmethod
+    def _resolve(handle: _Handle) -> Cluster:
+        """Follow (and compress) the handle chain to its cluster."""
+        node = handle
+        while isinstance(node.target, _Handle):
+            node = node.target
+        while handle is not node:
+            nxt = handle.target
+            handle.target = node
+            handle = nxt
+        return node.target
+
+    def _new_cluster(self, start_pfn: int, n_pages: int) -> Cluster:
+        cluster = Cluster(start_pfn, n_pages)
+        cluster.handle = _Handle(cluster)
+        self._register_cluster(cluster)
+        return cluster
+
     def _add_block(self, pfn: int) -> None:
-        before = self._block_cluster.get(pfn - self.block_pages)
-        after = self._block_cluster.get(pfn + self.block_pages)
+        before_h = self._block_cluster.get(pfn - self.block_pages)
+        after_h = self._block_cluster.get(pfn + self.block_pages)
+        before = self._resolve(before_h) if before_h is not None else None
+        after = self._resolve(after_h) if after_h is not None else None
         if before is not None and after is not None:
-            # Bridge two clusters into one.
+            # Bridge two clusters into one: absorb ``after`` by linking
+            # its root handle — no per-block rewrites.
             self._drop_cluster(after)
             before.n_pages += self.block_pages + after.n_pages
-            self._retarget_blocks(after, before)
-            self._block_cluster[pfn] = before
+            after.handle.target = before.handle
+            self._block_cluster[pfn] = before.handle
         elif before is not None:
             before.n_pages += self.block_pages
-            self._block_cluster[pfn] = before
+            self._block_cluster[pfn] = before.handle
         elif after is not None:
             # Extend a cluster downwards: its start moves.
             self._drop_cluster(after)
             after.start_pfn = pfn
             after.n_pages += self.block_pages
             self._register_cluster(after)
-            self._block_cluster[pfn] = after
+            self._block_cluster[pfn] = after.handle
         else:
-            cluster = Cluster(pfn, self.block_pages)
-            self._register_cluster(cluster)
-            self._block_cluster[pfn] = cluster
+            cluster = self._new_cluster(pfn, self.block_pages)
+            self._block_cluster[pfn] = cluster.handle
 
     def _remove_block(self, pfn: int) -> None:
-        cluster = self._block_cluster.pop(pfn)
-        self._drop_cluster(cluster)
+        cluster = self._resolve(self._block_cluster.pop(pfn))
         left_pages = pfn - cluster.start_pfn
         right_pages = cluster.end_pfn - (pfn + self.block_pages)
-        if left_pages:
-            left = Cluster(cluster.start_pfn, left_pages)
-            self._register_cluster(left)
-            self._retarget_range(left.start_pfn, left_pages, left)
-        if right_pages:
-            right = Cluster(pfn + self.block_pages, right_pages)
-            self._register_cluster(right)
-            self._retarget_range(right.start_pfn, right_pages, right)
+        left_start = cluster.start_pfn
+        if not left_pages and not right_pages:
+            self._drop_cluster(cluster)
+            return
+        if not left_pages:
+            # Chew from the front: only the registry key changes.
+            self._drop_cluster(cluster)
+            cluster.start_pfn = pfn + self.block_pages
+            cluster.n_pages = right_pages
+            self._register_cluster(cluster)
+            return
+        if not right_pages:
+            cluster.n_pages = left_pages
+            return
+        # Interior split: the existing cluster (with every member
+        # handle) keeps the larger side; the smaller side gets a fresh
+        # cluster and only its heads are retargeted.
+        if left_pages >= right_pages:
+            cluster.n_pages = left_pages
+            other = self._new_cluster(pfn + self.block_pages, right_pages)
+        else:
+            self._drop_cluster(cluster)
+            cluster.start_pfn = pfn + self.block_pages
+            cluster.n_pages = right_pages
+            self._register_cluster(cluster)
+            other = self._new_cluster(left_start, left_pages)
+        for head in range(other.start_pfn, other.end_pfn, self.block_pages):
+            self._block_cluster[head] = other.handle
 
     def _register_cluster(self, cluster: Cluster) -> None:
         self._clusters[cluster.start_pfn] = cluster
@@ -121,13 +177,6 @@ class ContiguityMap:
         del self._clusters[cluster.start_pfn]
         i = bisect.bisect_left(self._starts, cluster.start_pfn)
         del self._starts[i]
-
-    def _retarget_blocks(self, old: Cluster, new: Cluster) -> None:
-        self._retarget_range(old.start_pfn, old.n_pages, new)
-
-    def _retarget_range(self, start: int, n_pages: int, cluster: Cluster) -> None:
-        for head in range(start, start + n_pages, self.block_pages):
-            self._block_cluster[head] = cluster
 
     # -- queries ------------------------------------------------------------
 

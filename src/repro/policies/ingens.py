@@ -75,9 +75,16 @@ class IngensPaging(PlacementPolicy):
             walk = process.space.page_table.walk(region)
             if walk.hit and walk.pte.huge:
                 return True  # already huge
-            resident = self._resident_pages(process.space, region)
-            if len(resident) >= int(self.util_threshold * HUGE_PAGES):
-                self._promote_region(kernel, process, vma, region, resident)
+            if kernel.engine == "fast":
+                # The runs mirror the page table exactly, so counting
+                # covered pages replaces 512 per-page walks.
+                n_resident = process.space.runs.covered_pages(
+                    region, region + HUGE_PAGES
+                )
+            else:
+                n_resident = len(self._resident_pages(process.space, region))
+            if n_resident >= int(self.util_threshold * HUGE_PAGES):
+                self._promote_region(kernel, process, vma, region, n_resident)
                 return True
             return False
         return True  # owner exited: drop
@@ -89,7 +96,7 @@ class IngensPaging(PlacementPolicy):
             if space.is_mapped(vpn)
         ]
 
-    def _promote_region(self, kernel, process, vma, region: int, resident) -> None:
+    def _promote_region(self, kernel, process, vma, region: int, n_resident: int) -> None:
         assert self.mem is not None
         try:
             new_pfn = self.mem.alloc_block(HUGE_ORDER, kernel.node_of(process))
@@ -98,5 +105,5 @@ class IngensPaging(PlacementPolicy):
         self.stats.allocations += 1
         self._note_zeroing(HUGE_ORDER)
         kernel.remap_region_huge(process, vma, region, new_pfn)
-        self.stats.migrations += len(resident)
+        self.stats.migrations += n_resident
         self.stats.promoted_huge_pages += 1

@@ -82,12 +82,18 @@ class SystemConfig:
     #: Contiguous-mapping threshold (pages) for the SpOT PTE bit (§IV-C).
     contig_threshold: int = 32
     seed: int = 42
+    #: Kernel simulation engine: ``"fast"`` (batched hot paths) or
+    #: ``"scalar"`` (reference page-at-a-time paths).  Identical
+    #: observable behaviour; the bench harness A/Bs the two.
+    engine: str = "fast"
 
     def __post_init__(self) -> None:
         if not self.node_pages:
             raise ConfigError("node_pages must name at least one node")
         if self.max_order < 1:
             raise ConfigError(f"max_order must be >= 1, got {self.max_order}")
+        if self.engine not in ("fast", "scalar"):
+            raise ConfigError(f"unknown kernel engine {self.engine!r}")
 
     @classmethod
     def from_scale(cls, scale: ScaleProfile, **overrides) -> "SystemConfig":

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
-from repro.errors import AddressSpaceError, MappingError
+from repro.errors import AddressSpaceError, ConfigError, MappingError, OutOfMemoryError
 from repro.mm.physmem import PhysicalMemory
 from repro.policies.base import FaultContext, PlacementPolicy
 from repro.units import HUGE_ORDER, HUGE_PAGES, order_pages
@@ -65,12 +65,21 @@ class Kernel:
         thp: bool = True,
         contig_threshold: int = 32,
         tick_every_faults: int = 256,
+        engine: str = "fast",
     ):
+        if engine not in ("fast", "scalar"):
+            raise ConfigError(f"unknown kernel engine {engine!r}")
         self.mem = mem
         self.policy = policy
         policy.bind(mem)
         policy.oom_reclaim = self.reclaim_pages
         self.thp = thp
+        #: ``"fast"`` routes batched implementations of the hot paths
+        #: (span faulting, leaf-order fork, region-batched promotion);
+        #: ``"scalar"`` routes the reference page-at-a-time paths.  The
+        #: observable state and counters are identical; the bench
+        #: harness A/Bs the two engines.
+        self.engine = engine
         self.contig_threshold = contig_threshold
         self.tick_every_faults = tick_every_faults
         self.page_cache = PageCache()
@@ -81,6 +90,9 @@ class Kernel:
         self.cow_breaks = 0
         self.tlb_shootdowns = 0
         self._faults_since_tick = 0
+        # True once any fork happened: only then can COW leaves exist,
+        # so touch_range must inspect already-mapped stretches.
+        self._cow_possible = False
 
     # -- process lifecycle ---------------------------------------------------
 
@@ -161,28 +173,87 @@ class Kernel:
             candidate = space.huge_candidate(vma, vpn)
             if candidate is not None:
                 base_vpn, req_order = candidate, HUGE_ORDER
+        result, _ = self._install_fault(process, vma, base_vpn, req_order, vpn, write)
+        return result
 
+    def _install_fault(self, process: Process, vma: Vma, base_vpn: int,
+                       req_order: int, vpn: int, write: bool,
+                       pte_flags: PteFlags | None = None,
+                       ctx: FaultContext | None = None) -> tuple[FaultResult, bool]:
+        """Allocate and install one fresh leaf (the tail of :meth:`fault`).
+
+        Returns the fault result plus whether a policy tick fired (a
+        tick's daemon work may remap pages, so batched callers must
+        re-scan their work list when it does).  ``pte_flags``/``ctx``
+        let :meth:`fault_span` hoist the invariant parts out of the
+        per-leaf loop (policies never retain the context).
+        """
+        space = process.space
         placements_before = self.policy.stats.placements
-        ctx = FaultContext(
-            space, vma, base_vpn, req_order, write=write,
-            preferred_node=process.preferred_node,
-        )
+        if ctx is None:
+            ctx = FaultContext(
+                space, vma, base_vpn, req_order, write=write,
+                preferred_node=process.preferred_node,
+            )
+        else:
+            ctx.vpn = base_vpn
+            ctx.order = req_order
         pfn, got_order = self.policy.allocate(ctx)
         if got_order < req_order:
             # Downgraded huge fault: map only the faulting base page.
             base_vpn = vpn
-        pte_flags = self._prot_flags(vma, write)
-        space.install(vma, base_vpn, pfn, got_order, pte_flags)
+        if pte_flags is None:
+            pte_flags = self._prot_flags(vma, write)
+        pte = space.install(vma, base_vpn, pfn, got_order, pte_flags)
         self._account_frame(pfn, got_order)
-        self._update_contig_bit(space, base_vpn)
+        self._update_contig_bit(space, base_vpn, pte)
 
         placed = self.policy.stats.placements > placements_before
         latency = FAULT_BASE_US + ZERO_US_PER_PAGE * order_pages(got_order)
         if placed:
             latency += PLACEMENT_SEARCH_US
         self.fault_events.append(FaultEvent(process.pid, got_order, latency, placed))
-        self._maybe_tick()
-        return FaultResult(base_vpn, pfn, got_order)
+        ticked = self._maybe_tick()
+        return FaultResult(base_vpn, pfn, got_order), ticked
+
+    def fault_span(self, process: Process, vma: Vma, vpn: int, end: int,
+                   write: bool = True, on_fault=None) -> tuple[int, int]:
+        """Fault in the (unmapped) span ``[vpn, end)`` inside ``vma``.
+
+        The batched analogue of calling :meth:`fault` per page: one
+        policy call per granted leaf, without re-walking the page table
+        or re-resolving the VMA between leaves.  ``on_fault`` is invoked
+        after each fault (the hypervisor backs the granted frames there).
+        Stops early when a policy tick fires, because daemon work may
+        have remapped pages inside the caller's pending span.  Returns
+        ``(major_faults, next_vpn)``.
+        """
+        space = process.space
+        majors = 0
+        thp = self.thp
+        huge_candidate = space.huge_candidate
+        pte_flags = self._prot_flags(vma, write)
+        ctx = FaultContext(
+            space, vma, vpn, 0, write=write,
+            preferred_node=process.preferred_node,
+        )
+        while vpn < end:
+            base_vpn, req_order = vpn, 0
+            if thp:
+                candidate = huge_candidate(vma, vpn)
+                if candidate is not None:
+                    base_vpn, req_order = candidate, HUGE_ORDER
+            result, ticked = self._install_fault(
+                process, vma, base_vpn, req_order, vpn, write,
+                pte_flags=pte_flags, ctx=ctx,
+            )
+            majors += 1
+            if on_fault is not None:
+                on_fault(result)
+            vpn = result.vpn + order_pages(result.order)
+            if ticked:
+                break
+        return majors, vpn
 
     def touch(self, process: Process, vpn: int, write: bool = True) -> FaultResult:
         """Access a page, faulting it in when absent (workload driver API)."""
@@ -193,8 +264,47 @@ class Kernel:
         """Touch ``n_pages`` from ``start_vpn``; returns major fault count.
 
         Skips pages already mapped cheaply (no minor-fault accounting),
-        which keeps sequential allocation phases fast.
+        which keeps sequential allocation phases fast.  Mapped stretches
+        are skipped via the mapping runs (which mirror the page table
+        exactly) and unmapped gaps are faulted through
+        :meth:`fault_span`, so the cost is one run lookup per stretch
+        plus one policy call per granted leaf — not one page-table walk
+        per page.  Behaviour is identical to :meth:`touch_range_scalar`,
+        which the ``scalar`` engine routes here.
         """
+        if self.engine != "fast":
+            return self.touch_range_scalar(process, start_vpn, n_pages, write, step)
+        space = process.space
+        majors = 0
+        vpn = start_vpn
+        end = start_vpn + n_pages
+        # COW leaves are invisible to the runs; scan mapped stretches
+        # leaf-by-leaf only when COW mappings can exist at all.
+        scan_cow = write and self._cow_possible
+        while vpn < end:
+            gap = space.runs.next_unmapped(vpn, end)
+            if gap is None:
+                if scan_cow:
+                    majors += self._cow_scan(process, vpn, end)
+                break
+            gap_start, gap_end = gap
+            if scan_cow and gap_start > vpn:
+                majors += self._cow_scan(process, vpn, gap_start)
+            vma = space.vma_at(gap_start)
+            if vma is None:
+                raise AddressSpaceError(
+                    f"segfault: pid {process.pid} touched unmapped vpn {gap_start:#x}"
+                )
+            n, vpn = self.fault_span(
+                process, vma, gap_start, min(gap_end, vma.end_vpn), write
+            )
+            majors += n
+        process.touched_pages += n_pages
+        return majors
+
+    def touch_range_scalar(self, process: Process, start_vpn: int, n_pages: int,
+                           write: bool = True, step: int = 1) -> int:
+        """Reference page-by-page :meth:`touch_range` (perf baseline)."""
         space = process.space
         majors = 0
         vpn = start_vpn
@@ -210,11 +320,59 @@ class Kernel:
         process.touched_pages += n_pages
         return majors
 
+    def _cow_scan(self, process: Process, vpn: int, end: int) -> int:
+        """Walk a mapped stretch, breaking COW leaves for a write touch."""
+        space = process.space
+        majors = 0
+        while vpn < end:
+            walk = space.page_table.walk(vpn)
+            if not walk.hit:
+                vpn += 1
+                continue
+            if not walk.pte.flags & PteFlags.COW:
+                vpn = walk.base_vpn + order_pages(walk.pte.order)
+                continue
+            result = self.fault(process, vpn, True)
+            majors += 1
+            vpn = result.vpn + order_pages(result.order) if not result.minor else vpn + 1
+        return majors
+
     # -- fork / copy-on-write ----------------------------------------------------
 
     def fork(self, parent: Process, name: str = "") -> Process:
-        """Create a COW child sharing all of the parent's frames."""
+        """Create a COW child sharing all of the parent's frames.
+
+        Copies by iterating the parent's page-table leaves once (VPN
+        order) instead of walking every VPN of every VMA — sparse or
+        huge-mapped parents fork in O(leaves), not O(pages).
+        """
+        if self.engine != "fast":
+            return self.fork_scalar(parent, name)
         child = self.create_process(name or f"{parent.name}-child", parent.preferred_node)
+        self._cow_possible = True
+        pairs = []
+        for vma in parent.space.iter_vmas():
+            child_vma = child.space.mmap(
+                vma.n_pages, vma.flags, at_vpn=vma.start_vpn,
+                name=vma.name, file=vma.file,
+            )
+            child_vma.offsets = list(vma.offsets)
+            pairs.append((vma, child_vma))
+        i = 0
+        for base_vpn, pte in parent.space.page_table.iter_leaves():
+            while i < len(pairs) and pairs[i][0].end_vpn <= base_vpn:
+                i += 1
+            child_vma = pairs[i][1]
+            # Write-protect both sides; share the frame.
+            pte.flags = (pte.flags | PteFlags.COW) & ~PteFlags.WRITE
+            child.space.install(child_vma, base_vpn, pte.pfn, pte.order, pte.flags)
+            self._account_frame(pte.pfn, pte.order)
+        return child
+
+    def fork_scalar(self, parent: Process, name: str = "") -> Process:
+        """Reference per-VPN :meth:`fork` (the ``scalar`` engine path)."""
+        child = self.create_process(name or f"{parent.name}-child", parent.preferred_node)
+        self._cow_possible = True
         for vma in parent.space.iter_vmas():
             child_vma = child.space.mmap(
                 vma.n_pages, vma.flags, at_vpn=vma.start_vpn,
@@ -231,8 +389,7 @@ class Kernel:
                 # Write-protect both sides; share the frame.
                 pte.flags = (pte.flags | PteFlags.COW) & ~PteFlags.WRITE
                 child.space.install(
-                    child_vma, walk.base_vpn, pte.pfn, pte.order,
-                    (pte.flags | PteFlags.COW) & ~PteFlags.WRITE,
+                    child_vma, walk.base_vpn, pte.pfn, pte.order, pte.flags
                 )
                 self._account_frame(pte.pfn, pte.order)
                 vpn = walk.base_vpn + order_pages(pte.order)
@@ -425,6 +582,22 @@ class Kernel:
     def remap_region_huge(self, process: Process, vma: Vma, region_vpn: int,
                           new_pfn: int) -> None:
         """Ingens promotion: replace resident 4K pages with one huge leaf."""
+        if self.engine != "fast":
+            self._remap_region_huge_scalar(process, vma, region_vpn, new_pfn)
+            return
+        space = process.space
+        for _vpn, pfn, n in space.uninstall_region(vma, region_vpn):
+            self._put_frame_span(pfn, n)
+        pte = space.install(
+            vma, region_vpn, new_pfn, HUGE_ORDER, self._prot_flags(vma, write=True)
+        )
+        self._account_frame(new_pfn, HUGE_ORDER)
+        self._update_contig_bit(space, region_vpn, pte)
+        self.tlb_shootdowns += 1
+
+    def _remap_region_huge_scalar(self, process: Process, vma: Vma,
+                                  region_vpn: int, new_pfn: int) -> None:
+        """Reference per-page promotion (the ``scalar`` engine path)."""
         space = process.space
         vpn = region_vpn
         while vpn < region_vpn + HUGE_PAGES:
@@ -450,11 +623,12 @@ class Kernel:
         """
         return process.space.runs.run_length_at(vpn) >= self.contig_threshold
 
-    def _update_contig_bit(self, space, base_vpn: int) -> None:
+    def _update_contig_bit(self, space, base_vpn: int, pte=None) -> None:
         run = space.runs.find(base_vpn)
         if run is None or run.n_pages < self.contig_threshold:
             return
-        pte = space.page_table.lookup(base_vpn)
+        if pte is None:
+            pte = space.page_table.lookup(base_vpn)
         if pte is not None:
             pte.flags |= PteFlags.CONTIG
 
@@ -469,6 +643,44 @@ class Kernel:
         frames.unmap_block(pfn, order_pages(order))
         if frames.mapcount[frames.index(pfn)] <= 0:
             self.mem.free_block(pfn, order)
+
+    def _put_frame_span(self, pfn: int, n_pages: int) -> None:
+        """Batched :meth:`_put_frame` over ``n_pages`` base frames.
+
+        Drops one mapping per frame with a single array op and frees the
+        fully-unmapped stretch as maximal aligned buddy blocks.  The
+        buddy free state after coalescing is identical to ``n_pages``
+        per-page frees (the buddy representation of a free set is
+        unique), reached in O(blocks) instead of O(pages).  Frames still
+        mapped elsewhere (COW-shared) fall back to per-frame checks.
+        """
+        while n_pages > 0:
+            zone = self.mem.zone_of(pfn)
+            take = min(n_pages, zone.end_pfn - pfn)
+            i = zone.frames.index(pfn)
+            counts = zone.frames.mapcount[i:i + take]
+            counts -= 1
+            if counts.max() <= 0:
+                self._free_aligned_span(zone, pfn, take)
+            else:
+                for j in range(take):
+                    if counts[j] <= 0:
+                        zone.free_block(pfn + j, 0)
+            pfn += take
+            n_pages -= take
+
+    def _free_aligned_span(self, zone, pfn: int, n_pages: int) -> None:
+        """Free ``[pfn, pfn + n_pages)`` as maximal aligned buddy blocks."""
+        max_order = zone.max_order
+        while n_pages > 0:
+            align = (
+                max_order if pfn == 0
+                else (pfn & -pfn).bit_length() - 1
+            )
+            order = min(align, n_pages.bit_length() - 1, max_order)
+            zone.free_block(pfn, order)
+            pfn += 1 << order
+            n_pages -= 1 << order
 
     def _pfn_valid(self, pfn: int) -> bool:
         try:
@@ -487,11 +699,13 @@ class Kernel:
             flags |= PteFlags.DIRTY
         return flags
 
-    def _maybe_tick(self) -> None:
+    def _maybe_tick(self) -> bool:
         self._faults_since_tick += 1
         if self._faults_since_tick >= self.tick_every_faults:
             self._faults_since_tick = 0
             self.policy.tick(self)
+            return True
+        return False
 
     def run_daemons(self) -> None:
         """Force an asynchronous-daemon pass (Ingens/Ranger epoch)."""

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 
-from repro.errors import VirtualizationError
+from repro.errors import AddressSpaceError, VirtualizationError
 from repro.mm.physmem import PhysicalMemory
 from repro.sim.kernel import FaultResult, Kernel
 from repro.sim.machine import Machine
@@ -116,8 +116,13 @@ class VirtualMachine:
             thp=guest_thp,
             contig_threshold=cfg.contig_threshold,
             tick_every_faults=cfg.tick_every_faults,
+            engine=cfg.engine,
         )
         self.nested_faults = 0
+        #: Callables ``(process, FaultResult)`` run after every guest
+        #: fault that installed a mapping (once its gPA range is
+        #: nested-backed) — the shadow pager syncs from here.
+        self.fault_hooks: list = []
 
     # -- address plumbing -----------------------------------------------------
 
@@ -173,11 +178,53 @@ class VirtualMachine:
         result = self.guest_kernel.fault(process, vpn, write)
         if not result.minor:
             self.ensure_backed(result.pfn, order_pages(result.order))
+            for hook in self.fault_hooks:
+                hook(process, result)
         return result
 
     def guest_touch_range(self, process: Process, start_vpn: int, n_pages: int,
                           write: bool = True) -> int:
-        """Touch a guest virtual range, faulting in both dimensions."""
+        """Touch a guest virtual range, faulting in both dimensions.
+
+        Mapped guest stretches are skipped via the mapping runs and
+        unmapped gaps go through the guest kernel's batched
+        ``fault_span``; each granted guest leaf is nested-backed
+        immediately, exactly like the per-page :meth:`guest_fault` path.
+        The ``scalar`` guest engine routes the reference per-leaf loop.
+        """
+        if self.guest_kernel.engine != "fast":
+            return self._guest_touch_range_scalar(process, start_vpn, n_pages, write)
+        majors = 0
+        vpn = start_vpn
+        end = start_vpn + n_pages
+        space = process.space
+
+        def back(result: FaultResult) -> None:
+            self.ensure_backed(result.pfn, order_pages(result.order))
+            for hook in self.fault_hooks:
+                hook(process, result)
+
+        while vpn < end:
+            gap = space.runs.next_unmapped(vpn, end)
+            if gap is None:
+                break
+            gap_start, gap_end = gap
+            vma = space.vma_at(gap_start)
+            if vma is None:
+                raise AddressSpaceError(
+                    f"segfault: pid {process.pid} touched unmapped vpn {gap_start:#x}"
+                )
+            n, vpn = self.guest_kernel.fault_span(
+                process, vma, gap_start, min(gap_end, vma.end_vpn), write,
+                on_fault=back,
+            )
+            majors += n
+        process.touched_pages += n_pages
+        return majors
+
+    def _guest_touch_range_scalar(self, process: Process, start_vpn: int,
+                                  n_pages: int, write: bool = True) -> int:
+        """Reference per-leaf :meth:`guest_touch_range` (scalar engine)."""
         majors = 0
         vpn = start_vpn
         end = start_vpn + n_pages
@@ -218,16 +265,15 @@ class VirtualMachine:
         self.guest_kernel.exit_process(process)
 
     def _back_mapped_range(self, process: Process, start_vpn: int, n_pages: int) -> None:
-        space = process.space
-        vpn = start_vpn
+        # One nested-backing request per gPA-contiguous guest run, not
+        # one per leaf (the host kernel skips already-backed spans).
         end = start_vpn + n_pages
-        while vpn < end:
-            walk = space.page_table.walk(vpn)
-            if not walk.hit:
-                vpn += 1
+        for run in list(process.space.runs):
+            if run.end_vpn <= start_vpn or run.start_vpn >= end:
                 continue
-            self.ensure_backed(walk.pte.pfn, order_pages(walk.pte.order))
-            vpn = walk.base_vpn + order_pages(walk.pte.order)
+            lo = max(run.start_vpn, start_vpn)
+            hi = min(run.end_vpn, end)
+            self.ensure_backed(run.translate(lo), hi - lo)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

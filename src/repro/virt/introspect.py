@@ -10,10 +10,17 @@ contiguity-bit question the SpOT table-fill filter asks.
 
 from __future__ import annotations
 
+from weakref import WeakKeyDictionary
+
 from repro.units import HUGE_PAGES
 from repro.virt.hypervisor import VirtualMachine
 from repro.vm.mapping_runs import MappingRuns, compose
 from repro.vm.process import Process
+
+#: vm -> {pid: (guest_generation, host_generation, composed runs)}.
+#: Composition is O(runs) and samplers call it every epoch, so cache it
+#: behind the generation counters of both dimensions.
+_TWO_D_CACHE: "WeakKeyDictionary[VirtualMachine, dict]" = WeakKeyDictionary()
 
 
 def nested_runs(vm: VirtualMachine) -> MappingRuns:
@@ -40,8 +47,20 @@ def two_d_runs(vm: VirtualMachine, process: Process) -> MappingRuns:
     A 2D run continues only while both the guest (gVA→gPA) and the
     nested (gPA→hPA) dimensions stay contiguous — the paper's
     effective-contiguity definition (Fig. 5).
+
+    The result is memoized per (vm, process) behind the generation
+    counters of both dimensions' :class:`MappingRuns`, so repeated
+    sampling of an unchanged state is O(1).  Callers must treat the
+    returned runs as read-only.
     """
-    return compose(process.space.runs, nested_runs(vm))
+    key = (process.space.runs.generation, vm.qemu.space.runs.generation)
+    per_vm = _TWO_D_CACHE.setdefault(vm, {})
+    cached = per_vm.get(process.pid)
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    runs = compose(process.space.runs, nested_runs(vm))
+    per_vm[process.pid] = (key, runs)
+    return runs
 
 
 def pte_contiguous_2d(

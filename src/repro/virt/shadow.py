@@ -141,25 +141,22 @@ class ShadowPager:
 def attach_shadow_paging(vm: VirtualMachine) -> ShadowPager:
     """Switch a VM to shadow paging.
 
-    Wraps the VM's ``guest_fault`` so every guest mapping install also
-    syncs the shadow table, and ``guest_exit_process`` so tables drop
+    Registers a fault hook so every guest mapping install (single
+    faults and batched ``guest_touch_range`` spans alike) also syncs
+    the shadow table, and wraps ``guest_exit_process`` so tables drop
     with their process.  Returns the pager (stats + tables).
     """
     pager = ShadowPager(vm)
-    original_fault = vm.guest_fault
     original_exit = vm.guest_exit_process
 
-    def shadow_fault(process, vpn, write=True):
-        result = original_fault(process, vpn, write)
-        if not result.minor:
-            pager.sync_fault(process, result.vpn, result.pfn, result.order)
-        return result
+    def shadow_sync(process, result):
+        pager.sync_fault(process, result.vpn, result.pfn, result.order)
 
     def shadow_exit(process):
         pager.drop(process)
         original_exit(process)
 
-    vm.guest_fault = shadow_fault
+    vm.fault_hooks.append(shadow_sync)
     vm.guest_exit_process = shadow_exit
     vm.shadow_pager = pager
     return pager

@@ -138,6 +138,21 @@ class AddressSpace:
         vma.mapped_pages -= pages
         return walk.pte
 
+    def uninstall_region(self, vma: Vma, region_vpn: int) -> list[tuple[int, int, int]]:
+        """Unmap every 4 KiB leaf of one 2 MiB region in one batch.
+
+        The promotion fast path: detaches the region's PT leaves with a
+        single page-table descent and removes the covering runs whole,
+        returning the removed ``(vpn, pfn, n_pages)`` chunks so the
+        caller can release contiguous physical stretches together.
+        """
+        from repro.units import HUGE_PAGES as _HUGE
+
+        removed = self.page_table.unmap_region_leaves(region_vpn)
+        chunks = self.runs.remove_span(region_vpn, region_vpn + _HUGE)
+        vma.mapped_pages -= len(removed)
+        return chunks
+
     # -- queries ---------------------------------------------------------------
 
     def is_mapped(self, vpn: int) -> bool:

@@ -68,6 +68,9 @@ class MappingRuns:
     def __init__(self) -> None:
         self._starts: list[int] = []  # sorted start_vpn keys
         self._runs: dict[int, MappingRun] = {}
+        #: Bumped on every structural change; lets derived views (the
+        #: composed 2D runs, translation snapshots) cache safely.
+        self.generation = 0
 
     # -- updates ---------------------------------------------------------------
 
@@ -96,13 +99,28 @@ class MappingRuns:
 
     def remove(self, vpn: int, n_pages: int = 1) -> None:
         """Remove ``n_pages`` starting at ``vpn``; splits runs as needed."""
-        end = vpn + n_pages
+        self.remove_span(vpn, vpn + n_pages)
+
+    def remove_span(self, vpn: int, end: int) -> list[tuple[int, int, int]]:
+        """Remove all coverage in ``[vpn, end)``; returns removed chunks.
+
+        Each chunk is ``(vpn, pfn, n_pages)`` of one removed contiguous
+        mapping, in VPN order.  Uncovered holes are skipped via the
+        sorted starts (O(log runs) per chunk, not per page), which is
+        what lets the batched unmap paths free whole physical stretches
+        at once.
+        """
+        removed: list[tuple[int, int, int]] = []
         while vpn < end:
             run = self.find(vpn)
             if run is None:
-                vpn += 1
+                i = bisect.bisect_left(self._starts, vpn)
+                if i >= len(self._starts) or self._starts[i] >= end:
+                    break
+                vpn = self._starts[i]
                 continue
             cut_end = min(end, run.end_vpn)
+            removed.append((vpn, vpn - run.offset, cut_end - vpn))
             self._drop(run)
             if run.start_vpn < vpn:
                 self._insert(MappingRun(run.start_vpn, run.start_pfn, vpn - run.start_vpn))
@@ -111,15 +129,18 @@ class MappingRuns:
                     MappingRun(cut_end, cut_end - run.offset, run.end_vpn - cut_end)
                 )
             vpn = cut_end
+        return removed
 
     def _insert(self, run: MappingRun) -> None:
         bisect.insort(self._starts, run.start_vpn)
         self._runs[run.start_vpn] = run
+        self.generation += 1
 
     def _drop(self, run: MappingRun) -> None:
         i = bisect.bisect_left(self._starts, run.start_vpn)
         del self._starts[i]
         del self._runs[run.start_vpn]
+        self.generation += 1
 
     # -- queries --------------------------------------------------------------
 
@@ -130,6 +151,33 @@ class MappingRuns:
             return None
         run = self._runs[self._starts[i - 1]]
         return run if run.contains_vpn(vpn) else None
+
+    def next_unmapped(self, vpn: int, end: int) -> tuple[int, int] | None:
+        """First maximal uncovered span within ``[vpn, end)``, or None.
+
+        Because runs mirror the page table exactly, this finds the next
+        stretch of unmapped pages in O(log runs) instead of walking the
+        table page by page (the ``touch_range`` fast path).
+        """
+        while vpn < end:
+            run = self.find(vpn)
+            if run is None:
+                i = bisect.bisect_left(self._starts, vpn)
+                gap_end = self._starts[i] if i < len(self._starts) else end
+                return vpn, min(end, gap_end)
+            vpn = run.end_vpn
+        return None
+
+    def covered_pages(self, vpn: int, end: int) -> int:
+        """Mapped pages within ``[vpn, end)`` (runs mirror the page table)."""
+        covered = 0
+        run = self.find(vpn)
+        i = bisect.bisect_left(self._starts, vpn if run is None else run.start_vpn)
+        while i < len(self._starts) and self._starts[i] < end:
+            r = self._runs[self._starts[i]]
+            covered += min(end, r.end_vpn) - max(vpn, r.start_vpn)
+            i += 1
+        return covered
 
     def run_length_at(self, vpn: int) -> int:
         """Length (pages) of the run covering ``vpn``; 0 when unmapped."""

@@ -163,6 +163,37 @@ class PageTable:
         self._leaf_count -= 1
         return pte
 
+    def unmap_region_leaves(self, region_vpn: int) -> list[tuple[int, Pte]]:
+        """Detach every 4 KiB leaf of one 2 MiB-aligned region at once.
+
+        The region maps to exactly one PT node, so the whole batch is a
+        single descent plus one dict sweep — the promotion hot path —
+        instead of one full walk per page.  Returns ``(vpn, pte)`` pairs
+        in VPN order; raises :class:`MappingError` when the PMD slot
+        holds a huge leaf (callers promote only non-huge regions).
+        """
+        if not is_aligned(region_vpn, HUGE_PAGES):
+            raise MappingError(f"region vpn {region_vpn:#x} not 2M-aligned")
+        node = self._root
+        for level in range(self.levels, 2, -1):
+            entry = node.entries.get(_index(region_vpn, level))
+            if entry is None:
+                return []
+            node = entry
+        pt = node.entries.get(_index(region_vpn, 2))
+        if pt is None:
+            return []
+        if isinstance(pt, Pte):
+            raise MappingError(
+                f"region {region_vpn:#x} is mapped by a huge leaf"
+            )
+        removed = [
+            (region_vpn + idx, pte) for idx, pte in sorted(pt.entries.items())
+        ]
+        pt.entries.clear()
+        self._leaf_count -= len(removed)
+        return removed
+
     # -- lookup ------------------------------------------------------------
 
     def walk(self, vpn: int) -> WalkResult:

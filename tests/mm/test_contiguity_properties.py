@@ -1,0 +1,78 @@
+"""Property test: the incremental contiguity map vs a from-scratch rebuild.
+
+The map updates its clusters on every MAX_ORDER free-list event (merge,
+split, downward extension, bridge).  The invariant that makes it
+trustworthy is simple: at any point, its snapshot must equal what a
+cold scan of the buddy allocator's MAX_ORDER free list would produce.
+This drives a zone through randomized alloc/free sequences and checks
+that equivalence at every step.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.mm.zone import Zone
+from repro.units import order_pages
+
+MAX_ORDER = 5
+BLOCK = order_pages(MAX_ORDER)
+
+
+def rebuild_from_buddy(zone: Zone) -> list[tuple[int, int]]:
+    """Cold-scan reference: coalesce the sorted MAX_ORDER free heads."""
+    heads = sorted(zone.buddy.iter_free_blocks(MAX_ORDER))
+    clusters: list[tuple[int, int]] = []
+    for head in heads:
+        if clusters and clusters[-1][0] + clusters[-1][1] == head:
+            clusters[-1] = (clusters[-1][0], clusters[-1][1] + BLOCK)
+        else:
+            clusters.append((head, BLOCK))
+    return clusters
+
+
+def assert_map_consistent(zone: Zone) -> None:
+    assert sorted(zone.contiguity_map.snapshot()) == rebuild_from_buddy(zone)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_random_alloc_free_keeps_map_consistent(seed):
+    rng = random.Random(seed)
+    zone = Zone(0, 0, 256 * BLOCK, max_order=MAX_ORDER)
+    assert_map_consistent(zone)
+    held: list[tuple[int, int]] = []
+    for step in range(600):
+        if held and rng.random() < 0.45:
+            pfn, order = held.pop(rng.randrange(len(held)))
+            zone.free_block(pfn, order)
+        else:
+            order = rng.choice([0, 0, 1, 2, 3, MAX_ORDER])
+            try:
+                pfn = zone.alloc_block(order)
+            except OutOfMemoryError:
+                continue
+            held.append((pfn, order))
+        assert_map_consistent(zone)
+    # Drain everything: one maximal cluster must re-form.
+    for pfn, order in held:
+        zone.free_block(pfn, order)
+    assert_map_consistent(zone)
+    assert len(zone.contiguity_map) == 1
+
+
+def test_targeted_alloc_splits_consistently():
+    rng = random.Random(9)
+    zone = Zone(0, 0, 64 * BLOCK, max_order=MAX_ORDER)
+    taken: list[tuple[int, int]] = []
+    for _ in range(120):
+        pfn = rng.randrange(0, 64 * BLOCK)
+        order = rng.choice([0, 1, MAX_ORDER])
+        pfn -= pfn % order_pages(order)
+        if zone.alloc_target(pfn, order):
+            taken.append((pfn, order))
+        assert_map_consistent(zone)
+    rng.shuffle(taken)
+    for pfn, order in taken:
+        zone.free_block(pfn, order)
+        assert_map_consistent(zone)

@@ -1,0 +1,73 @@
+"""Kernel ``fast`` vs ``scalar`` engine differential tests.
+
+The batched fault/promotion paths must be *observably identical* to the
+per-page reference: same fault counts and latencies, same mapping runs,
+same policy decisions, same free memory.  Anything less and the bench's
+speedup numbers compare different systems.
+"""
+
+import pytest
+
+from repro.sim.config import TEST_SCALE, SystemConfig
+from repro.sim.machine import build_machine
+from repro.vm.flags import DEFAULT_ANON
+from repro.workloads import make_workload
+
+
+def run_alloc_phase(policy: str, engine: str):
+    config = SystemConfig(
+        node_pages=(32 * 1024, 32 * 1024), churn_ops=400, engine=engine
+    )
+    machine = build_machine(policy, config)
+    kernel = machine.kernel
+    wl = make_workload("svm", TEST_SCALE)
+    process = kernel.create_process(wl.name)
+    vmas = [
+        kernel.mmap(process, plan.n_pages, flags=DEFAULT_ANON, name=plan.name)
+        for plan in wl.vma_plans
+    ]
+    for step in wl.alloc_steps():
+        if step.kind != "anon":
+            continue
+        kernel.touch_range(
+            process, vmas[step.index].start_vpn + step.start_page, step.n_pages
+        )
+    return machine, kernel, process
+
+
+def digest(machine, kernel, process) -> dict:
+    return {
+        "major_faults": kernel.major_faults,
+        "minor_faults": kernel.minor_faults,
+        "tlb_shootdowns": kernel.tlb_shootdowns,
+        "free_pages": machine.mem.free_pages,
+        "latencies": [round(v, 6) for v in kernel.fault_latencies_us()],
+        "runs": process.space.runs.sizes_desc(),
+        "resident": process.resident_pages,
+        "policy_stats": dict(sorted(vars(machine.policy.stats).items())),
+    }
+
+
+@pytest.mark.parametrize("policy", ["thp", "ingens", "ca"])
+def test_alloc_phase_identical(policy):
+    digests = {
+        engine: digest(*run_alloc_phase(policy, engine))
+        for engine in ("scalar", "fast")
+    }
+    assert digests["scalar"] == digests["fast"]
+
+
+def test_fork_identical():
+    results = {}
+    for engine in ("scalar", "fast"):
+        machine, kernel, parent = run_alloc_phase("ca", engine)
+        child = kernel.fork(parent)
+        first_vma = next(iter(child.space.iter_vmas()))
+        kernel.touch_range(child, first_vma.start_vpn, 64)
+        results[engine] = {
+            "parent_runs": parent.space.runs.sizes_desc(),
+            "child_runs": child.space.runs.sizes_desc(),
+            "minor_faults": kernel.minor_faults,
+            "free_pages": machine.mem.free_pages,
+        }
+    assert results["scalar"] == results["fast"]

@@ -1,0 +1,48 @@
+"""Regression: relocation under memory exhaustion must fail, not raise.
+
+``relocate_leaf`` allocates the destination before tearing anything
+down; when the machine is fully committed it must report failure and
+leave the mapping untouched (Ranger treats that as "evacuation
+deferred"), not propagate :class:`OutOfMemoryError` into the policy.
+"""
+
+from repro.errors import OutOfMemoryError
+from repro.sim.machine import build_machine
+from repro.vm.flags import DEFAULT_ANON
+from tests.policies.conftest import SMALL
+
+
+def exhaust(machine) -> list[int]:
+    taken = []
+    while True:
+        try:
+            taken.append(machine.mem.alloc_block(0))
+        except OutOfMemoryError:
+            return taken
+
+
+def test_relocate_leaf_survives_oom():
+    machine = build_machine("ca", SMALL)
+    kernel = machine.kernel
+    process = kernel.create_process("victim")
+    vma = kernel.mmap(process, 16, flags=DEFAULT_ANON)
+    kernel.touch_range(process, vma.start_vpn, 16)
+    vpn = vma.start_vpn
+    before = process.space.translate(vpn)
+    assert before is not None
+
+    taken = exhaust(machine)
+    assert machine.mem.free_pages == 0
+    shootdowns = kernel.tlb_shootdowns
+
+    assert kernel.relocate_leaf(process, vpn) is False
+    # The mapping is untouched: same frame, no shootdown charged.
+    assert process.space.translate(vpn) == before
+    assert kernel.tlb_shootdowns == shootdowns
+
+    # With memory back, the same call succeeds and actually moves it.
+    for pfn in taken[: 4 * 512]:
+        machine.mem.free_block(pfn, 0)
+    assert kernel.relocate_leaf(process, vpn) is True
+    after = process.space.translate(vpn)
+    assert after is not None and after != before
