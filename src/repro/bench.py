@@ -19,6 +19,12 @@ Both phases assert that the engines agree on every observable counter
 before reporting throughput, so the speedups are for identical work.
 The JSON written to ``BENCH_engine.json`` is the perf-tracking artifact
 CI archives per commit.
+
+A third bench, ``python -m repro bench-suite`` (:func:`run_suite_bench`),
+measures the experiment orchestrator itself: the whole suite serially,
+through the process fan-out against a cold cache, and again warm — with
+the serialized results asserted byte-identical across all three modes —
+writing ``BENCH_suite.json``.
 """
 
 from __future__ import annotations
@@ -258,3 +264,99 @@ def write_report(report: dict, out: str | Path) -> Path:
     path = Path(out)
     path.write_text(json.dumps(report, indent=2) + "\n")
     return path
+
+
+def _suite_pass(scale: ScaleProfile, names: list[str], jobs: int,
+                cache) -> tuple[str, float, dict]:
+    """One full-suite pass; returns (canonical JSON, seconds, stats)."""
+    from repro.cli import suite_plans
+    from repro.experiments.serialize import to_jsonable
+    from repro.sim.jobs import Executor, run_plans
+
+    executor = Executor(jobs=jobs, cache=cache)
+    started = time.perf_counter()
+    entries = suite_plans(scale, names)
+    results = run_plans([plan for _, _, plan in entries], executor)
+    seconds = time.perf_counter() - started
+    payload = {
+        key: to_jsonable(result)
+        for (_, key, _), result in zip(entries, results)
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return blob, seconds, asdict(executor.stats)
+
+
+def run_suite_bench(
+    scale_name: str = "quick",
+    jobs: int | None = None,
+    experiments: tuple[str, ...] | None = None,
+    cache_root: str | Path | None = None,
+) -> dict:
+    """Orchestrator A/B/C: serial vs parallel-cold vs parallel-warm.
+
+    The same experiment suite runs three times — serially with no cache,
+    through the ``jobs``-wide fan-out against an empty cache, and again
+    against the now-populated cache — and the three serialized result
+    sets are asserted byte-identical before any timing is reported.
+
+    ``cache_root`` (a scratch directory; **cleared** before the cold
+    pass so cold means cold) defaults to a private temp dir.
+    """
+    import hashlib
+    import os
+    import shutil
+    import tempfile
+
+    from repro.cli import EXPERIMENTS, SCALES
+    from repro.sim.cache import RunCache
+
+    scale = SCALES[scale_name]
+    names = list(experiments) if experiments else list(EXPERIMENTS)
+    jobs = jobs or (os.cpu_count() or 1)
+    started = time.time()
+    own_tmp = cache_root is None
+    root = (
+        Path(tempfile.mkdtemp(prefix="repro-suite-bench-"))
+        if own_tmp else Path(cache_root)
+    )
+    try:
+        RunCache(root).clear()
+        serial_blob, serial_s, serial_stats = _suite_pass(scale, names, 1, None)
+        cold_blob, cold_s, cold_stats = _suite_pass(
+            scale, names, jobs, RunCache(root)
+        )
+        warm_blob, warm_s, warm_stats = _suite_pass(
+            scale, names, jobs, RunCache(root)
+        )
+    finally:
+        if own_tmp:
+            shutil.rmtree(root, ignore_errors=True)
+
+    identical = serial_blob == cold_blob == warm_blob
+    return {
+        "bench": "suite",
+        "scale": scale_name,
+        "experiments": names,
+        "jobs": jobs,
+        "cpus": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "modes": {
+            "serial": {
+                "seconds": round(serial_s, 3), "stats": serial_stats,
+            },
+            "parallel_cold": {
+                "seconds": round(cold_s, 3), "stats": cold_stats,
+                "speedup_vs_serial": round(serial_s / max(cold_s, 1e-9), 2),
+            },
+            "parallel_warm": {
+                "seconds": round(warm_s, 3), "stats": warm_stats,
+                "speedup_vs_serial": round(serial_s / max(warm_s, 1e-9), 2),
+            },
+        },
+        # Headline numbers perf tracking plots per commit.
+        "cold_speedup": round(serial_s / max(cold_s, 1e-9), 2),
+        "warm_speedup": round(serial_s / max(warm_s, 1e-9), 2),
+        "results_identical": identical,
+        "results_sha256": hashlib.sha256(serial_blob.encode()).hexdigest(),
+        "wall_seconds": round(time.time() - started, 1),
+    }

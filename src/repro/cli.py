@@ -4,9 +4,17 @@ Usage::
 
     python -m repro list
     python -m repro run fig7 --scale quick
-    python -m repro run fig13 fig14 --scale default
-    python -m repro suite --scale quick
+    python -m repro run fig13 fig14 --scale default --jobs 4
+    python -m repro suite --scale quick --jobs 8
     python -m repro bench --scale default --out BENCH_engine.json
+    python -m repro bench-suite --scale quick --out BENCH_suite.json
+
+Experiments decompose into run cells (see :mod:`repro.sim.jobs`);
+``--jobs N`` fans the cells of all requested experiments out over N
+worker processes, and results are memoized in a content-addressed
+on-disk cache (``--cache-dir``, disable with ``--no-cache``) keyed by
+cell spec + source digest, so repeated and overlapping invocations skip
+the simulation work entirely.
 
 Each experiment prints the same rows/series the paper reports; see
 EXPERIMENTS.md for paper-vs-measured commentary.
@@ -16,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import os
 import sys
 import time
 
@@ -51,31 +60,75 @@ SCALES = {
 }
 
 
-def _run_experiment(name: str, scale, json_dir=None, scale_name: str = "") -> None:
-    module = importlib.import_module(f"repro.experiments.{name}")
-    started = time.time()
-    results = {}
-    if name == "fig1":
-        # fig1 has two sub-experiments with their own run functions.
-        results["fig1b"] = module.run_fig1b(scale=scale)
-        results["fig1c"] = module.run_fig1c(scale=scale)
-        print("Fig 1b: coverage across consecutive PageRank runs")
-        print(results["fig1b"].report())
-        print("\nFig 1c: coverage during XSBench execution")
-        print(results["fig1c"].report())
-    else:
-        results[name] = module.run(scale=scale)
-        print(results[name].report())
-    if json_dir is not None:
-        from repro.experiments.serialize import save_result
+def experiment_plans(name: str, scale) -> list[tuple[str, "object"]]:
+    """The ``(result_key, Plan)`` pairs one experiment contributes.
 
-        for key, result in results.items():
-            out = save_result(
-                json_dir / f"{key}.json", key, result,
-                scale=scale_name, seconds=round(time.time() - started, 1),
-            )
-            print(f"[saved {out}]")
-    print(f"\n[{name} done in {time.time() - started:.1f}s]")
+    Most experiments expose a single ``plan()``; fig 1 carries two
+    sub-experiments with their own plans.
+    """
+    module = importlib.import_module(f"repro.experiments.{name}")
+    if name == "fig1":
+        return [
+            ("fig1b", module.plan_fig1b(scale=scale)),
+            ("fig1c", module.plan_fig1c(scale=scale)),
+        ]
+    return [(name, module.plan(scale=scale))]
+
+
+def suite_plans(scale, names=None) -> list[tuple[str, str, "object"]]:
+    """``(experiment, result_key, Plan)`` for every requested experiment."""
+    entries = []
+    for name in (names if names is not None else EXPERIMENTS):
+        for key, plan in experiment_plans(name, scale):
+            entries.append((name, key, plan))
+    return entries
+
+
+def make_executor(args):
+    """Build the Executor the ``--jobs``/cache flags describe."""
+    from repro.sim.cache import RunCache
+    from repro.sim.jobs import Executor
+
+    cache = None
+    if not getattr(args, "no_cache", False):
+        cache = RunCache(getattr(args, "cache_dir", None))
+    return Executor(jobs=getattr(args, "jobs", None) or 1, cache=cache)
+
+
+def _run_experiments(names: list[str], args) -> int:
+    from repro.sim.jobs import run_plans
+
+    scale = SCALES[args.scale]
+    json_dir = _json_dir(args)
+    executor = make_executor(args)
+    started = time.time()
+    entries = suite_plans(scale, names)
+    results = run_plans([plan for _, _, plan in entries], executor)
+    by_name: dict[str, list[tuple[str, object]]] = {}
+    for (name, key, _), result in zip(entries, results):
+        by_name.setdefault(name, []).append((key, result))
+    for name in names:
+        print(f"=== {name}: {EXPERIMENTS[name]} (scale={args.scale}) ===")
+        for key, result in by_name[name]:
+            if key != name:
+                print(f"[{key}]")
+            print(result.report())
+            if json_dir is not None:
+                from repro.experiments.serialize import save_result
+
+                out = save_result(
+                    json_dir / f"{key}.json", key, result, scale=args.scale
+                )
+                print(f"[saved {out}]")
+        print()
+    s = executor.stats
+    print(
+        f"[{len(entries)} plan(s), {s.submitted} cell(s): "
+        f"{s.computed} computed, {s.cache_hits} cached, "
+        f"{s.deduped} deduped; jobs={executor.jobs}; "
+        f"{time.time() - started:.1f}s]"
+    )
+    return 0
 
 
 def _cmd_list(_args) -> int:
@@ -96,27 +149,16 @@ def _json_dir(args):
 
 
 def _cmd_run(args) -> int:
-    scale = SCALES[args.scale]
-    json_dir = _json_dir(args)
     for name in args.experiment:
         if name not in EXPERIMENTS:
             print(f"unknown experiment {name!r}; try `python -m repro list`",
                   file=sys.stderr)
             return 2
-        print(f"=== {name}: {EXPERIMENTS[name]} (scale={args.scale}) ===")
-        _run_experiment(name, scale, json_dir, args.scale)
-        print()
-    return 0
+    return _run_experiments(list(args.experiment), args)
 
 
 def _cmd_suite(args) -> int:
-    scale = SCALES[args.scale]
-    json_dir = _json_dir(args)
-    for name in EXPERIMENTS:
-        print(f"=== {name}: {EXPERIMENTS[name]} (scale={args.scale}) ===")
-        _run_experiment(name, scale, json_dir, args.scale)
-        print()
-    return 0
+    return _run_experiments(list(EXPERIMENTS), args)
 
 
 def _cmd_bench(args) -> int:
@@ -149,6 +191,42 @@ def _cmd_bench(args) -> int:
     return 0 if report["engines_identical"] else 1
 
 
+def _cmd_bench_suite(args) -> int:
+    from repro.bench import run_suite_bench, write_report
+
+    for name in args.experiments or ():
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; try `python -m repro list`",
+                  file=sys.stderr)
+            return 2
+    print(f"=== bench-suite: orchestrator serial/cold/warm "
+          f"(scale={args.scale}, jobs={args.jobs or 'auto'}) ===")
+    report = run_suite_bench(
+        args.scale,
+        jobs=args.jobs,
+        experiments=tuple(args.experiments) if args.experiments else None,
+        cache_root=args.cache_dir,
+    )
+    for mode, row in report["modes"].items():
+        s = row["stats"]
+        extra = (
+            f" ({row['speedup_vs_serial']}x vs serial)"
+            if "speedup_vs_serial" in row else ""
+        )
+        print(f"{mode:>13}: {row['seconds']:.2f}s{extra} — "
+              f"{s['computed']} computed, {s['cache_hits']} cached, "
+              f"{s['deduped']} deduped of {s['submitted']}")
+    print(f"results identical across modes: {report['results_identical']}")
+    out = write_report(report, args.out)
+    print(f"[saved {out} in {report['wall_seconds']}s]")
+    ok = report["results_identical"]
+    if args.min_warm_speedup and report["warm_speedup"] < args.min_warm_speedup:
+        print(f"warm speedup {report['warm_speedup']}x below gate "
+              f"{args.min_warm_speedup}x", file=sys.stderr)
+        ok = False
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -161,27 +239,36 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_list
     )
 
+    def add_orchestrator_flags(p, default_jobs: int) -> None:
+        p.add_argument(
+            "--scale", choices=sorted(SCALES), default="quick",
+            help="scale profile (default: quick)",
+        )
+        p.add_argument(
+            "--json", metavar="DIR",
+            help="also write each result as JSON into this directory",
+        )
+        p.add_argument(
+            "--jobs", type=int, default=default_jobs, metavar="N",
+            help=f"worker processes for cell fan-out (default: {default_jobs})",
+        )
+        p.add_argument(
+            "--cache-dir", metavar="DIR", default=None,
+            help="content-addressed run cache location (default: "
+                 "$REPRO_CACHE_DIR or .repro-cache)",
+        )
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="compute every cell, skip cache reads and writes",
+        )
+
     run_p = sub.add_parser("run", help="run one or more experiments")
     run_p.add_argument("experiment", nargs="+", help="experiment name(s)")
-    run_p.add_argument(
-        "--scale", choices=sorted(SCALES), default="quick",
-        help="scale profile (default: quick)",
-    )
-    run_p.add_argument(
-        "--json", metavar="DIR",
-        help="also write each result as JSON into this directory",
-    )
+    add_orchestrator_flags(run_p, default_jobs=1)
     run_p.set_defaults(func=_cmd_run)
 
     suite_p = sub.add_parser("suite", help="run every experiment")
-    suite_p.add_argument(
-        "--scale", choices=sorted(SCALES), default="quick",
-        help="scale profile (default: quick)",
-    )
-    suite_p.add_argument(
-        "--json", metavar="DIR",
-        help="also write each result as JSON into this directory",
-    )
+    add_orchestrator_flags(suite_p, default_jobs=os.cpu_count() or 1)
     suite_p.set_defaults(func=_cmd_suite)
 
     bench_p = sub.add_parser(
@@ -204,6 +291,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON report path (default: BENCH_engine.json)",
     )
     bench_p.set_defaults(func=_cmd_bench)
+
+    suite_bench_p = sub.add_parser(
+        "bench-suite",
+        help="A/B/C the orchestrator: serial vs parallel-cold vs warm",
+    )
+    suite_bench_p.add_argument(
+        "--scale", choices=sorted(SCALES), default="quick",
+        help="scale profile (default: quick)",
+    )
+    suite_bench_p.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan-out width for the parallel passes (default: all cores)",
+    )
+    suite_bench_p.add_argument(
+        "--experiments", nargs="*", default=None, metavar="NAME",
+        help="subset of experiments to bench (default: the whole suite)",
+    )
+    suite_bench_p.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="scratch cache directory — cleared before the cold pass "
+             "(default: a private temp dir)",
+    )
+    suite_bench_p.add_argument(
+        "--out", default="BENCH_suite.json", metavar="FILE",
+        help="JSON report path (default: BENCH_suite.json)",
+    )
+    suite_bench_p.add_argument(
+        "--min-warm-speedup", type=float, default=0.0, metavar="X",
+        help="fail unless the warm pass beats serial by at least X times",
+    )
+    suite_bench_p.set_defaults(func=_cmd_bench_suite)
     return parser
 
 

@@ -1,4 +1,14 @@
-"""Shared experiment plumbing: machine/VM builders, tables, geomeans."""
+"""Shared experiment plumbing: machine/VM builders, cells, tables.
+
+Besides the machine/workload builders, this module hosts the generic
+**run cells** experiments declare to the job-graph executor
+(:mod:`repro.sim.jobs`): module-level functions whose keyword arguments
+are simple hashable values, so each cell can run in a worker process
+and memoize in the content-addressed run cache.  Sibling experiments
+that sweep the same grid share cells verbatim — fig 11 / table V /
+table VI reuse :func:`run_cell_native`, and fig 13 / fig 14 / table VII
+reuse :func:`run_cell_virt_sim_chain`.
+"""
 
 from __future__ import annotations
 
@@ -14,6 +24,7 @@ from repro.sim.config import (
     SystemConfig,
 )
 from repro.sim.machine import Machine, build_machine
+from repro.sim.runner import RunOptions, run_native, run_virtualized
 from repro.virt.hypervisor import VirtualMachine
 from repro.units import order_pages
 from repro.workloads import make_workload
@@ -78,6 +89,132 @@ def pct(x: float) -> str:
     return f"{100 * x:.1f}%"
 
 
+# -- generic run cells ------------------------------------------------------
+#
+# Each cell is a pure function of its keyword arguments: machines are
+# built fresh from seeded configs, so the result is deterministic and
+# safe to execute in a worker process or serve from the run cache.
+# Results must be picklable — cells never return live processes.
+
+
+def run_cell_native(
+    *,
+    workload: str,
+    policy: str,
+    scale: ScaleProfile,
+    seed: int = 0,
+    options: RunOptions | None = None,
+    hog: float = 0.0,
+    node_pages: tuple[int, ...] | None = None,
+):
+    """One native run on a fresh machine; the native-grid cell.
+
+    ``hog`` pins that fraction of memory before the run (fig 8's
+    pressure sweep); ``node_pages`` overrides the machine shape (the
+    NUMA-off experiments).
+    """
+    overrides = {} if node_pages is None else {"node_pages": tuple(node_pages)}
+    machine = native_machine(policy, scale, **overrides)
+    if hog:
+        machine.hog(hog)
+    wl = make_workload(workload, scale, seed=seed)
+    result = run_native(machine, wl, options or RunOptions())
+    result.process = None
+    return result
+
+
+def run_cell_virt_chain(
+    *,
+    host_policy: str,
+    guest_policy: str,
+    workloads: tuple[str, ...],
+    scale: ScaleProfile,
+    options: RunOptions | None = None,
+    drop_caches: bool = True,
+):
+    """Consecutive runs inside one long-lived VM (fig 12 / the paper's
+    no-reboot aging); returns the per-workload results in order."""
+    vm = virtual_machine(host_policy, guest_policy, scale)
+    results = []
+    for name in workloads:
+        wl = make_workload(name, scale)
+        r = run_virtualized(vm, wl, options or RunOptions())
+        r.process = None
+        results.append(r)
+        if drop_caches:
+            vm.guest_kernel.drop_caches()
+    return results
+
+
+def run_cell_native_sim(
+    *,
+    workload: str,
+    policy: str,
+    scale: ScaleProfile,
+    hw: HardwareConfig,
+    trace_len: int,
+    force_4k: tuple[bool, ...] = (False,),
+):
+    """One native run plus TLB simulations of its final memory state.
+
+    Returns one :class:`~repro.hw.mmu_sim.MmuSimResult` per entry of
+    ``force_4k`` (fig 13's THP and 4K bars come from the same state
+    viewed at different TLB-entry granularity).
+    """
+    from repro.hw.mmu_sim import MmuSimulator
+    from repro.hw.translation import TranslationView
+
+    machine = native_machine(policy, scale)
+    wl = make_workload(workload, scale)
+    trace = wl.trace(trace_len)
+    r = run_native(machine, wl, RunOptions(sample_every=None, exit_after=False))
+    sims = []
+    for force in force_4k:
+        view = TranslationView.native(r.process, force_4k=force)
+        sims.append(MmuSimulator(view, hw).run(trace, r.vma_start_vpns, workload=wl))
+    machine.kernel.exit_process(r.process)
+    return sims
+
+
+def run_cell_virt_sim_chain(
+    *,
+    host_policy: str,
+    guest_policy: str,
+    workloads: tuple[str, ...],
+    scale: ScaleProfile,
+    hw: HardwareConfig,
+    trace_len: int,
+    force_4k: tuple[bool, ...] = (False,),
+):
+    """One aging VM runs the workloads consecutively; each final memory
+    state is TLB-simulated before the next workload starts.
+
+    Returns, per workload, one ``MmuSimResult`` per ``force_4k`` entry.
+    The CA+CA instance of this chain carries fig 13's scheme bars,
+    fig 14's SpOT breakdown *and* Table VII's counters — one simulation
+    serves all three experiments through the run cache.
+    """
+    from repro.hw.mmu_sim import MmuSimulator
+    from repro.hw.translation import TranslationView
+
+    vm = virtual_machine(host_policy, guest_policy, scale)
+    out = []
+    for name in workloads:
+        wl = make_workload(name, scale)
+        trace = wl.trace(trace_len)
+        r = run_virtualized(vm, wl, RunOptions(sample_every=None, exit_after=False))
+        sims = []
+        for force in force_4k:
+            view = TranslationView.virtualized(vm, r.process, force_4k=force)
+            sims.append(
+                MmuSimulator(view, hw).run(trace, r.vma_start_vpns, workload=wl)
+            )
+        out.append(sims)
+        vm.guest_exit_process(r.process)
+        vm.guest_kernel.drop_caches()
+    return out
+
+
 __all__ = [
     "CONTIGUITY_POLICIES",
     "DEFAULT_SCALE",
@@ -89,6 +226,10 @@ __all__ = [
     "geomean",
     "native_machine",
     "pct",
+    "run_cell_native",
+    "run_cell_native_sim",
+    "run_cell_virt_chain",
+    "run_cell_virt_sim_chain",
     "system_config",
     "virtual_machine",
     "workload",

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.experiments import common
 from repro.sim.config import ScaleProfile
+from repro.sim.jobs import Executor, Plan, cell
 from repro.units import order_pages
 from repro.virt.hypervisor import VirtualMachine
 
@@ -43,34 +44,70 @@ class ExtMultiVmResult:
         )
 
 
+def run_cell_two_vms(
+    *,
+    host_policy: str,
+    workload_names: tuple[str, ...],
+    scale: ScaleProfile,
+) -> list[tuple[int, float]]:
+    """Boot two half-machine VMs on one host; interleave their runs."""
+    from repro.sim.multiprog import guest_instances, interleave
+
+    host = common.native_machine(host_policy, scale)
+    top = order_pages(host.config.max_order)
+    vm_pages = sum(host.config.node_pages) // 2
+    vm_pages -= vm_pages % top
+    vms = [
+        VirtualMachine(host, vm_pages, host_policy, name=f"vm{i}")
+        for i in range(2)
+    ]
+    workloads = [
+        common.workload(workload_names[i], scale, seed=i) for i in range(2)
+    ]
+    instances = guest_instances(vms, workloads)
+    interleave(instances, sample_every=64)
+    return [
+        (instance.final.mappings_99, instance.final.coverage_32)
+        for instance in instances
+    ]
+
+
+def plan(
+    scale: ScaleProfile | None = None,
+    host_policies: tuple[str, ...] = ("thp", "ca"),
+    workload_names: tuple[str, str] = ("svm", "pagerank"),
+) -> Plan:
+    """One consolidated-host cell per host policy."""
+    scale = scale or common.QUICK_SCALE
+    cells = [
+        cell(
+            "repro.experiments.ext_multivm:run_cell_two_vms",
+            host_policy=policy,
+            workload_names=tuple(workload_names),
+            scale=scale,
+        )
+        for policy in host_policies
+    ]
+
+    def assemble(results) -> ExtMultiVmResult:
+        out = ExtMultiVmResult()
+        for policy, finals in zip(host_policies, results):
+            for i, (maps, cov) in enumerate(finals):
+                out.mappings_99[(policy, i)] = maps
+                out.coverage_32[(policy, i)] = cov
+        return out
+
+    return Plan(cells, assemble)
+
+
 def run(
     scale: ScaleProfile | None = None,
     host_policies: tuple[str, ...] = ("thp", "ca"),
     workload_names: tuple[str, str] = ("svm", "pagerank"),
+    executor: Executor | None = None,
 ) -> ExtMultiVmResult:
     """Boot two half-machine VMs per host policy; interleave their runs."""
-    from repro.sim.multiprog import guest_instances, interleave
-
-    scale = scale or common.QUICK_SCALE
-    result = ExtMultiVmResult()
-    for policy in host_policies:
-        host = common.native_machine(policy, scale)
-        top = order_pages(host.config.max_order)
-        vm_pages = sum(host.config.node_pages) // 2
-        vm_pages -= vm_pages % top
-        vms = [
-            VirtualMachine(host, vm_pages, policy, name=f"vm{i}")
-            for i in range(2)
-        ]
-        workloads = [
-            common.workload(workload_names[i], scale, seed=i) for i in range(2)
-        ]
-        instances = guest_instances(vms, workloads)
-        interleave(instances, sample_every=64)
-        for i, instance in enumerate(instances):
-            result.mappings_99[(policy, i)] = instance.final.mappings_99
-            result.coverage_32[(policy, i)] = instance.final.coverage_32
-    return result
+    return plan(scale, host_policies, workload_names).run(executor)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

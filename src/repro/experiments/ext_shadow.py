@@ -27,6 +27,7 @@ from repro.hw.mmu_sim import MmuSimulator
 from repro.hw.translation import TranslationView
 from repro.hw.walk import WalkLatencyModel
 from repro.sim.config import HardwareConfig, ScaleProfile
+from repro.sim.jobs import Executor, Plan, cell
 from repro.sim.runner import RunOptions, run_virtualized
 from repro.virt.shadow import SHADOW_SYNC_CYCLES, attach_shadow_paging
 
@@ -78,17 +79,17 @@ class ExtShadowResult:
         )
 
 
-def run(
-    scale: ScaleProfile | None = None,
-    workloads: tuple[str, ...] = common.SUITE,
-    hw: HardwareConfig | None = None,
-    trace_len: int = TRACE_LEN,
-) -> ExtShadowResult:
-    """Cost the same CA+CA states under both virtualization techniques."""
-    scale = scale or common.QUICK_SCALE
-    hw = hw or HardwareConfig()
+def run_cell_shadow_chain(
+    *,
+    workloads: tuple[str, ...],
+    scale: ScaleProfile,
+    hw: HardwareConfig,
+    trace_len: int,
+) -> list[ShadowRow]:
+    """One shadow-paging VM ages across the whole suite; one row per
+    workload."""
     costs = WalkLatencyModel().walk_costs()
-    result = ExtShadowResult()
+    rows = []
     vm = common.virtual_machine("ca", "ca", scale)
     pager = attach_shadow_paging(vm)
     for name in workloads:
@@ -108,19 +109,64 @@ def run(
             + sim.spot_mispredict
         )
         flush = sim.spot_mispredict * costs.mispredict_penalty
-        result.rows[name] = ShadowRow(
-            workload=name,
-            nested_overhead=nested_cycles / t_ideal,
-            shadow_walk_overhead=shadow_walk_cycles / t_ideal,
-            shadow_sync_overhead=syncs * SHADOW_SYNC_CYCLES
-            / (t_ideal * STEADY_WINDOWS),
-            nested_spot_overhead=(spot_exposed * costs.nested_thp + flush) / t_ideal,
-            shadow_spot_overhead=(spot_exposed * costs.native_thp + flush) / t_ideal,
-            splintered_leaves=pager.stats.splintered_leaves - splinters_before,
+        rows.append(
+            ShadowRow(
+                workload=name,
+                nested_overhead=nested_cycles / t_ideal,
+                shadow_walk_overhead=shadow_walk_cycles / t_ideal,
+                shadow_sync_overhead=syncs * SHADOW_SYNC_CYCLES
+                / (t_ideal * STEADY_WINDOWS),
+                nested_spot_overhead=(spot_exposed * costs.nested_thp + flush)
+                / t_ideal,
+                shadow_spot_overhead=(spot_exposed * costs.native_thp + flush)
+                / t_ideal,
+                splintered_leaves=pager.stats.splintered_leaves
+                - splinters_before,
+            )
         )
         vm.guest_exit_process(r.process)
         vm.guest_kernel.drop_caches()
-    return result
+    return rows
+
+
+def plan(
+    scale: ScaleProfile | None = None,
+    workloads: tuple[str, ...] = common.SUITE,
+    hw: HardwareConfig | None = None,
+    trace_len: int = TRACE_LEN,
+) -> Plan:
+    """A single chain cell: the shadow pager's state (and the VM's
+    fragmentation) carries across workloads."""
+    scale = scale or common.QUICK_SCALE
+    hw = hw or HardwareConfig()
+    cells = [
+        cell(
+            "repro.experiments.ext_shadow:run_cell_shadow_chain",
+            workloads=tuple(workloads),
+            scale=scale,
+            hw=hw,
+            trace_len=trace_len,
+        )
+    ]
+
+    def assemble(results) -> ExtShadowResult:
+        out = ExtShadowResult()
+        for row in results[0]:
+            out.rows[row.workload] = row
+        return out
+
+    return Plan(cells, assemble)
+
+
+def run(
+    scale: ScaleProfile | None = None,
+    workloads: tuple[str, ...] = common.SUITE,
+    hw: HardwareConfig | None = None,
+    trace_len: int = TRACE_LEN,
+    executor: Executor | None = None,
+) -> ExtShadowResult:
+    """Cost the same CA+CA states under both virtualization techniques."""
+    return plan(scale, workloads, hw, trace_len).run(executor)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -27,6 +27,7 @@ from repro.hw.mmu_sim import MmuSimulator
 from repro.hw.translation import TranslationView
 from repro.hw.vhc import simulate_vhc
 from repro.sim.config import HardwareConfig, ScaleProfile
+from repro.sim.jobs import Executor, Plan, cell
 from repro.sim.runner import RunOptions, run_virtualized
 
 TRACE_LEN = 150_000
@@ -65,16 +66,15 @@ class ExtVhcResult:
         )
 
 
-def run(
-    scale: ScaleProfile | None = None,
-    workloads: tuple[str, ...] = common.SUITE,
-    hw: HardwareConfig | None = None,
-    trace_len: int = TRACE_LEN,
-) -> ExtVhcResult:
-    """Same CA+CA states: conventional TLB + SpOT vs anchor TLB."""
-    scale = scale or common.QUICK_SCALE
-    hw = hw or HardwareConfig()
-    result = ExtVhcResult()
+def run_cell_vhc_chain(
+    *,
+    workloads: tuple[str, ...],
+    scale: ScaleProfile,
+    hw: HardwareConfig,
+    trace_len: int,
+) -> list[VhcRow]:
+    """One aging CA+CA VM; per workload, cost both TLB organisations."""
+    rows = []
     vm = common.virtual_machine("ca", "ca", scale)
     for name in workloads:
         wl = common.workload(name, scale)
@@ -89,19 +89,60 @@ def run(
         # The anchor TLB replaces the L2 STLB: give it the same budget.
         vhc = simulate_vhc(resolved, distance, entries=hw.l2_entries,
                            ways=hw.l2_ways)
-        result.rows[name] = VhcRow(
-            workload=name,
-            anchor_distance=distance,
-            baseline_miss_rate=baseline.miss_rate,
-            vhc_miss_rate=vhc.miss_rate,
-            spot_exposed_rate=(
-                baseline.spot_no_prediction + baseline.spot_mispredict
-            ) / max(1, baseline.accesses),
-            avg_pages_per_entry=vhc.avg_pages_per_entry,
+        rows.append(
+            VhcRow(
+                workload=name,
+                anchor_distance=distance,
+                baseline_miss_rate=baseline.miss_rate,
+                vhc_miss_rate=vhc.miss_rate,
+                spot_exposed_rate=(
+                    baseline.spot_no_prediction + baseline.spot_mispredict
+                ) / max(1, baseline.accesses),
+                avg_pages_per_entry=vhc.avg_pages_per_entry,
+            )
         )
         vm.guest_exit_process(r.process)
         vm.guest_kernel.drop_caches()
-    return result
+    return rows
+
+
+def plan(
+    scale: ScaleProfile | None = None,
+    workloads: tuple[str, ...] = common.SUITE,
+    hw: HardwareConfig | None = None,
+    trace_len: int = TRACE_LEN,
+) -> Plan:
+    """A single chain cell — the VM ages across the suite."""
+    scale = scale or common.QUICK_SCALE
+    hw = hw or HardwareConfig()
+    cells = [
+        cell(
+            "repro.experiments.ext_vhc:run_cell_vhc_chain",
+            workloads=tuple(workloads),
+            scale=scale,
+            hw=hw,
+            trace_len=trace_len,
+        )
+    ]
+
+    def assemble(results) -> ExtVhcResult:
+        out = ExtVhcResult()
+        for row in results[0]:
+            out.rows[row.workload] = row
+        return out
+
+    return Plan(cells, assemble)
+
+
+def run(
+    scale: ScaleProfile | None = None,
+    workloads: tuple[str, ...] = common.SUITE,
+    hw: HardwareConfig | None = None,
+    trace_len: int = TRACE_LEN,
+    executor: Executor | None = None,
+) -> ExtVhcResult:
+    """Same CA+CA states: conventional TLB + SpOT vs anchor TLB."""
+    return plan(scale, workloads, hw, trace_len).run(executor)
 
 
 def distance_sweep(

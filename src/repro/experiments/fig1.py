@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.experiments import common
 from repro.sim.config import ScaleProfile
+from repro.sim.jobs import Executor, Plan, cell
 from repro.sim.runner import RunOptions, run_native
 
 
@@ -54,6 +55,71 @@ class Fig1bResult:
         )
 
 
+def run_cell_fig1b_chain(
+    *,
+    policy: str,
+    workload: str,
+    scale: ScaleProfile,
+    runs: int,
+    k_largest: int,
+    aging_pin_fraction: float,
+) -> tuple[list[float], list[int]]:
+    """Consecutive runs on one aging machine; the chain is the cell."""
+    from repro.metrics.contiguity import coverage_of_k_largest
+
+    machine = common.native_machine(policy, scale)
+    wl = common.workload(workload, scale)
+    scratch = max(1, wl.footprint_pages // 16)
+    coverage = []
+    mappings = []
+    for _ in range(runs):
+        r = run_native(
+            machine,
+            wl,
+            RunOptions(sample_every=None, scratch_file_pages=scratch),
+        )
+        coverage.append(
+            coverage_of_k_largest(r.run_sizes, sum(r.run_sizes), k_largest)
+        )
+        mappings.append(r.final.mappings_99)
+        # Long-lived daemon / slab growth between runs.
+        machine.mem.hog(aging_pin_fraction, machine.rng, block_order=8)
+    return coverage, mappings
+
+
+def plan_fig1b(
+    scale: ScaleProfile | None = None,
+    runs: int = 10,
+    policies: tuple[str, ...] = ("eager", "ca"),
+    workload_name: str = "pagerank",
+    k_largest: int = 8,
+    aging_pin_fraction: float = 0.005,
+) -> Plan:
+    """One aging-machine chain cell per policy."""
+    scale = scale or common.QUICK_SCALE
+    cells = [
+        cell(
+            "repro.experiments.fig1:run_cell_fig1b_chain",
+            policy=policy,
+            workload=workload_name,
+            scale=scale,
+            runs=runs,
+            k_largest=k_largest,
+            aging_pin_fraction=aging_pin_fraction,
+        )
+        for policy in policies
+    ]
+
+    def assemble(results) -> Fig1bResult:
+        out = Fig1bResult(k=k_largest)
+        for policy, (coverage, mappings) in zip(policies, results):
+            out.coverage_by_run[policy] = coverage
+            out.mappings_by_run[policy] = mappings
+        return out
+
+    return Plan(cells, assemble)
+
+
 def run_fig1b(
     scale: ScaleProfile | None = None,
     runs: int = 10,
@@ -61,33 +127,12 @@ def run_fig1b(
     workload_name: str = "pagerank",
     k_largest: int = 8,
     aging_pin_fraction: float = 0.005,
+    executor: Executor | None = None,
 ) -> Fig1bResult:
     """Consecutive runs on one aging machine per policy."""
-    from repro.metrics.contiguity import coverage_of_k_largest
-
-    scale = scale or common.QUICK_SCALE
-    result = Fig1bResult(k=k_largest)
-    for policy in policies:
-        machine = common.native_machine(policy, scale)
-        wl = common.workload(workload_name, scale)
-        scratch = max(1, wl.footprint_pages // 16)
-        coverage = []
-        mappings = []
-        for _ in range(runs):
-            r = run_native(
-                machine,
-                wl,
-                RunOptions(sample_every=None, scratch_file_pages=scratch),
-            )
-            coverage.append(
-                coverage_of_k_largest(r.run_sizes, sum(r.run_sizes), k_largest)
-            )
-            mappings.append(r.final.mappings_99)
-            # Long-lived daemon / slab growth between runs.
-            machine.mem.hog(aging_pin_fraction, machine.rng, block_order=8)
-        result.coverage_by_run[policy] = coverage
-        result.mappings_by_run[policy] = mappings
-    return result
+    return plan_fig1b(
+        scale, runs, policies, workload_name, k_largest, aging_pin_fraction
+    ).run(executor)
 
 
 @dataclass
@@ -117,25 +162,59 @@ class Fig1cResult:
         return common.format_table(("policy", "cov32(mid-run)", "cov32(end)"), rows)
 
 
+def run_cell_fig1c(
+    *,
+    policy: str,
+    workload: str,
+    scale: ScaleProfile,
+    steady_epochs: int,
+) -> list[tuple[int, float]]:
+    """One densely-sampled run on a fresh machine."""
+    machine = common.native_machine(policy, scale)
+    wl = common.workload(workload, scale)
+    r = run_native(
+        machine, wl, RunOptions(sample_every=8, steady_epochs=steady_epochs)
+    )
+    return [(s.touched_pages, s.coverage_32) for s in r.samples]
+
+
+def plan_fig1c(
+    scale: ScaleProfile | None = None,
+    policies: tuple[str, ...] = ("ranger", "ca"),
+    workload_name: str = "xsbench",
+    steady_epochs: int = 10,
+) -> Plan:
+    """One independent cell per policy."""
+    scale = scale or common.QUICK_SCALE
+    cells = [
+        cell(
+            "repro.experiments.fig1:run_cell_fig1c",
+            policy=policy,
+            workload=workload_name,
+            scale=scale,
+            steady_epochs=steady_epochs,
+        )
+        for policy in policies
+    ]
+
+    def assemble(results) -> Fig1cResult:
+        out = Fig1cResult()
+        for policy, series in zip(policies, results):
+            out.series_by_policy[policy] = [tuple(p) for p in series]
+        return out
+
+    return Plan(cells, assemble)
+
+
 def run_fig1c(
     scale: ScaleProfile | None = None,
     policies: tuple[str, ...] = ("ranger", "ca"),
     workload_name: str = "xsbench",
     steady_epochs: int = 10,
+    executor: Executor | None = None,
 ) -> Fig1cResult:
     """One run per policy with dense sampling."""
-    scale = scale or common.QUICK_SCALE
-    result = Fig1cResult()
-    for policy in policies:
-        machine = common.native_machine(policy, scale)
-        wl = common.workload(workload_name, scale)
-        r = run_native(
-            machine, wl, RunOptions(sample_every=8, steady_epochs=steady_epochs)
-        )
-        result.series_by_policy[policy] = [
-            (s.touched_pages, s.coverage_32) for s in r.samples
-        ]
-    return result
+    return plan_fig1c(scale, policies, workload_name, steady_epochs).run(executor)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

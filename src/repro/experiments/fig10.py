@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.experiments import common
 from repro.sim.config import ScaleProfile
+from repro.sim.jobs import Executor, Plan, cell
 
 
 @dataclass
@@ -55,38 +56,75 @@ class Fig10Result:
         )
 
 
+def run_cell_multiprog(
+    *,
+    policy: str,
+    workload: str,
+    scale: ScaleProfile,
+    sample_every: int,
+) -> list[tuple[list[float], list[int]]]:
+    """Interleave two instances on one machine; per-instance series."""
+    from repro.sim.multiprog import interleave, native_instances
+
+    machine = common.native_machine(policy, scale)
+    workloads = [common.workload(workload, scale, seed=i) for i in range(2)]
+    instances = native_instances(machine, workloads)
+    interleave(
+        instances,
+        sample_every=sample_every,
+        daemons=machine.kernel.run_daemons,
+    )
+    out = [
+        (
+            [s.coverage_32 for s in instance.samples],
+            [s.mappings_99 for s in instance.samples],
+        )
+        for instance in instances
+    ]
+    for process in machine.kernel.iter_processes():
+        machine.kernel.exit_process(process)
+    return out
+
+
+def plan(
+    scale: ScaleProfile | None = None,
+    policies: tuple[str, ...] = ("thp", "eager", "ranger", "ca"),
+    workload_name: str = "svm",
+    sample_every: int = 16,
+) -> Plan:
+    """One two-instance interleaving cell per policy."""
+    scale = scale or common.QUICK_SCALE
+    cells = [
+        cell(
+            "repro.experiments.fig10:run_cell_multiprog",
+            policy=policy,
+            workload=workload_name,
+            scale=scale,
+            sample_every=sample_every,
+        )
+        for policy in policies
+    ]
+
+    def assemble(results) -> Fig10Result:
+        out = Fig10Result()
+        for policy, instances in zip(policies, results):
+            for i, (coverage, mappings) in enumerate(instances):
+                out.series[(policy, i)] = coverage
+                out.mappings[(policy, i)] = mappings
+        return out
+
+    return Plan(cells, assemble)
+
+
 def run(
     scale: ScaleProfile | None = None,
     policies: tuple[str, ...] = ("thp", "eager", "ranger", "ca"),
     workload_name: str = "svm",
     sample_every: int = 16,
+    executor: Executor | None = None,
 ) -> Fig10Result:
     """Interleave two instances' allocation phases on one machine."""
-    from repro.sim.multiprog import interleave, native_instances
-
-    scale = scale or common.QUICK_SCALE
-    result = Fig10Result()
-    for policy in policies:
-        machine = common.native_machine(policy, scale)
-        workloads = [
-            common.workload(workload_name, scale, seed=i) for i in range(2)
-        ]
-        instances = native_instances(machine, workloads)
-        interleave(
-            instances,
-            sample_every=sample_every,
-            daemons=machine.kernel.run_daemons,
-        )
-        for i, instance in enumerate(instances):
-            result.series[(policy, i)] = [
-                s.coverage_32 for s in instance.samples
-            ]
-            result.mappings[(policy, i)] = [
-                s.mappings_99 for s in instance.samples
-            ]
-        for process in machine.kernel.iter_processes():
-            machine.kernel.exit_process(process)
-    return result
+    return plan(scale, policies, workload_name, sample_every).run(executor)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -15,9 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.experiments import common
-from repro.metrics.faults import SoftwareOverhead
 from repro.sim.config import ScaleProfile
-from repro.sim.runner import USEFUL_US_PER_PAGE, RunOptions, run_native
+from repro.sim.jobs import Executor, Plan, cell
+from repro.sim.runner import USEFUL_US_PER_PAGE, RunOptions
 
 
 @dataclass
@@ -45,28 +45,60 @@ class Fig11Result:
         return common.format_table(["workload"] + list(policies), rows)
 
 
+def plan(
+    scale: ScaleProfile | None = None,
+    workloads: tuple[str, ...] = common.SUITE + ("tlb_friendly",),
+    policies: tuple[str, ...] = ("thp", "ca", "eager", "ranger", "ingens"),
+) -> Plan:
+    """Declare the grid cells; normalization happens at assembly.
+
+    The cells are plain ``sample_every=None`` native runs — the same
+    grid Table V and Table VI consume, so all three experiments share
+    results through the run cache.
+    """
+    scale = scale or common.QUICK_SCALE
+    ordered = ("thp",) + tuple(p for p in policies if p != "thp")
+    keys = [(name, policy) for policy in ordered for name in workloads]
+    cells = [
+        cell(
+            "repro.experiments.common:run_cell_native",
+            workload=name,
+            policy=policy,
+            scale=scale,
+            options=RunOptions(sample_every=None),
+        )
+        for name, policy in keys
+    ]
+
+    def assemble(results) -> Fig11Result:
+        out = Fig11Result()
+        baselines = {
+            name: r.software
+            for (name, policy), r in zip(keys, results)
+            if policy == "thp"
+        }
+        useful = {
+            name: r.footprint_pages * USEFUL_US_PER_PAGE
+            for (name, policy), r in zip(keys, results)
+            if policy == "thp"
+        }
+        for (name, policy), r in zip(keys, results):
+            out.normalized[(name, policy)] = r.software.normalized_runtime(
+                baselines[name], useful[name]
+            )
+        return out
+
+    return Plan(cells, assemble)
+
+
 def run(
     scale: ScaleProfile | None = None,
     workloads: tuple[str, ...] = common.SUITE + ("tlb_friendly",),
     policies: tuple[str, ...] = ("thp", "ca", "eager", "ranger", "ingens"),
+    executor: Executor | None = None,
 ) -> Fig11Result:
     """Measure modelled kernel time per run; normalize to THP's."""
-    scale = scale or common.QUICK_SCALE
-    result = Fig11Result()
-    baselines: dict[str, SoftwareOverhead] = {}
-    useful: dict[str, float] = {}
-    for policy in ("thp",) + tuple(p for p in policies if p != "thp"):
-        for name in workloads:
-            machine = common.native_machine(policy, scale)
-            wl = common.workload(name, scale)
-            r = run_native(machine, wl, RunOptions(sample_every=None))
-            if policy == "thp":
-                baselines[name] = r.software
-                useful[name] = wl.footprint_pages * USEFUL_US_PER_PAGE
-            result.normalized[(name, policy)] = r.software.normalized_runtime(
-                baselines[name], useful[name]
-            )
-    return result
+    return plan(scale, workloads, policies).run(executor)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -13,8 +13,9 @@ from dataclasses import dataclass, field
 
 from repro.experiments import common
 from repro.sim.config import ScaleProfile
+from repro.sim.jobs import Executor, Plan, cell
 from repro.sim.results import RunResult
-from repro.sim.runner import RunOptions, run_virtualized
+from repro.sim.runner import RunOptions
 
 
 @dataclass
@@ -56,24 +57,46 @@ class Fig12Result:
         )
 
 
+def plan(
+    scale: ScaleProfile | None = None,
+    workloads: tuple[str, ...] = common.SUITE,
+    policies: tuple[str, ...] = ("thp", "ca"),
+    sample_every: int = 24,
+) -> Plan:
+    """One chain cell per policy pair: the VM must age across workloads
+    in order, so the chain — not the single run — is the unit of work."""
+    scale = scale or common.QUICK_SCALE
+    cells = [
+        cell(
+            "repro.experiments.common:run_cell_virt_chain",
+            host_policy=policy,
+            guest_policy=policy,
+            workloads=tuple(workloads),
+            scale=scale,
+            options=RunOptions(sample_every=sample_every),
+        )
+        for policy in policies
+    ]
+
+    def assemble(results) -> Fig12Result:
+        out = Fig12Result()
+        for policy, chain in zip(policies, results):
+            for name, r in zip(workloads, chain):
+                out.runs[(name, policy)] = r
+        return out
+
+    return Plan(cells, assemble)
+
+
 def run(
     scale: ScaleProfile | None = None,
     workloads: tuple[str, ...] = common.SUITE,
     policies: tuple[str, ...] = ("thp", "ca"),
     sample_every: int = 24,
+    executor: Executor | None = None,
 ) -> Fig12Result:
     """One long-lived VM per policy pair; workloads run consecutively."""
-    scale = scale or common.QUICK_SCALE
-    result = Fig12Result()
-    for policy in policies:
-        vm = common.virtual_machine(policy, policy, scale)
-        for name in workloads:
-            wl = common.workload(name, scale)
-            result.runs[(name, policy)] = run_virtualized(
-                vm, wl, RunOptions(sample_every=sample_every)
-            )
-            vm.guest_kernel.drop_caches()
-    return result
+    return plan(scale, workloads, policies, sample_every).run(executor)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -24,12 +24,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.experiments import common
-from repro.hw.mmu_sim import MmuSimResult, MmuSimulator
-from repro.hw.translation import TranslationView
+from repro.hw.mmu_sim import MmuSimResult
 from repro.hw.walk import WalkLatencyModel
 from repro.metrics.perf_model import WalkCosts
 from repro.sim.config import HardwareConfig, ScaleProfile
-from repro.sim.runner import RunOptions, run_native, run_virtualized
+from repro.sim.jobs import Executor, Plan, cell
 
 #: Default trace length per configuration.
 TRACE_LEN = 200_000
@@ -75,59 +74,90 @@ class Fig13Result:
         )
 
 
+def plan(
+    scale: ScaleProfile | None = None,
+    workloads: tuple[str, ...] = common.SUITE,
+    hw: HardwareConfig | None = None,
+    trace_len: int = TRACE_LEN,
+) -> Plan:
+    """Declare the figure's cells.
+
+    Native states are independent (fresh THP machine per workload); the
+    two virtualized states are *chains* — each VM ages across the whole
+    workload sequence, so per-VM ordering is part of the spec.  The
+    CA+CA chain cell is shared verbatim with fig 14 and Table VII.
+    """
+    scale = scale or common.DEFAULT_SCALE
+    hw = hw or HardwareConfig()
+    workloads = tuple(workloads)
+    cells = [
+        cell(
+            "repro.experiments.common:run_cell_native_sim",
+            workload=name,
+            policy="thp",
+            scale=scale,
+            hw=hw,
+            trace_len=trace_len,
+            force_4k=(False, True),
+        )
+        for name in workloads
+    ]
+    cells.append(
+        cell(
+            "repro.experiments.common:run_cell_virt_sim_chain",
+            host_policy="thp",
+            guest_policy="thp",
+            workloads=workloads,
+            scale=scale,
+            hw=hw,
+            trace_len=trace_len,
+            force_4k=(False, True),
+        )
+    )
+    cells.append(
+        cell(
+            "repro.experiments.common:run_cell_virt_sim_chain",
+            host_policy="ca",
+            guest_policy="ca",
+            workloads=workloads,
+            scale=scale,
+            hw=hw,
+            trace_len=trace_len,
+        )
+    )
+
+    def assemble(results) -> Fig13Result:
+        costs = WalkLatencyModel().walk_costs()
+        out = Fig13Result(costs=costs)
+        native_sims = results[: len(workloads)]
+        thp_chain, ca_chain = results[-2], results[-1]
+        for i, name in enumerate(workloads):
+            for bar, sim in zip(("THP", "4K"), native_sims[i]):
+                out.sims[(name, bar)] = sim
+                out.overheads[(name, bar)] = sim.overheads(costs)["paging"]
+            for bar, sim in zip(("THP+THP", "4K+4K"), thp_chain[i]):
+                out.sims[(name, bar)] = sim
+                out.overheads[(name, bar)] = sim.overheads(costs)["paging"]
+            (sim,) = ca_chain[i]
+            schemes = sim.overheads(costs)
+            out.sims[(name, "SpOT")] = sim
+            out.overheads[(name, "SpOT")] = schemes["spot"]
+            out.overheads[(name, "vRMM")] = schemes["vrmm"]
+            out.overheads[(name, "DS")] = schemes["ds"]
+        return out
+
+    return Plan(cells, assemble)
+
+
 def run(
     scale: ScaleProfile | None = None,
     workloads: tuple[str, ...] = common.SUITE,
     hw: HardwareConfig | None = None,
     trace_len: int = TRACE_LEN,
+    executor: Executor | None = None,
 ) -> Fig13Result:
     """Build memory states, run the TLB sims, apply the Table IV model."""
-    scale = scale or common.DEFAULT_SCALE
-    hw = hw or HardwareConfig()
-    costs = WalkLatencyModel().walk_costs()
-    result = Fig13Result(costs=costs)
-
-    thp_vm = common.virtual_machine("thp", "thp", scale)
-    ca_vm = common.virtual_machine("ca", "ca", scale)
-    options = RunOptions(sample_every=None, exit_after=False)
-
-    for name in workloads:
-        wl = common.workload(name, scale)
-        trace = wl.trace(trace_len)
-
-        # Native state (default THP machine).
-        native = common.native_machine("thp", scale)
-        rn = run_native(native, wl, options)
-        for bar, force_4k in (("THP", False), ("4K", True)):
-            view = TranslationView.native(rn.process, force_4k=force_4k)
-            sim = MmuSimulator(view, hw).run(trace, rn.vma_start_vpns, workload=wl)
-            result.sims[(name, bar)] = sim
-            result.overheads[(name, bar)] = sim.overheads(costs)["paging"]
-        native.kernel.exit_process(rn.process)
-
-        # Virtualized default state.
-        rv = run_virtualized(thp_vm, wl, options)
-        for bar, force_4k in (("THP+THP", False), ("4K+4K", True)):
-            view = TranslationView.virtualized(thp_vm, rv.process, force_4k=force_4k)
-            sim = MmuSimulator(view, hw).run(trace, rv.vma_start_vpns, workload=wl)
-            result.sims[(name, bar)] = sim
-            result.overheads[(name, bar)] = sim.overheads(costs)["paging"]
-        thp_vm.guest_exit_process(rv.process)
-        thp_vm.guest_kernel.drop_caches()
-
-        # CA+CA state: the schemes under test.
-        rc = run_virtualized(ca_vm, wl, options)
-        view = TranslationView.virtualized(ca_vm, rc.process)
-        sim = MmuSimulator(view, hw).run(trace, rc.vma_start_vpns, workload=wl)
-        schemes = sim.overheads(costs)
-        result.sims[(name, "SpOT")] = sim
-        result.overheads[(name, "SpOT")] = schemes["spot"]
-        result.overheads[(name, "vRMM")] = schemes["vrmm"]
-        result.overheads[(name, "DS")] = schemes["ds"]
-        ca_vm.guest_exit_process(rc.process)
-        ca_vm.guest_kernel.drop_caches()
-
-    return result
+    return plan(scale, workloads, hw, trace_len).run(executor)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

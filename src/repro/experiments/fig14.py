@@ -16,10 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.experiments import common
-from repro.hw.mmu_sim import MmuSimulator
-from repro.hw.translation import TranslationView
 from repro.sim.config import HardwareConfig, ScaleProfile
-from repro.sim.runner import RunOptions, run_virtualized
+from repro.sim.jobs import Executor, Plan, cell
 
 TRACE_LEN = 200_000
 
@@ -64,26 +62,47 @@ class Fig14Result:
         )
 
 
+def plan(
+    scale: ScaleProfile | None = None,
+    workloads: tuple[str, ...] = common.SUITE,
+    hw: HardwareConfig | None = None,
+    trace_len: int = TRACE_LEN,
+) -> Plan:
+    """One CA+CA chain cell — identical to fig 13's scheme chain and
+    Table VII's counter source, so the cache computes it once."""
+    scale = scale or common.DEFAULT_SCALE
+    hw = hw or HardwareConfig()
+    workloads = tuple(workloads)
+    cells = [
+        cell(
+            "repro.experiments.common:run_cell_virt_sim_chain",
+            host_policy="ca",
+            guest_policy="ca",
+            workloads=workloads,
+            scale=scale,
+            hw=hw,
+            trace_len=trace_len,
+        )
+    ]
+
+    def assemble(results) -> Fig14Result:
+        out = Fig14Result()
+        for name, (sim,) in zip(workloads, results[0]):
+            out.breakdown[name] = sim.spot_breakdown()
+        return out
+
+    return Plan(cells, assemble)
+
+
 def run(
     scale: ScaleProfile | None = None,
     workloads: tuple[str, ...] = common.SUITE,
     hw: HardwareConfig | None = None,
     trace_len: int = TRACE_LEN,
+    executor: Executor | None = None,
 ) -> Fig14Result:
     """CA+CA virtualized states, SpOT outcome counting."""
-    scale = scale or common.DEFAULT_SCALE
-    hw = hw or HardwareConfig()
-    result = Fig14Result()
-    vm = common.virtual_machine("ca", "ca", scale)
-    for name in workloads:
-        wl = common.workload(name, scale)
-        r = run_virtualized(vm, wl, RunOptions(sample_every=None, exit_after=False))
-        view = TranslationView.virtualized(vm, r.process)
-        sim = MmuSimulator(view, hw).run(wl.trace(trace_len), r.vma_start_vpns, workload=wl)
-        result.breakdown[name] = sim.spot_breakdown()
-        vm.guest_exit_process(r.process)
-        vm.guest_kernel.drop_caches()
-    return result
+    return plan(scale, workloads, hw, trace_len).run(executor)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

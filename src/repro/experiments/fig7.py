@@ -17,8 +17,9 @@ from dataclasses import dataclass, field
 
 from repro.experiments import common
 from repro.sim.config import ScaleProfile
+from repro.sim.jobs import Executor, Plan, cell
 from repro.sim.results import RunResult
-from repro.sim.runner import RunOptions, run_native
+from repro.sim.runner import RunOptions
 
 
 @dataclass
@@ -55,31 +56,53 @@ class Fig7Result:
         )
 
 
-def run(
+def plan(
     scale: ScaleProfile | None = None,
     workloads: tuple[str, ...] = common.SUITE,
     policies: tuple[str, ...] = common.CONTIGUITY_POLICIES,
     sample_every: int = 24,
     steady_epochs: int = 24,
-) -> Fig7Result:
-    """Run the full figure: one fresh machine per (workload, policy).
+) -> Plan:
+    """Declare the figure's cells: one fresh machine per (workload, policy).
 
     ``steady_epochs`` weights the post-allocation phase in the time
     average the way the paper's long steady states do (asynchronous
     defragmentation keeps working there).
     """
     scale = scale or common.QUICK_SCALE
-    result = Fig7Result()
-    for policy in policies:
-        for name in workloads:
-            machine = common.native_machine(policy, scale)
-            wl = common.workload(name, scale)
-            result.runs[(name, policy)] = run_native(
-                machine,
-                wl,
-                RunOptions(sample_every=sample_every, steady_epochs=steady_epochs),
-            )
-    return result
+    keys = [(name, policy) for policy in policies for name in workloads]
+    cells = [
+        cell(
+            "repro.experiments.common:run_cell_native",
+            workload=name,
+            policy=policy,
+            scale=scale,
+            options=RunOptions(
+                sample_every=sample_every, steady_epochs=steady_epochs
+            ),
+        )
+        for name, policy in keys
+    ]
+
+    def assemble(results) -> Fig7Result:
+        out = Fig7Result()
+        for key, r in zip(keys, results):
+            out.runs[key] = r
+        return out
+
+    return Plan(cells, assemble)
+
+
+def run(
+    scale: ScaleProfile | None = None,
+    workloads: tuple[str, ...] = common.SUITE,
+    policies: tuple[str, ...] = common.CONTIGUITY_POLICIES,
+    sample_every: int = 24,
+    steady_epochs: int = 24,
+    executor: Executor | None = None,
+) -> Fig7Result:
+    """Run the full figure (optionally parallel/cached via ``executor``)."""
+    return plan(scale, workloads, policies, sample_every, steady_epochs).run(executor)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

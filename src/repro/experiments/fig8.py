@@ -19,8 +19,9 @@ from dataclasses import dataclass, field
 
 from repro.experiments import common
 from repro.sim.config import ScaleProfile
+from repro.sim.jobs import Executor, Plan, cell
 from repro.sim.results import RunResult
-from repro.sim.runner import RunOptions, run_native
+from repro.sim.runner import RunOptions
 
 #: Memory-pressure levels of the paper's sweep.
 PRESSURES = (0.0, 0.10, 0.25, 0.50)
@@ -58,30 +59,53 @@ class Fig8Result:
         )
 
 
+def plan(
+    scale: ScaleProfile | None = None,
+    pressures: tuple[float, ...] = PRESSURES,
+    policies: tuple[str, ...] = common.CONTIGUITY_POLICIES,
+    workloads: tuple[str, ...] = WORKLOADS,
+) -> Plan:
+    """Declare the sweep's cells on single-node (NUMA-off) machines."""
+    scale = scale or common.QUICK_SCALE
+    # NUMA off: one node with the whole machine's memory (paper §VI-A).
+    node_pages = (sum(scale.node_pages()),)
+    keys = [
+        (pressure, policy, name)
+        for pressure in pressures
+        for policy in policies
+        for name in workloads
+    ]
+    cells = [
+        cell(
+            "repro.experiments.common:run_cell_native",
+            workload=name,
+            policy=policy,
+            scale=scale,
+            options=RunOptions(sample_every=32),
+            hog=pressure,
+            node_pages=node_pages,
+        )
+        for pressure, policy, name in keys
+    ]
+
+    def assemble(results) -> Fig8Result:
+        out = Fig8Result()
+        for key, r in zip(keys, results):
+            out.runs[key] = r
+        return out
+
+    return Plan(cells, assemble)
+
+
 def run(
     scale: ScaleProfile | None = None,
     pressures: tuple[float, ...] = PRESSURES,
     policies: tuple[str, ...] = common.CONTIGUITY_POLICIES,
     workloads: tuple[str, ...] = WORKLOADS,
+    executor: Executor | None = None,
 ) -> Fig8Result:
-    """Run the sweep on single-node (NUMA-off) machines."""
-    scale = scale or common.QUICK_SCALE
-    result = Fig8Result()
-    # NUMA off: one node with the whole machine's memory (paper §VI-A).
-    node_pages = (sum(scale.node_pages()),)
-    for pressure in pressures:
-        for policy in policies:
-            for name in workloads:
-                machine = common.native_machine(
-                    policy, scale, node_pages=node_pages
-                )
-                if pressure:
-                    machine.hog(pressure)
-                wl = common.workload(name, scale)
-                result.runs[(pressure, policy, name)] = run_native(
-                    machine, wl, RunOptions(sample_every=32)
-                )
-    return result
+    """Run the sweep (optionally parallel/cached via ``executor``)."""
+    return plan(scale, pressures, policies, workloads).run(executor)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from repro.experiments import common
 from repro.mm.free_stats import FreeBlockHistogram, free_block_histogram
 from repro.sim.config import ScaleProfile
+from repro.sim.jobs import Executor, Plan, cell
 from repro.sim.runner import RunOptions, run_native
 from repro.units import PAGE_SIZE
 
@@ -54,27 +55,61 @@ class Fig9Result:
         )
 
 
+def run_cell_batch(
+    *,
+    policy: str,
+    workloads: tuple[str, ...],
+    scale: ScaleProfile,
+) -> FreeBlockHistogram:
+    """Run the batch on one machine, then scan its free memory."""
+    machine = common.native_machine(policy, scale)
+    for name in workloads:
+        wl = common.workload(name, scale)
+        scratch = max(1, wl.footprint_pages // 50)
+        run_native(
+            machine,
+            wl,
+            RunOptions(sample_every=None, scratch_file_pages=scratch),
+        )
+    buckets = scaled_buckets(machine.config.node_pages[0])
+    return free_block_histogram(machine.mem, buckets)
+
+
+def plan(
+    scale: ScaleProfile | None = None,
+    policies: tuple[str, ...] = ("thp", "ca"),
+    workloads: tuple[str, ...] = ("svm", "pagerank", "xsbench"),
+) -> Plan:
+    """One batch cell per policy (the batch order is part of the spec)."""
+    scale = scale or common.QUICK_SCALE
+    workloads = tuple(workloads)
+    cells = [
+        cell(
+            "repro.experiments.fig9:run_cell_batch",
+            policy=policy,
+            workloads=workloads,
+            scale=scale,
+        )
+        for policy in policies
+    ]
+
+    def assemble(results) -> Fig9Result:
+        out = Fig9Result()
+        for policy, hist in zip(policies, results):
+            out.histograms[policy] = hist
+        return out
+
+    return Plan(cells, assemble)
+
+
 def run(
     scale: ScaleProfile | None = None,
     policies: tuple[str, ...] = ("thp", "ca"),
     workloads: tuple[str, ...] = ("svm", "pagerank", "xsbench"),
+    executor: Executor | None = None,
 ) -> Fig9Result:
     """Run the batch per policy, then scan free memory."""
-    scale = scale or common.QUICK_SCALE
-    result = Fig9Result()
-    for policy in policies:
-        machine = common.native_machine(policy, scale)
-        for name in workloads:
-            wl = common.workload(name, scale)
-            scratch = max(1, wl.footprint_pages // 50)
-            run_native(
-                machine,
-                wl,
-                RunOptions(sample_every=None, scratch_file_pages=scratch),
-            )
-        buckets = scaled_buckets(machine.config.node_pages[0])
-        result.histograms[policy] = free_block_histogram(machine.mem, buckets)
-    return result
+    return plan(scale, policies, workloads).run(executor)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

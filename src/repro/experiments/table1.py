@@ -22,6 +22,7 @@ from repro.experiments import common
 from repro.hw.hybrid_coalescing import vhc_entries_for_coverage
 from repro.metrics.contiguity import mappings_for_coverage
 from repro.sim.config import ScaleProfile
+from repro.sim.jobs import Executor, Plan, cell
 from repro.sim.runner import RunOptions, run_virtualized
 from repro.virt.introspect import two_d_runs
 
@@ -67,36 +68,76 @@ class Table1Result:
         )
 
 
+def run_cell_chain(
+    *,
+    policy: str,
+    workloads: tuple[str, ...],
+    scale: ScaleProfile,
+) -> list[tuple[int, int]]:
+    """One aging VM runs the workloads in order; per workload, count the
+    2D ranges and vHC anchor entries for 99% coverage while the process
+    is still alive (the introspection needs the live memory state)."""
+    vm = common.virtual_machine(policy, policy, scale)
+    counts = []
+    for name in workloads:
+        wl = common.workload(name, scale)
+        r = run_virtualized(vm, wl, RunOptions(sample_every=None, exit_after=False))
+        runs = two_d_runs(vm, r.process)
+        footprint = runs.total_pages
+        counts.append(
+            (
+                mappings_for_coverage(runs, footprint, 0.99),
+                vhc_entries_for_coverage(list(runs), footprint, 0.99),
+            )
+        )
+        vm.guest_exit_process(r.process)
+        vm.guest_kernel.drop_caches()
+    return counts
+
+
+def plan(
+    scale: ScaleProfile | None = None,
+    workloads: tuple[str, ...] = common.SUITE,
+    policies: tuple[str, ...] = ("thp", "ca"),
+) -> Plan:
+    """One chain cell per policy pair (VM state persists across runs)."""
+    scale = scale or common.QUICK_SCALE
+    workloads = tuple(workloads)
+    cells = [
+        cell(
+            "repro.experiments.table1:run_cell_chain",
+            policy=policy,
+            workloads=workloads,
+            scale=scale,
+        )
+        for policy in policies
+    ]
+
+    def assemble(results) -> Table1Result:
+        out = Table1Result()
+        for policy, counts in zip(policies, results):
+            for name, (ranges, vhc_entries) in zip(workloads, counts):
+                out.rows.append(
+                    Table1Row(
+                        workload=name,
+                        policy=policy,
+                        ranges=ranges,
+                        vhc_entries=vhc_entries,
+                    )
+                )
+        return out
+
+    return Plan(cells, assemble)
+
+
 def run(
     scale: ScaleProfile | None = None,
     workloads: tuple[str, ...] = common.SUITE,
     policies: tuple[str, ...] = ("thp", "ca"),
+    executor: Executor | None = None,
 ) -> Table1Result:
     """Run the virtualized suite under each policy pair and count entries."""
-    scale = scale or common.QUICK_SCALE
-    result = Table1Result()
-    for policy in policies:
-        vm = common.virtual_machine(policy, policy, scale)
-        for name in workloads:
-            wl = common.workload(name, scale)
-            r = run_virtualized(
-                vm, wl, RunOptions(sample_every=None, exit_after=False)
-            )
-            runs = two_d_runs(vm, r.process)
-            footprint = runs.total_pages
-            result.rows.append(
-                Table1Row(
-                    workload=name,
-                    policy=policy,
-                    ranges=mappings_for_coverage(runs, footprint, 0.99),
-                    vhc_entries=vhc_entries_for_coverage(
-                        list(runs), footprint, 0.99
-                    ),
-                )
-            )
-            vm.guest_exit_process(r.process)
-            vm.guest_kernel.drop_caches()
-    return result
+    return plan(scale, workloads, policies).run(executor)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

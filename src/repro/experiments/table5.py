@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 from repro.experiments import common
 from repro.metrics.faults import percentile
 from repro.sim.config import ScaleProfile
-from repro.sim.runner import RunOptions, run_native
+from repro.sim.jobs import Executor, Plan, cell
+from repro.sim.runner import RunOptions
 
 
 @dataclass
@@ -38,29 +39,52 @@ class Table5Result:
         return common.format_table(("policy", "total faults", "p99 latency (us)"), table)
 
 
+def plan(
+    scale: ScaleProfile | None = None,
+    workloads: tuple[str, ...] = common.SUITE,
+    policies: tuple[str, ...] = ("thp", "ca", "eager"),
+) -> Plan:
+    """Declare the native-grid cells (shared with fig 11 / table VI)."""
+    scale = scale or common.QUICK_SCALE
+    keys = [(policy, name) for policy in policies for name in workloads]
+    cells = [
+        cell(
+            "repro.experiments.common:run_cell_native",
+            workload=name,
+            policy=policy,
+            scale=scale,
+            options=RunOptions(sample_every=None),
+        )
+        for policy, name in keys
+    ]
+
+    def assemble(results) -> Table5Result:
+        out = Table5Result()
+        for policy in policies:
+            latencies: list[float] = []
+            total = 0
+            for (p, _), r in zip(keys, results):
+                if p == policy:
+                    total += r.faults.total_faults
+                    latencies.extend(r.fault_latencies_us)
+            out.rows[policy] = Table5Row(
+                policy=policy,
+                total_faults=total,
+                p99_latency_us=percentile(latencies, 99.0),
+            )
+        return out
+
+    return Plan(cells, assemble)
+
+
 def run(
     scale: ScaleProfile | None = None,
     workloads: tuple[str, ...] = common.SUITE,
     policies: tuple[str, ...] = ("thp", "ca", "eager"),
+    executor: Executor | None = None,
 ) -> Table5Result:
     """Aggregate fault events across the suite per policy."""
-    scale = scale or common.QUICK_SCALE
-    result = Table5Result()
-    for policy in policies:
-        latencies: list[float] = []
-        total = 0
-        for name in workloads:
-            machine = common.native_machine(policy, scale)
-            wl = common.workload(name, scale)
-            r = run_native(machine, wl, RunOptions(sample_every=None))
-            total += r.faults.total_faults
-            latencies.extend(r.fault_latencies_us)
-        result.rows[policy] = Table5Row(
-            policy=policy,
-            total_faults=total,
-            p99_latency_us=percentile(latencies, 99.0),
-        )
-    return result
+    return plan(scale, workloads, policies).run(executor)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

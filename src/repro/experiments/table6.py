@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 
 from repro.experiments import common
 from repro.sim.config import ScaleProfile
-from repro.sim.runner import RunOptions, run_native
+from repro.sim.jobs import Executor, Plan, cell
+from repro.sim.runner import RunOptions
 from repro.units import MIB, PAGE_SIZE
 
 
@@ -43,24 +44,47 @@ class Table6Result:
         return common.format_table(["workload"] + list(policies), rows)
 
 
+def plan(
+    scale: ScaleProfile | None = None,
+    workloads: tuple[str, ...] = common.SUITE,
+    policies: tuple[str, ...] = ("thp", "ingens", "ca", "eager"),
+) -> Plan:
+    """Declare the native-grid cells (shared with fig 11 / table V).
+
+    Bloat and touched counts are recorded in the result before process
+    teardown, so the canonical grid cell serves this table unchanged.
+    """
+    scale = scale or common.QUICK_SCALE
+    keys = [(name, policy) for policy in policies for name in workloads]
+    cells = [
+        cell(
+            "repro.experiments.common:run_cell_native",
+            workload=name,
+            policy=policy,
+            scale=scale,
+            options=RunOptions(sample_every=None),
+        )
+        for name, policy in keys
+    ]
+
+    def assemble(results) -> Table6Result:
+        out = Table6Result()
+        for (name, policy), r in zip(keys, results):
+            out.bloat[(name, policy)] = r.bloat_pages
+            out.touched[name] = r.touched_pages
+        return out
+
+    return Plan(cells, assemble)
+
+
 def run(
     scale: ScaleProfile | None = None,
     workloads: tuple[str, ...] = common.SUITE,
     policies: tuple[str, ...] = ("thp", "ingens", "ca", "eager"),
+    executor: Executor | None = None,
 ) -> Table6Result:
     """Measure resident-minus-touched per configuration."""
-    scale = scale or common.QUICK_SCALE
-    result = Table6Result()
-    for policy in policies:
-        for name in workloads:
-            machine = common.native_machine(policy, scale)
-            wl = common.workload(name, scale)
-            r = run_native(
-                machine, wl, RunOptions(sample_every=None, exit_after=False)
-            )
-            result.bloat[(name, policy)] = r.bloat_pages
-            result.touched[name] = r.touched_pages
-    return result
+    return plan(scale, workloads, policies).run(executor)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -13,12 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.experiments import common
-from repro.hw.mmu_sim import MmuSimulator
-from repro.hw.translation import TranslationView
 from repro.hw.walk import WalkLatencyModel
 from repro.metrics.usl import UslEstimate, estimate_usl
 from repro.sim.config import HardwareConfig, ScaleProfile
-from repro.sim.runner import RunOptions, run_virtualized
+from repro.sim.jobs import Executor, Plan, cell
 
 TRACE_LEN = 200_000
 #: Fraction of instructions that are loads (typical integer mix).
@@ -76,36 +74,58 @@ class Table7Result:
         )
 
 
+def plan(
+    scale: ScaleProfile | None = None,
+    workloads: tuple[str, ...] = common.SUITE,
+    hw: HardwareConfig | None = None,
+    trace_len: int = TRACE_LEN,
+) -> Plan:
+    """One CA+CA chain cell (shared with fig 13 / fig 14); the USL
+    equations apply to the simulated counters at assembly time."""
+    scale = scale or common.DEFAULT_SCALE
+    hw = hw or HardwareConfig()
+    workloads = tuple(workloads)
+    cells = [
+        cell(
+            "repro.experiments.common:run_cell_virt_sim_chain",
+            host_policy="ca",
+            guest_policy="ca",
+            workloads=workloads,
+            scale=scale,
+            hw=hw,
+            trace_len=trace_len,
+        )
+    ]
+
+    def assemble(results) -> Table7Result:
+        walk_cycles = WalkLatencyModel().walk_costs().nested_thp
+        out = Table7Result()
+        for name, (sim,) in zip(workloads, results[0]):
+            wl = common.workload(name, scale)
+            instructions = wl.instruction_count(sim.accesses)
+            cycles = instructions * EFFECTIVE_CPI + sim.walks * walk_cycles
+            out.estimates[name] = estimate_usl(
+                instructions=instructions,
+                branches=int(instructions * wl.branch_fraction),
+                dtlb_misses=sim.walks,
+                loads=int(instructions * LOAD_FRACTION),
+                cycles=cycles,
+                walk_cycles=walk_cycles,
+            )
+        return out
+
+    return Plan(cells, assemble)
+
+
 def run(
     scale: ScaleProfile | None = None,
     workloads: tuple[str, ...] = common.SUITE,
     hw: HardwareConfig | None = None,
     trace_len: int = TRACE_LEN,
+    executor: Executor | None = None,
 ) -> Table7Result:
     """Collect counters from CA+CA virtual runs and apply Table VII."""
-    scale = scale or common.DEFAULT_SCALE
-    hw = hw or HardwareConfig()
-    walk_cycles = WalkLatencyModel().walk_costs().nested_thp
-    result = Table7Result()
-    vm = common.virtual_machine("ca", "ca", scale)
-    for name in workloads:
-        wl = common.workload(name, scale)
-        r = run_virtualized(vm, wl, RunOptions(sample_every=None, exit_after=False))
-        view = TranslationView.virtualized(vm, r.process)
-        sim = MmuSimulator(view, hw).run(wl.trace(trace_len), r.vma_start_vpns, workload=wl)
-        instructions = wl.instruction_count(sim.accesses)
-        cycles = instructions * EFFECTIVE_CPI + sim.walks * walk_cycles
-        result.estimates[name] = estimate_usl(
-            instructions=instructions,
-            branches=int(instructions * wl.branch_fraction),
-            dtlb_misses=sim.walks,
-            loads=int(instructions * LOAD_FRACTION),
-            cycles=cycles,
-            walk_cycles=walk_cycles,
-        )
-        vm.guest_exit_process(r.process)
-        vm.guest_kernel.drop_caches()
-    return result
+    return plan(scale, workloads, hw, trace_len).run(executor)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -1,0 +1,191 @@
+"""Content-addressed on-disk cache for experiment run cells.
+
+Every run cell (see :mod:`repro.sim.jobs`) is a pure function of its
+spec: the machines it builds are seeded from the spec's config and the
+workloads from their seeds, so the cell's result can be memoized on
+disk and reused — across repeated invocations *and* across sibling
+experiments that sweep the same (workload, policy) grid.
+
+The cache key is ``sha256(code_salt + canonical-JSON(spec))``:
+
+- the *canonical JSON* covers the cell's function path and every
+  keyword argument (dataclasses such as :class:`ScaleProfile`,
+  :class:`RunOptions` or :class:`HardwareConfig` are encoded field by
+  field, tagged with their import path, so any field change — or a
+  changed default — produces a new key);
+- the *code salt* digests every ``*.py`` file of the installed
+  ``repro`` package, so any edit to the simulator invalidates the whole
+  cache rather than serving results computed by different code.  A
+  re-run after an edit *outside* the package (docs, tests, notebooks)
+  still hits.
+
+Entries are pickled result objects stored under
+``<root>/<key[:2]>/<key>.pkl`` with atomic rename, so concurrent
+writers (parallel suite runs) can share one cache directory safely.
+Unreadable or truncated entries count as misses and are overwritten.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+#: Sentinel distinguishing "no entry" from a cached ``None``.
+MISS = object()
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``./.repro-cache``."""
+    return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+
+
+@functools.lru_cache(maxsize=1)
+def code_version_salt() -> str:
+    """Digest of the installed ``repro`` package's source files.
+
+    Any change to simulator code changes the salt and therefore every
+    cache key; results computed by old code are never served.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def encode_spec(value: Any) -> Any:
+    """Recursively encode a cell-spec value into canonical JSON data.
+
+    Supported: JSON primitives, tuples/lists, dicts with string keys,
+    dataclasses (tagged with their import path so two dataclasses with
+    identical fields but different meaning never collide), and numpy
+    scalars.  Anything else raises ``TypeError`` — cell specs must stay
+    simple enough to hash reproducibly.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [encode_spec(v) for v in value]
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(f"cell-spec dict keys must be str, got {key!r}")
+            out[key] = encode_spec(item)
+        return out
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        encoded = {
+            field.name: encode_spec(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+        encoded["__dataclass__"] = f"{cls.__module__}:{cls.__qualname__}"
+        return encoded
+    if hasattr(value, "item") and callable(value.item):  # numpy scalar
+        return encode_spec(value.item())
+    raise TypeError(
+        f"cell specs may only hold primitives, sequences, dicts and "
+        f"dataclasses; got {type(value).__name__}: {value!r}"
+    )
+
+
+def spec_digest(spec: Any, salt: str) -> str:
+    """Content address of an encoded spec under a code salt."""
+    canonical = json.dumps(
+        encode_spec(spec), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256((salt + "\0" + canonical).encode()).hexdigest()
+
+
+class RunCache:
+    """On-disk content-addressed store of cell results.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on first store).
+    salt:
+        Code-version salt mixed into every key; defaults to
+        :func:`code_version_salt`.  Tests inject fixed salts to model
+        code edits without editing code.
+    """
+
+    def __init__(self, root: str | Path | None = None, salt: str | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.salt = code_version_salt() if salt is None else salt
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> Path:
+        """Where a key's entry lives (two-level fan-out like git)."""
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Any:
+        """The cached result for ``key``, or :data:`MISS`."""
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return MISS
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store a result under ``key`` (atomic; last writer wins)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.glob("*/*.pkl"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunCache(root={str(self.root)!r}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,200 @@
+"""Job-graph execution for experiments: run cells, fan-out, memoize.
+
+Every experiment decomposes into **run cells** — independent, hashable
+units of simulation work such as "run ``svm`` under ``ca`` at quick
+scale" or "replay the suite through one aging CA+CA VM".  A cell names
+a module-level function plus keyword arguments that are all simple
+values (primitives, tuples, dataclasses), which makes it:
+
+- *executable anywhere* — a worker process imports the function and
+  calls it;
+- *content-addressable* — the spec digests to a stable key (see
+  :mod:`repro.sim.cache`), so identical cells from sibling experiments
+  (fig 11 / table V / table VI sweep the same native grid; fig 13 / 14
+  / table VII share the CA+CA virtualized chain) are computed once;
+- *deterministic* — cells build their machines from seeded configs and
+  must not read process-global mutable state, so a cell's result is a
+  pure function of its spec and results collect in input order
+  regardless of scheduling.
+
+The :class:`Executor` runs a batch of cells serially (``jobs=1``,
+in-process) or through a ``ProcessPoolExecutor`` fan-out, consulting an
+optional :class:`~repro.sim.cache.RunCache` before computing and
+storing every fresh result after.
+"""
+
+from __future__ import annotations
+
+import importlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.errors import ConfigError
+from repro.sim.cache import MISS, RunCache, spec_digest
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One hashable unit of experiment work.
+
+    ``fn`` is a ``"module.path:function"`` reference to a module-level
+    callable; ``kwargs`` is a sorted tuple of keyword arguments.  Build
+    cells with :func:`cell` rather than directly.
+    """
+
+    fn: str
+    kwargs: tuple[tuple[str, Any], ...] = ()
+
+    def resolve(self) -> Callable[..., Any]:
+        """Import and return the cell function."""
+        module_name, _, attr = self.fn.partition(":")
+        if not attr:
+            raise ConfigError(f"cell fn must be 'module:function', got {self.fn!r}")
+        return getattr(importlib.import_module(module_name), attr)
+
+    def spec(self) -> dict:
+        """The cell as plain data (input of the cache key)."""
+        return {"fn": self.fn, "kwargs": dict(self.kwargs)}
+
+    def key(self, salt: str) -> str:
+        """Content address of this cell under a code salt."""
+        return spec_digest(self.spec(), salt)
+
+    def label(self) -> str:  # pragma: no cover - debugging aid
+        args = ", ".join(f"{k}={v!r}" for k, v in self.kwargs
+                         if isinstance(v, (str, int, float, bool)))
+        return f"{self.fn.rpartition(':')[2]}({args})"
+
+
+def cell(fn: str, **kwargs) -> Cell:
+    """Build a :class:`Cell` with canonically ordered kwargs."""
+    return Cell(fn=fn, kwargs=tuple(sorted(kwargs.items())))
+
+
+def execute_cell(c: Cell) -> Any:
+    """Run one cell in the current process (also the worker entry)."""
+    return c.resolve()(**dict(c.kwargs))
+
+
+@dataclass
+class Plan:
+    """An experiment's declared cells plus the function assembling the
+    cell results (in cell order) into the experiment's result object."""
+
+    cells: list[Cell]
+    assemble: Callable[[Sequence[Any]], Any]
+
+    def run(self, executor: "Executor | None" = None) -> Any:
+        """Execute the plan's cells and assemble the result."""
+        return self.assemble(execute(self.cells, executor))
+
+
+@dataclass
+class ExecutorStats:
+    """Per-executor counters (reported by the CLI and the suite bench)."""
+
+    submitted: int = 0
+    computed: int = 0
+    cache_hits: int = 0
+    deduped: int = 0
+
+    def merge(self, other: "ExecutorStats") -> None:
+        self.submitted += other.submitted
+        self.computed += other.computed
+        self.cache_hits += other.cache_hits
+        self.deduped += other.deduped
+
+
+class Executor:
+    """Runs batches of cells with optional parallelism and memoization.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (the default) runs cells inline in
+        submission order — byte-identical behaviour, no fork cost.
+    cache:
+        A :class:`RunCache` consulted per cell; ``None`` disables
+        memoization (the default, so library callers and tests are
+        unaffected unless they opt in).
+    """
+
+    def __init__(self, jobs: int = 1, cache: RunCache | None = None):
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.stats = ExecutorStats()
+        self._salt = cache.salt if cache is not None else ""
+
+    def run(self, cells: Sequence[Cell]) -> list[Any]:
+        """Execute ``cells``; results return in input order.
+
+        Duplicate cells (same content address) are computed once per
+        batch; cache hits skip computation entirely.
+        """
+        cells = list(cells)
+        self.stats.submitted += len(cells)
+        keys = [c.key(self._salt) for c in cells]
+
+        results: dict[str, Any] = {}
+        pending: list[tuple[str, Cell]] = []
+        queued: set[str] = set()
+        for key, c in zip(keys, cells):
+            if key in results or key in queued:
+                self.stats.deduped += 1
+                continue
+            if self.cache is not None:
+                hit = self.cache.get(key)
+                if hit is not MISS:
+                    results[key] = hit
+                    self.stats.cache_hits += 1
+                    continue
+            pending.append((key, c))
+            queued.add(key)
+
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                computed = [(key, execute_cell(c)) for key, c in pending]
+            else:
+                workers = min(self.jobs, len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        (key, pool.submit(execute_cell, c)) for key, c in pending
+                    ]
+                    computed = [(key, fut.result()) for key, fut in futures]
+            for key, value in computed:
+                results[key] = value
+                self.stats.computed += 1
+                if self.cache is not None:
+                    self.cache.put(key, value)
+
+        return [results[key] for key in keys]
+
+
+def execute(cells: Sequence[Cell], executor: Executor | None = None) -> list[Any]:
+    """Run cells through ``executor`` (or a fresh serial one)."""
+    return (executor or Executor()).run(cells)
+
+
+def run_plans(
+    plans: Sequence[Plan], executor: Executor | None = None
+) -> list[Any]:
+    """Execute several experiments' plans through one shared fan-out.
+
+    All cells are concatenated into a single batch — so the pool stays
+    saturated across experiment boundaries and cells shared *between*
+    experiments (identical content address) are computed once — then
+    each plan assembles from its own slice.
+    """
+    executor = executor or Executor()
+    flat: list[Cell] = []
+    for plan in plans:
+        flat.extend(plan.cells)
+    results = executor.run(flat)
+    out = []
+    offset = 0
+    for plan in plans:
+        n = len(plan.cells)
+        out.append(plan.assemble(results[offset:offset + n]))
+        offset += n
+    return out

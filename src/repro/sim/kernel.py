@@ -85,6 +85,7 @@ class Kernel:
         self.page_cache = PageCache()
         self._processes: dict[int, Process] = {}
         self._next_pid = 1
+        self._next_scratch_id = 1
         self.fault_events: list[FaultEvent] = []
         self.minor_faults = 0
         self.cow_breaks = 0
@@ -106,6 +107,18 @@ class Kernel:
     def iter_processes(self) -> Iterator[Process]:
         """Live processes."""
         return iter(list(self._processes.values()))
+
+    def next_scratch_id(self) -> int:
+        """Sequence number for scratch-file names left by run teardown.
+
+        Per-kernel (not process-global) so a run's scratch names — and
+        with them the whole result — depend only on this machine's own
+        history, never on how many unrelated runs preceded it in the
+        same Python process (worker reuse, test ordering).
+        """
+        scratch_id = self._next_scratch_id
+        self._next_scratch_id += 1
+        return scratch_id
 
     def node_of(self, process: Process) -> int:
         """Preferred NUMA node of a process."""

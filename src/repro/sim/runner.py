@@ -199,9 +199,9 @@ def _replay(workload, options, result, sampler, touch, read, daemons) -> None:
 
 def _file_handle(kernel, name: str, n_pages: int):
     """Reuse an already cached file with the same name (runs share input)."""
-    for file in kernel.page_cache.iter_files():
-        if file.name == name and file.n_pages == n_pages:
-            return file
+    file = kernel.page_cache.find(name, n_pages)
+    if file is not None:
+        return file
     return kernel.page_cache.open(n_pages, name=name)
 
 
@@ -211,16 +211,17 @@ def _read_pages(read_fn, file, start: int, n: int, kernel) -> None:
         read_fn(file, index)
 
 
-_SCRATCH_COUNTER = [0]
-
-
 def _write_scratch(kernel, workload, options, read_fn) -> None:
-    """Leave a scratch file in the page cache (ages the machine)."""
+    """Leave a scratch file in the page cache (ages the machine).
+
+    The sequence number comes from the kernel so the name — and hence
+    the result — is a pure function of this machine's history, not of
+    how many runs any other machine did in the same process.
+    """
     if not options.scratch_file_pages:
         return
-    _SCRATCH_COUNTER[0] += 1
     scratch = kernel.page_cache.open(
         options.scratch_file_pages,
-        name=f"{workload.name}-scratch-{_SCRATCH_COUNTER[0]}",
+        name=f"{workload.name}-scratch-{kernel.next_scratch_id()}",
     )
     _read_pages(read_fn, scratch, 0, scratch.n_pages, kernel)

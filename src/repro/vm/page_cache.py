@@ -53,6 +53,11 @@ class PageCache:
     def __init__(self, readahead_pages: int = DEFAULT_READAHEAD_PAGES):
         self.readahead_pages = readahead_pages
         self._files: dict[int, CachedFile] = {}
+        #: (name, n_pages) -> first file registered under that identity;
+        #: lets runs reopen shared inputs in O(1) instead of scanning
+        #: every file (machines aged with many scratch files otherwise
+        #: pay an O(#files) lookup per run).
+        self._by_name: dict[tuple[str, int], CachedFile] = {}
         self._next_inode = 1
         #: runs of file-index -> pfn contiguity, per inode (diagnostics).
         self.runs: dict[int, MappingRuns] = {}
@@ -73,6 +78,7 @@ class PageCache:
             raise AddressSpaceError(f"file of {n_pages} pages")
         file = CachedFile(self._next_inode, n_pages, name=name)
         self._files[file.inode] = file
+        self._by_name.setdefault((name, n_pages), file)
         self.runs[file.inode] = MappingRuns()
         self._next_inode += 1
         return file
@@ -80,6 +86,15 @@ class PageCache:
     def file(self, inode: int) -> CachedFile:
         """Look up a registered file."""
         return self._files[inode]
+
+    def find(self, name: str, n_pages: int) -> CachedFile | None:
+        """The first file opened as (name, n_pages), if any.
+
+        Matches the registration-order semantics of scanning
+        ``iter_files`` — the earliest matching file wins — without the
+        linear scan.
+        """
+        return self._by_name.get((name, n_pages))
 
     def iter_files(self):
         """All registered files."""

@@ -1,0 +1,98 @@
+"""Every experiment's result type survives the serialize/cache paths.
+
+One shared orchestrator pass runs a reduced plan for each of the 17
+result types (same scale and subsets as the smoke tests), then each
+result must:
+
+- round-trip through ``to_jsonable`` + ``json.dumps``;
+- come back byte-identical from the content-addressed cache on a warm
+  pass with zero cells recomputed.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    ext_multivm,
+    ext_shadow,
+    ext_vhc,
+    fig1,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    table1,
+    table5,
+    table6,
+    table7,
+)
+from repro.experiments.serialize import to_jsonable
+from repro.sim.cache import RunCache
+from repro.sim.config import MIB, ScaleProfile
+from repro.sim.jobs import Executor, run_plans
+
+SMOKE = ScaleProfile(name="smoke", bytes_per_paper_gb=MIB, machine_paper_gb=(128, 128))
+ONE = ("svm",)
+TWO = ("svm", "pagerank")
+
+#: result_key -> reduced plan factory (mirrors the smoke-test configs).
+PLANS = {
+    "fig1b": lambda: fig1.plan_fig1b(scale=SMOKE, runs=3),
+    "fig1c": lambda: fig1.plan_fig1c(scale=SMOKE, steady_epochs=3),
+    "fig7": lambda: fig7.plan(SMOKE, ONE, ("thp", "ca"), steady_epochs=2),
+    "fig8": lambda: fig8.plan(SMOKE, (0.0, 0.3), ("thp", "ca"), ONE),
+    "fig9": lambda: fig9.plan(SMOKE, workloads=ONE),
+    "fig10": lambda: fig10.plan(SMOKE, policies=("thp", "ca")),
+    "fig11": lambda: fig11.plan(SMOKE, ONE, ("thp", "ca")),
+    "fig12": lambda: fig12.plan(SMOKE, ONE, ("ca",)),
+    "fig13": lambda: fig13.plan(SMOKE, ONE, trace_len=20_000),
+    "fig14": lambda: fig14.plan(SMOKE, ONE, trace_len=20_000),
+    "table1": lambda: table1.plan(SMOKE, ONE, ("ca",)),
+    "table5": lambda: table5.plan(SMOKE, ONE, ("thp", "eager")),
+    "table6": lambda: table6.plan(SMOKE, ONE, ("thp", "eager")),
+    "table7": lambda: table7.plan(SMOKE, TWO, trace_len=20_000),
+    "ext_shadow": lambda: ext_shadow.plan(SMOKE, ONE, trace_len=20_000),
+    "ext_multivm": lambda: ext_multivm.plan(SMOKE, host_policies=("ca",)),
+    "ext_vhc": lambda: ext_vhc.plan(SMOKE, ONE, trace_len=20_000),
+}
+
+
+def _blobs(cache: RunCache | None) -> tuple[dict[str, str], Executor]:
+    executor = Executor(cache=cache)
+    results = run_plans([factory() for factory in PLANS.values()], executor)
+    blobs = {
+        key: json.dumps(to_jsonable(result), sort_keys=True)
+        for key, result in zip(PLANS, results)
+    }
+    return blobs, executor
+
+
+@pytest.fixture(scope="module")
+def cold_pass(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cells")
+    blobs, executor = _blobs(RunCache(root))
+    return root, blobs, executor.stats
+
+
+@pytest.mark.parametrize("key", sorted(PLANS))
+def test_result_roundtrips(cold_pass, key):
+    _, blobs, _ = cold_pass
+    parsed = json.loads(blobs[key])
+    assert parsed  # non-empty result payload
+    assert json.dumps(parsed, sort_keys=True) == blobs[key]
+
+
+def test_warm_pass_is_byte_identical_and_all_cached(cold_pass):
+    root, cold_blobs, cold_stats = cold_pass
+    warm_blobs, warm = _blobs(RunCache(root))
+    assert warm_blobs == cold_blobs
+    assert warm.stats.computed == 0
+    assert warm.stats.cache_hits > 0
+    assert (
+        warm.stats.cache_hits + warm.stats.deduped == cold_stats.submitted
+    )

@@ -1,0 +1,195 @@
+"""Tests for the run-cell orchestrator and the content-addressed cache."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.cache import (
+    MISS,
+    RunCache,
+    code_version_salt,
+    default_cache_dir,
+    encode_spec,
+    spec_digest,
+)
+from repro.sim.config import QUICK_SCALE, ScaleProfile
+from repro.sim.jobs import Cell, Executor, Plan, cell, execute, run_plans
+
+
+def _square(*, x):
+    return x * x
+
+
+def _concat(*, items, sep):
+    return sep.join(items)
+
+
+SQ = "tests.sim.test_jobs:_square"
+CAT = "tests.sim.test_jobs:_concat"
+
+
+class TestSpecEncoding:
+    def test_primitives_pass_through(self):
+        assert encode_spec({"a": 1, "b": 0.5, "c": None, "d": True}) == {
+            "a": 1, "b": 0.5, "c": None, "d": True,
+        }
+
+    def test_tuples_become_lists(self):
+        assert encode_spec(("svm", ("a", 1))) == ["svm", ["a", 1]]
+
+    def test_dataclass_tagged_with_type(self):
+        out = encode_spec(QUICK_SCALE)
+        assert out["__dataclass__"].endswith("ScaleProfile")
+        assert out["name"] == "quick"
+
+    def test_numpy_scalar(self):
+        np = pytest.importorskip("numpy")
+        assert encode_spec(np.int64(7)) == 7
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(TypeError):
+            encode_spec(object())
+
+    def test_digest_stable_and_salted(self):
+        spec = {"fn": SQ, "kwargs": {"x": 3}}
+        assert spec_digest(spec, "s1") == spec_digest(spec, "s1")
+        assert spec_digest(spec, "s1") != spec_digest(spec, "s2")
+
+    def test_digest_changes_with_spec(self):
+        a = cell(SQ, x=3)
+        b = cell(SQ, x=4)
+        assert a.key("salt") != b.key("salt")
+
+    def test_kwarg_order_canonical(self):
+        assert cell(CAT, sep="-", items=("a",)) == cell(CAT, items=("a",), sep="-")
+
+    def test_code_salt_nonempty_and_cached(self):
+        assert code_version_salt()
+        assert code_version_salt() == code_version_salt()
+
+
+class TestCell:
+    def test_resolve_and_execute(self):
+        c = cell(SQ, x=5)
+        assert c.resolve()(x=5) == 25
+        assert execute([c]) == [25]
+
+    def test_bad_ref_rejected(self):
+        with pytest.raises(ConfigError):
+            Cell(fn="no.colon.here").resolve()
+
+
+class TestRunCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = RunCache(tmp_path)
+        assert cache.get("k" * 64) is MISS
+        cache.put("k" * 64, {"v": 1})
+        assert cache.get("k" * 64) == {"v": 1}
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.put("a" * 64, [1, 2])
+        cache.path_for("a" * 64).write_bytes(b"not a pickle")
+        assert cache.get("a" * 64) is MISS
+
+    def test_clear(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.put("a" * 64, 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a" * 64) is MISS
+
+    def test_default_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert default_cache_dir() == tmp_path / "env"
+
+
+class TestExecutor:
+    def test_serial_order_preserved(self):
+        cells = [cell(SQ, x=i) for i in (3, 1, 2)]
+        assert Executor().run(cells) == [9, 1, 4]
+
+    def test_within_batch_dedup(self):
+        ex = Executor()
+        out = ex.run([cell(SQ, x=2), cell(SQ, x=2), cell(SQ, x=3)])
+        assert out == [4, 4, 9]
+        assert ex.stats.computed == 2
+        assert ex.stats.deduped == 1
+
+    def test_cache_hit_skips_compute(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cold = Executor(cache=cache)
+        assert cold.run([cell(SQ, x=6)]) == [36]
+        warm = Executor(cache=RunCache(tmp_path))
+        assert warm.run([cell(SQ, x=6)]) == [36]
+        assert warm.stats.cache_hits == 1
+        assert warm.stats.computed == 0
+
+    def test_spec_change_invalidates(self, tmp_path):
+        cache = RunCache(tmp_path)
+        Executor(cache=cache).run([cell(SQ, x=6)])
+        ex = Executor(cache=RunCache(tmp_path))
+        ex.run([cell(SQ, x=7)])
+        assert ex.stats.cache_hits == 0
+        assert ex.stats.computed == 1
+
+    def test_salt_change_invalidates(self, tmp_path):
+        a = RunCache(tmp_path, salt="one")
+        Executor(cache=a).run([cell(SQ, x=6)])
+        ex = Executor(cache=RunCache(tmp_path, salt="two"))
+        ex.run([cell(SQ, x=6)])
+        assert ex.stats.cache_hits == 0
+        assert ex.stats.computed == 1
+
+    def test_parallel_matches_serial(self, tmp_path):
+        cells = [cell(CAT, items=("a", "b", str(i)), sep="-") for i in range(6)]
+        serial = Executor().run(cells)
+        parallel = Executor(jobs=2, cache=RunCache(tmp_path)).run(cells)
+        assert serial == parallel
+
+
+class TestPlans:
+    def test_plan_assembles_in_cell_order(self):
+        plan = Plan([cell(SQ, x=2), cell(SQ, x=3)], assemble=tuple)
+        assert plan.run() == (4, 9)
+
+    def test_run_plans_slices_and_shares(self, tmp_path):
+        shared = cell(SQ, x=9)
+        plans = [
+            Plan([shared, cell(SQ, x=1)], assemble=list),
+            Plan([shared], assemble=list),
+        ]
+        ex = Executor(cache=RunCache(tmp_path))
+        out = run_plans(plans, ex)
+        assert out == [[81, 1], [81]]
+        # The shared cell computes once; its twin is deduped in-batch.
+        assert ex.stats.computed == 2
+        assert ex.stats.deduped == 1
+
+
+SMOKE = ScaleProfile(
+    name="smoke", bytes_per_paper_gb=1 << 20, machine_paper_gb=(128, 128)
+)
+
+
+class TestSimCellsDeterministic:
+    """Real simulation cells are pure functions of their spec."""
+
+    def test_native_cell_repeatable_and_cacheable(self, tmp_path):
+        from repro.experiments.serialize import to_jsonable
+
+        c = cell(
+            "repro.experiments.common:run_cell_native",
+            workload="svm", policy="ca", scale=SMOKE,
+        )
+        blob = lambda r: json.dumps(to_jsonable(r), sort_keys=True)
+        first = blob(execute([c])[0])
+        again = blob(execute([c])[0])
+        warm = blob(Executor(cache=RunCache(tmp_path)).run([c])[0])
+        hit = Executor(cache=RunCache(tmp_path))
+        cached = blob(hit.run([c])[0])
+        assert first == again == warm == cached
+        assert hit.stats.cache_hits == 1

@@ -76,6 +76,32 @@ class TestRunNative:
         assert len(list(machine.kernel.page_cache.iter_files())) == files_after_first
 
 
+class TestScratchCounter:
+    """Scratch-file naming is per-kernel state, not process-global."""
+
+    def test_counter_is_per_kernel(self):
+        a = build_machine("ca", SMALL).kernel
+        b = build_machine("ca", SMALL).kernel
+        assert [a.next_scratch_id(), a.next_scratch_id()] == [1, 2]
+        # A machine built later starts from 1 regardless of a's history.
+        assert b.next_scratch_id() == 1
+
+    def test_scratch_names_identical_across_machines(self):
+        # Two identically-specced machines must produce identically
+        # named scratch files even when run back to back in one process
+        # — this is what makes run cells pure functions of their spec.
+        names = []
+        for _ in range(2):
+            machine = build_machine("ca", SMALL)
+            wl = make_workload("svm", TEST_SCALE)
+            run_native(machine, wl, RunOptions(scratch_file_pages=32))
+            run_native(machine, wl, RunOptions(scratch_file_pages=32))
+            names.append(
+                sorted(f.name for f in machine.kernel.page_cache.iter_files())
+            )
+        assert names[0] == names[1]
+
+
 class TestRunVirtualized:
     def make_vm(self, policy="ca"):
         host = build_machine(policy, SMALL)

@@ -1,0 +1,35 @@
+"""Tests for the page cache's (name, n_pages) file index."""
+
+from repro.vm.page_cache import PageCache
+
+
+class TestFindIndex:
+    def test_find_returns_registered_file(self):
+        pc = PageCache()
+        f = pc.open(16, name="graph.bin")
+        assert pc.find("graph.bin", 16) is f
+
+    def test_find_misses_on_name_or_size(self):
+        pc = PageCache()
+        pc.open(16, name="graph.bin")
+        assert pc.find("graph.bin", 8) is None
+        assert pc.find("other.bin", 16) is None
+
+    def test_first_registration_wins(self):
+        # The index must keep the scan semantics it replaced: the
+        # earliest file opened under an identity is the one reopened.
+        pc = PageCache()
+        first = pc.open(16, name="dup")
+        second = pc.open(16, name="dup")
+        assert second is not first
+        assert pc.find("dup", 16) is first
+
+    def test_index_matches_scan_for_every_file(self):
+        pc = PageCache()
+        files = [pc.open(4 + i, name=f"f{i % 3}") for i in range(9)]
+        for f in files:
+            scan = next(
+                g for g in pc.iter_files()
+                if g.name == f.name and g.n_pages == f.n_pages
+            )
+            assert pc.find(f.name, f.n_pages) is scan
