@@ -25,6 +25,12 @@ measures the experiment orchestrator itself: the whole suite serially,
 through the process fan-out against a cold cache, and again warm — with
 the serialized results asserted byte-identical across all three modes —
 writing ``BENCH_suite.json``.
+
+A fourth, ``python -m repro bench-serve``
+(:func:`repro.serve.loadgen.run_serve_bench`), load-tests the serving
+layer end to end — concurrent-client coalescing, warm-path latency
+percentiles and throughput — writing ``BENCH_serve.json`` through the
+same :func:`write_report` plumbing.
 """
 
 from __future__ import annotations

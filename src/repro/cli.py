@@ -8,6 +8,11 @@ Usage::
     python -m repro suite --scale quick --jobs 8
     python -m repro bench --scale default --out BENCH_engine.json
     python -m repro bench-suite --scale quick --out BENCH_suite.json
+    python -m repro serve --port 8377 --workers 2
+    python -m repro submit fig11 --scale quick
+    python -m repro bench-serve --clients 8 --out BENCH_serve.json
+    python -m repro cache stats
+    python -m repro cache prune --max-bytes 500M
 
 Experiments decompose into run cells (see :mod:`repro.sim.jobs`);
 ``--jobs N`` fans the cells of all requested experiments out over N
@@ -227,6 +232,157 @@ def _cmd_bench_suite(args) -> int:
     return 0 if ok else 1
 
 
+def parse_size(text: str) -> int:
+    """Parse a byte count with an optional K/M/G/T suffix (``"500M"``)."""
+    text = str(text).strip()
+    suffixes = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30, "T": 1 << 40}
+    factor = 1
+    if text and text[-1].upper() in suffixes:
+        factor = suffixes[text[-1].upper()]
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"not a size: {text!r} (expected e.g. 1000000, 500M, 2G)"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("size must be >= 0")
+    return int(value * factor)
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve.server import build_server
+
+    build_server(args).run()
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import json as _json
+
+    from repro.serve.client import ServeClient, ServeError
+
+    params = None
+    if args.params:
+        try:
+            params = _json.loads(args.params)
+        except _json.JSONDecodeError as exc:
+            print(f"--params is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+    client = ServeClient(host=args.host, port=args.port)
+    try:
+        if args.stream:
+            payload = None
+            for event in client.iter_stream(
+                args.experiment, scale=args.scale, params=params
+            ):
+                if event.get("event") == "result":
+                    payload = event["data"]
+                else:
+                    print(_json.dumps(event, sort_keys=True))
+            if payload is None:
+                print("stream ended without a result", file=sys.stderr)
+                return 1
+        else:
+            resp = client.run(args.experiment, scale=args.scale, params=params)
+            if resp.status == 503:
+                retry = resp.headers.get("retry-after", "?")
+                print(f"server busy (503); retry after {retry}s",
+                      file=sys.stderr)
+                return 1
+            if not resp.ok:
+                print(f"HTTP {resp.status}: {resp.body.decode(errors='replace')}",
+                      file=sys.stderr)
+                return 1
+            payload = resp.json
+            print(f"[job coalesced={int(resp.coalesced)} "
+                  f"elapsed={resp.elapsed_ms:.1f}ms "
+                  f"computed={resp.cells_computed} "
+                  f"cached={resp.cells_cached}]", file=sys.stderr)
+    except (ServeError, ConnectionError, OSError) as exc:
+        print(f"cannot reach server at {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    for key, report in payload["reports"].items():
+        if key != args.experiment:
+            print(f"[{key}]")
+        print(report)
+    if args.json:
+        from pathlib import Path
+
+        out = Path(args.json)
+        out.write_text(_json.dumps(payload, indent=2, sort_keys=True))
+        print(f"[saved {out}]", file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_serve(args) -> int:
+    from repro.bench import write_report
+    from repro.serve.loadgen import run_serve_bench
+
+    print(f"=== bench-serve: cold coalescing + warm latency "
+          f"(scale={args.scale}, experiment={args.experiment}, "
+          f"clients={args.clients}) ===")
+    report = run_serve_bench(
+        args.scale, experiment=args.experiment, clients=args.clients,
+        warm_rounds=args.warm_rounds, cache_root=args.cache_dir,
+        workers=args.workers,
+    )
+    cold, warm = report["cold"], report["warm"]
+    print(f" cold: p50 {cold['p50_ms']:.0f}ms over {cold['requests']} "
+          f"clients — {cold['executor_jobs']:.0f} executor job(s), "
+          f"{cold['coalesced_joins']:.0f} coalesced join(s), "
+          f"{cold['unique_bodies']} unique body(ies)")
+    print(f" warm: p50 {warm['p50_ms']:.1f}ms p95 {warm['p95_ms']:.1f}ms "
+          f"p99 {warm['p99_ms']:.1f}ms — {warm['throughput_rps']} req/s "
+          f"over {warm['requests']} requests")
+    print(f" coalescing_ok={report['coalescing_ok']} "
+          f"bodies_identical={report['bodies_identical']} "
+          f"failed={report['failed_requests']} "
+          f"warm_over_cold={report['warm_over_cold']}x")
+    out = write_report(report, args.out)
+    print(f"[saved {out} in {report['wall_seconds']}s]")
+    ok = (report["failed_requests"] == 0 and report["coalescing_ok"]
+          and report["bodies_identical"])
+    if args.min_warm_speedup and report["warm_over_cold"] < args.min_warm_speedup:
+        print(f"warm-over-cold {report['warm_over_cold']}x below gate "
+              f"{args.min_warm_speedup}x", file=sys.stderr)
+        ok = False
+    if args.max_warm_p50_ms and report["warm_p50_ms"] > args.max_warm_p50_ms:
+        print(f"warm p50 {report['warm_p50_ms']}ms above gate "
+              f"{args.max_warm_p50_ms}ms", file=sys.stderr)
+        ok = False
+    return 0 if ok else 1
+
+
+def _make_cache(args):
+    from repro.sim.cache import RunCache
+
+    return RunCache(getattr(args, "cache_dir", None))
+
+
+def _cmd_cache_stats(args) -> int:
+    stats = _make_cache(args).stats()
+    print(f"cache root:  {stats['root']}")
+    print(f"entries:     {stats['entries']}")
+    print(f"total bytes: {stats['total_bytes']:,}")
+    if stats["entries"]:
+        age = time.time() - stats["oldest_mtime"]
+        print(f"oldest entry age: {age / 3600:.1f}h")
+    return 0
+
+
+def _cmd_cache_prune(args) -> int:
+    summary = _make_cache(args).prune(args.max_bytes)
+    print(f"removed {summary['removed']} entry(ies), "
+          f"freed {summary['freed_bytes']:,} bytes; "
+          f"{summary['remaining_entries']} entry(ies) "
+          f"({summary['remaining_bytes']:,} bytes) remain "
+          f"<= {summary['max_bytes']:,} bytes")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -322,6 +478,128 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail unless the warm pass beats serial by at least X times",
     )
     suite_bench_p.set_defaults(func=_cmd_bench_suite)
+
+    serve_p = sub.add_parser(
+        "serve", help="start the long-lived simulation service"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8377,
+                         help="bind port; 0 picks one (default: 8377)")
+    serve_p.add_argument(
+        "--queue-depth", type=int, default=16, metavar="N",
+        help="max jobs waiting to start before 503s (default: 16)",
+    )
+    serve_p.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent jobs (default: 2)",
+    )
+    serve_p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per job's cell fan-out (default: 1, "
+             "inline in the worker thread)",
+    )
+    serve_p.add_argument(
+        "--retry-after", type=float, default=1.0, metavar="SECONDS",
+        help="Retry-After hint on 503 responses (default: 1)",
+    )
+    serve_p.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="run cache location (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    serve_p.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every request, skip the run cache",
+    )
+    serve_p.set_defaults(func=_cmd_serve)
+
+    submit_p = sub.add_parser(
+        "submit", help="submit one experiment to a running server"
+    )
+    submit_p.add_argument("experiment", help="experiment name (see `list`)")
+    submit_p.add_argument("--scale", choices=sorted(SCALES), default="quick",
+                          help="scale profile (default: quick)")
+    submit_p.add_argument("--host", default="127.0.0.1")
+    submit_p.add_argument("--port", type=int, default=8377)
+    submit_p.add_argument(
+        "--params", metavar="JSON", default=None,
+        help='plan() overrides, e.g. \'{"policies": ["thp", "ca"]}\'',
+    )
+    submit_p.add_argument(
+        "--stream", action="store_true",
+        help="stream NDJSON progress events instead of waiting silently",
+    )
+    submit_p.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also save the full result payload as JSON",
+    )
+    submit_p.set_defaults(func=_cmd_submit)
+
+    serve_bench_p = sub.add_parser(
+        "bench-serve",
+        help="load-test the serve layer: cold coalescing + warm latency",
+    )
+    serve_bench_p.add_argument(
+        "--scale", choices=sorted(SCALES), default="quick",
+        help="scale profile (default: quick)",
+    )
+    serve_bench_p.add_argument(
+        "--experiment", default="fig11",
+        help="experiment each client requests (default: fig11)",
+    )
+    serve_bench_p.add_argument(
+        "--clients", type=int, default=8, metavar="N",
+        help="concurrent clients (default: 8)",
+    )
+    serve_bench_p.add_argument(
+        "--warm-rounds", type=int, default=5, metavar="N",
+        help="warm requests per client (default: 5)",
+    )
+    serve_bench_p.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="server worker count (default: 2)",
+    )
+    serve_bench_p.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="scratch cache directory — cleared before the cold phase "
+             "(default: a private temp dir)",
+    )
+    serve_bench_p.add_argument(
+        "--out", default="BENCH_serve.json", metavar="FILE",
+        help="JSON report path (default: BENCH_serve.json)",
+    )
+    serve_bench_p.add_argument(
+        "--min-warm-speedup", type=float, default=0.0, metavar="X",
+        help="fail unless warm p50 beats cold p50 by at least X times",
+    )
+    serve_bench_p.add_argument(
+        "--max-warm-p50-ms", type=float, default=0.0, metavar="MS",
+        help="fail if warm p50 latency exceeds MS milliseconds",
+    )
+    serve_bench_p.set_defaults(func=_cmd_bench_serve)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or prune the on-disk run cache"
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    stats_p = cache_sub.add_parser("stats", help="entry count and size")
+    stats_p.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="cache location (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    stats_p.set_defaults(func=_cmd_cache_stats)
+    prune_p = cache_sub.add_parser(
+        "prune", help="evict least-recently-used entries down to a budget"
+    )
+    prune_p.add_argument(
+        "--max-bytes", type=parse_size, required=True, metavar="SIZE",
+        help="target total size, e.g. 500000000, 500M or 2G",
+    )
+    prune_p.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="cache location (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    prune_p.set_defaults(func=_cmd_cache_prune)
     return parser
 
 

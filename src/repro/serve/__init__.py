@@ -1,0 +1,24 @@
+"""`repro.serve`: a long-lived asyncio simulation service.
+
+The serving layer turns the experiment registry into a JSON-over-HTTP
+API backed by the run-cell orchestrator: a bounded job queue with
+admission control (:mod:`repro.serve.scheduler`), in-flight request
+coalescing keyed on the cells' content address, NDJSON progress
+streaming, and a Prometheus-style ``/metrics`` endpoint
+(:mod:`repro.serve.metrics`).  ``python -m repro serve`` starts it;
+:mod:`repro.serve.client` talks to it; :mod:`repro.serve.loadgen`
+load-tests it (``python -m repro bench-serve``).
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.scheduler import Job, QueueFull, Scheduler
+from repro.serve.server import ReproServer
+
+__all__ = [
+    "Job",
+    "QueueFull",
+    "ReproServer",
+    "Scheduler",
+    "ServeClient",
+    "ServeError",
+]

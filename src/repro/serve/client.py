@@ -1,0 +1,199 @@
+"""Stdlib client for the serve API (used by the CLI and the load bench).
+
+Synchronous and ``http.client``-based on purpose: the load generator
+drives it from plain threads, and `repro submit` needs no event loop.
+One connection per request matches the server's ``Connection: close``
+discipline.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+class ServeError(RuntimeError):
+    """The server answered with an error status."""
+
+    def __init__(self, status: int, message: str,
+                 retry_after: float | None = None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+
+
+@dataclass
+class RunResponse:
+    """One ``/v1/run`` answer plus its ``X-Repro-*`` provenance."""
+
+    status: int
+    body: bytes
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def json(self) -> Any:
+        return json.loads(self.body.decode())
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+    @property
+    def coalesced(self) -> bool:
+        return self.headers.get("x-repro-coalesced") == "1"
+
+    @property
+    def elapsed_ms(self) -> float:
+        return float(self.headers.get("x-repro-elapsed-ms", "nan"))
+
+    @property
+    def cells_computed(self) -> int:
+        return int(self.headers.get("x-repro-cells-computed", "0"))
+
+    @property
+    def cells_cached(self) -> int:
+        return int(self.headers.get("x-repro-cells-cached", "0"))
+
+
+class ServeClient:
+    """Talks to one ``repro serve`` instance."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8377,
+                 timeout: float = 600.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing -----------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> RunResponse:
+        conn = self._connect()
+        try:
+            body = json.dumps(payload).encode() if payload is not None else None
+            conn.request(method, path, body=body,
+                         headers={"Content-Type": "application/json"}
+                         if body else {})
+            resp = conn.getresponse()
+            return RunResponse(
+                status=resp.status, body=resp.read(),
+                headers={k.lower(): v for k, v in resp.getheaders()},
+            )
+        finally:
+            conn.close()
+
+    # -- endpoints ----------------------------------------------------
+
+    def healthz(self) -> dict:
+        resp = self._request("GET", "/healthz")
+        if not resp.ok:
+            raise ServeError(resp.status, resp.body.decode(errors="replace"))
+        return resp.json
+
+    def experiments(self) -> dict:
+        resp = self._request("GET", "/v1/experiments")
+        if not resp.ok:
+            raise ServeError(resp.status, resp.body.decode(errors="replace"))
+        return resp.json
+
+    def metrics_text(self) -> str:
+        resp = self._request("GET", "/metrics")
+        if not resp.ok:
+            raise ServeError(resp.status, resp.body.decode(errors="replace"))
+        return resp.body.decode()
+
+    def metric(self, name: str, label: str | None = None) -> float:
+        """One sample value scraped off ``/metrics`` (0.0 if absent).
+
+        ``label`` matches the full ``{...}`` segment content, e.g.
+        ``'status="done"'``.
+        """
+        wanted_label = label
+        for line in self.metrics_text().splitlines():
+            if line.startswith("#") or not line.strip():
+                continue
+            sample, _, value = line.rpartition(" ")
+            sample_name, _, sample_label = sample.partition("{")
+            sample_label = sample_label.rstrip("}")
+            if sample_name != name:
+                continue
+            if wanted_label is not None and sample_label != wanted_label:
+                continue
+            try:
+                return float(value)
+            except ValueError:
+                continue
+        return 0.0
+
+    def run(self, experiment: str, scale: str = "quick",
+            params: dict | None = None) -> RunResponse:
+        """Submit one run and wait for the result.
+
+        Returns the response whatever the status — callers inspect
+        ``resp.ok`` / ``resp.status`` (503 carries ``retry-after``).
+        """
+        payload: dict = {"experiment": experiment, "scale": scale}
+        if params:
+            payload["params"] = params
+        return self._request("POST", "/v1/run", payload)
+
+    def run_stream(self, experiment: str, scale: str = "quick",
+                   params: dict | None = None,
+                   on_event: Callable[[dict], None] | None = None
+                   ) -> list[dict]:
+        """Submit with ``?stream=1``; returns every NDJSON event in order.
+
+        The final ``result`` event carries the full payload under
+        ``"data"``.  ``on_event`` (if given) fires per event as it
+        arrives.
+        """
+        return list(self.iter_stream(experiment, scale, params, on_event))
+
+    def iter_stream(self, experiment: str, scale: str = "quick",
+                    params: dict | None = None,
+                    on_event: Callable[[dict], None] | None = None
+                    ) -> Iterator[dict]:
+        payload: dict = {"experiment": experiment, "scale": scale}
+        if params:
+            payload["params"] = params
+        conn = self._connect()
+        try:
+            conn.request(
+                "POST", "/v1/run?stream=1", body=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            if resp.status != 200:
+                body = resp.read().decode(errors="replace")
+                raise ServeError(
+                    resp.status, body,
+                    retry_after=_retry_after(resp.getheader("Retry-After")),
+                )
+            while True:
+                line = resp.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                event = json.loads(line.decode())
+                if on_event is not None:
+                    on_event(event)
+                yield event
+        finally:
+            conn.close()
+
+
+def _retry_after(value: str | None) -> float | None:
+    try:
+        return float(value) if value is not None else None
+    except ValueError:  # pragma: no cover - non-numeric date form
+        return None

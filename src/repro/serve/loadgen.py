@@ -1,0 +1,245 @@
+"""Load generator for the serve layer: ``python -m repro bench-serve``.
+
+Boots a real server (ephemeral port, scratch cache) in a background
+thread, then drives it with N concurrent stdlib clients through two
+phases:
+
+1. *cold / coalescing* — N identical requests land while the cache is
+   empty.  They must coalesce onto **one** executor invocation
+   (verified via the ``/metrics`` coalesced-join and job counters) and
+   every client must receive byte-identical bodies.
+2. *warm* — the same request repeated for several rounds against the
+   now-populated cache, measuring per-request latency (p50/p95/p99)
+   and throughput.
+
+The report (``BENCH_serve.json``) carries the headline numbers CI
+gates on: zero failed requests, coalescing effectiveness, and
+warm-over-cold speedup.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import platform
+import shutil
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.serve.client import ServeClient
+from repro.serve.server import ReproServer
+from repro.sim.cache import RunCache
+
+#: Defaults matching the acceptance gate: 8 concurrent identical
+#: quick-scale requests -> 1 executor invocation.
+DEFAULT_CLIENTS = 8
+DEFAULT_WARM_ROUNDS = 5
+DEFAULT_EXPERIMENT = "fig11"
+
+
+class ServerThread:
+    """A live ``ReproServer`` on its own event loop + thread."""
+
+    def __init__(self, **server_kwargs):
+        self._ready = threading.Event()
+        self._server: ReproServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._main, kwargs=server_kwargs,
+            name="repro-serve", daemon=True,
+        )
+
+    def _main(self, **server_kwargs) -> None:
+        async def amain():
+            server = ReproServer(port=0, **server_kwargs)
+            await server.start()
+            self._server = server
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+            try:
+                await server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                await server.stop()
+
+        try:
+            asyncio.run(amain())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to starter
+            self._error = exc
+            self._ready.set()
+
+    def __enter__(self) -> ReproServer:
+        self._thread.start()
+        self._ready.wait(timeout=60)
+        if self._server is None:
+            raise RuntimeError(
+                f"server failed to start: {self._error!r}"
+            ) from self._error
+        return self._server
+
+    def __exit__(self, *exc) -> None:
+        if self._loop is not None and self._server is not None:
+            asyncio.run_coroutine_threadsafe(
+                self._server.stop(), self._loop
+            )
+        self._thread.join(timeout=30)
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of raw observations (exact, not bucketed)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def _latency_summary(latencies_s: list[float]) -> dict:
+    return {
+        "requests": len(latencies_s),
+        "p50_ms": round(percentile(latencies_s, 0.50) * 1000, 3),
+        "p95_ms": round(percentile(latencies_s, 0.95) * 1000, 3),
+        "p99_ms": round(percentile(latencies_s, 0.99) * 1000, 3),
+        "mean_ms": round(
+            sum(latencies_s) / len(latencies_s) * 1000, 3
+        ) if latencies_s else 0.0,
+    }
+
+
+def _fire(client: ServeClient, experiment: str, scale: str) -> dict:
+    started = time.perf_counter()
+    resp = client.run(experiment, scale=scale)
+    return {
+        "status": resp.status,
+        "latency_s": time.perf_counter() - started,
+        "body": resp.body,
+        "coalesced": resp.coalesced,
+    }
+
+
+def run_serve_bench(
+    scale_name: str = "quick",
+    experiment: str = DEFAULT_EXPERIMENT,
+    clients: int = DEFAULT_CLIENTS,
+    warm_rounds: int = DEFAULT_WARM_ROUNDS,
+    cache_root: str | Path | None = None,
+    workers: int = 2,
+) -> dict:
+    """Run both phases against a private server; returns the report."""
+    own_tmp = cache_root is None
+    root = (
+        Path(tempfile.mkdtemp(prefix="repro-serve-bench-"))
+        if own_tmp else Path(cache_root)
+    )
+    started = time.time()
+    try:
+        RunCache(root).clear()
+        with ServerThread(
+            cache=RunCache(root), workers=workers,
+            queue_depth=max(16, clients * 2),
+        ) as server:
+            client = ServeClient(port=server.port)
+            client.healthz()  # fail fast if the socket is dead
+
+            # Phase 1: cold, all clients at once -> one executor run.
+            with ThreadPoolExecutor(max_workers=clients) as pool:
+                cold = list(pool.map(
+                    lambda _: _fire(client, experiment, scale_name),
+                    range(clients),
+                ))
+            cold_bodies = {r["body"] for r in cold}
+            cold_failed = sum(1 for r in cold if r["status"] != 200)
+            jobs_done = client.metric(
+                "repro_jobs_total", label='status="done"'
+            )
+            coalesced_joins = client.metric("repro_coalesced_joins_total")
+            cells_computed = client.metric("repro_cells_computed")
+
+            # Phase 2: warm, each client loops rounds sequentially.
+            def warm_client(_i: int) -> list[dict]:
+                return [
+                    _fire(client, experiment, scale_name)
+                    for _ in range(warm_rounds)
+                ]
+
+            warm_started = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=clients) as pool:
+                warm = [
+                    r for rs in pool.map(warm_client, range(clients))
+                    for r in rs
+                ]
+            warm_wall = time.perf_counter() - warm_started
+            warm_failed = sum(1 for r in warm if r["status"] != 200)
+            warm_bodies = {r["body"] for r in warm}
+
+            metrics_snapshot = {
+                "jobs_done": client.metric(
+                    "repro_jobs_total", label='status="done"'
+                ),
+                "jobs_failed": client.metric(
+                    "repro_jobs_total", label='status="failed"'
+                ),
+                "coalesced_joins": client.metric(
+                    "repro_coalesced_joins_total"
+                ),
+                "queue_rejected": client.metric(
+                    "repro_queue_rejected_total"
+                ),
+                "cells_computed": client.metric("repro_cells_computed"),
+                "cells_cached": client.metric("repro_cells_cached"),
+                "cache_hit_ratio": client.metric("repro_cache_hit_ratio"),
+            }
+    finally:
+        if own_tmp:
+            shutil.rmtree(root, ignore_errors=True)
+
+    cold_lat = [r["latency_s"] for r in cold]
+    warm_lat = [r["latency_s"] for r in warm]
+    cold_p50 = percentile(cold_lat, 0.50)
+    warm_p50 = percentile(warm_lat, 0.50)
+    coalescing_ok = (
+        cold_failed == 0
+        and jobs_done == 1
+        and coalesced_joins == clients - 1
+        and len(cold_bodies) == 1
+    )
+    return {
+        "bench": "serve",
+        "scale": scale_name,
+        "experiment": experiment,
+        "clients": clients,
+        "warm_rounds": warm_rounds,
+        "workers": workers,
+        "python": platform.python_version(),
+        "cold": {
+            **_latency_summary(cold_lat),
+            "wall_s": round(max(cold_lat), 3),
+            "failed": cold_failed,
+            "unique_bodies": len(cold_bodies),
+            "executor_jobs": jobs_done,
+            "coalesced_joins": coalesced_joins,
+            "cells_computed": cells_computed,
+        },
+        "warm": {
+            **_latency_summary(warm_lat),
+            "wall_s": round(warm_wall, 3),
+            "failed": warm_failed,
+            "unique_bodies": len(warm_bodies),
+            "throughput_rps": round(len(warm) / warm_wall, 1)
+            if warm_wall > 0 else 0.0,
+        },
+        "metrics": metrics_snapshot,
+        # Headline numbers the CI smoke gates on.
+        "coalescing_ok": coalescing_ok,
+        "bodies_identical": len(cold_bodies | warm_bodies) == 1,
+        "failed_requests": cold_failed + warm_failed,
+        "warm_p50_ms": round(warm_p50 * 1000, 3),
+        "warm_over_cold": round(cold_p50 / warm_p50, 2)
+        if warm_p50 > 0 else 0.0,
+        "wall_seconds": round(time.time() - started, 1),
+    }

@@ -1,0 +1,419 @@
+"""Job scheduling for the serve layer: admission, coalescing, workers.
+
+Requests become :class:`Job`\\ s keyed by the **content address of the
+cells they would run** (the same :func:`~repro.sim.cache.spec_digest`
+the run cache uses).  Three mechanisms stack, mirroring the cache
+hierarchy one level up:
+
+- *in-flight coalescing* — a request whose key matches a queued or
+  running job attaches to it instead of enqueuing a duplicate; all
+  attached clients receive the **same response bytes**.  This is the
+  serving-layer analogue of the executor's in-batch dedup (and the
+  trick inference servers use for duplicate prompts): the cache
+  dedupes across time, coalescing dedupes across concurrent clients.
+- *admission control* — the queue is bounded; when it is full, submit
+  raises :class:`QueueFull` and the server answers 503 with a
+  ``Retry-After`` hint instead of accepting unbounded work.
+- *worker fan-out* — N event-loop worker tasks pull jobs and run the
+  blocking :class:`~repro.sim.jobs.Executor` in a thread pool, so the
+  loop keeps answering health checks and metrics scrapes while
+  simulations run.  Per-cell progress marshals back onto the loop via
+  ``call_soon_threadsafe`` and fans out to NDJSON stream subscribers.
+
+Response bodies are a pure function of (experiment, scale, params) —
+timing and cache provenance travel in headers/events, never the body —
+so coalesced, cold and warm answers to one request are byte-identical.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.errors import ConfigError
+from repro.serve.metrics import Registry
+from repro.sim.cache import RunCache, code_version_salt, spec_digest
+from repro.sim.jobs import Executor, ExecutorStats, Plan, run_plans
+
+
+class QueueFull(Exception):
+    """Admission control rejected the job (queue at capacity)."""
+
+
+class UnknownExperiment(ConfigError):
+    """The request names an experiment the registry doesn't have."""
+
+
+class BadRequest(ConfigError):
+    """The request is malformed (bad scale, bad params, bad types)."""
+
+
+def _tupled(value: Any) -> Any:
+    """JSON params arrive with lists; cells need hashable tuples."""
+    if isinstance(value, list):
+        return tuple(_tupled(v) for v in value)
+    if isinstance(value, dict):
+        return {k: _tupled(v) for k, v in value.items()}
+    return value
+
+
+def default_plans_for(experiment: str, scale_name: str,
+                      params: dict | None) -> list[tuple[str, Plan]]:
+    """Build the ``(result_key, Plan)`` entries one request maps to.
+
+    Mirrors the CLI's experiment registry; ``params`` (e.g.
+    ``{"policies": ["thp", "ca"]}``) forward as keyword arguments to
+    the experiment's ``plan()``.
+    """
+    import importlib
+
+    from repro.cli import EXPERIMENTS, SCALES, experiment_plans
+
+    if experiment not in EXPERIMENTS:
+        raise UnknownExperiment(
+            f"unknown experiment {experiment!r}; see GET /v1/experiments"
+        )
+    if scale_name not in SCALES:
+        raise BadRequest(
+            f"unknown scale {scale_name!r}; choose from {sorted(SCALES)}"
+        )
+    scale = SCALES[scale_name]
+    if not params:
+        return experiment_plans(experiment, scale)
+    if experiment == "fig1":
+        raise BadRequest("fig1 carries two sub-plans and takes no params")
+    module = importlib.import_module(f"repro.experiments.{experiment}")
+    try:
+        plan = module.plan(scale=scale, **{
+            k: _tupled(v) for k, v in params.items()
+        })
+    except TypeError as exc:
+        raise BadRequest(f"bad params for {experiment}: {exc}") from exc
+    return [(experiment, plan)]
+
+
+@dataclass
+class JobOutcome:
+    """What a finished job hands every attached client."""
+
+    status: str                 # "done" | "failed"
+    body: bytes                 # canonical response body (or error JSON)
+    elapsed_ms: float
+    stats: dict                 # ExecutorStats snapshot for this job
+    error: str | None = None
+
+
+class Job:
+    """One admitted unit of work plus everyone waiting on it."""
+
+    def __init__(self, key: str, experiment: str, scale_name: str,
+                 params: dict | None, entries: list[tuple[str, Plan]]):
+        self.key = key
+        self.experiment = experiment
+        self.scale_name = scale_name
+        self.params = params or {}
+        self.entries = entries
+        self.total_cells = sum(len(plan.cells) for _, plan in entries)
+        self.joiners = 0            # coalesced attachments beyond the first
+        self.outcome: asyncio.Future[JobOutcome] = (
+            asyncio.get_running_loop().create_future()
+        )
+        self.events: list[dict] = []        # replayed to late subscribers
+        self._subscribers: list[asyncio.Queue] = []
+
+    @property
+    def job_id(self) -> str:
+        return self.key[:12]
+
+    def subscribe(self) -> asyncio.Queue:
+        """An event queue that replays history, then streams live.
+
+        ``None`` terminates the stream (pushed after the final event).
+        """
+        q: asyncio.Queue = asyncio.Queue()
+        for event in self.events:
+            q.put_nowait(event)
+        if self.outcome.done():
+            q.put_nowait(None)
+        else:
+            self._subscribers.append(q)
+        return q
+
+    def publish(self, event: dict, *, final: bool = False) -> None:
+        """Record an event and fan it out (event-loop thread only)."""
+        event = {"job": self.job_id, **event}
+        self.events.append(event)
+        for q in self._subscribers:
+            q.put_nowait(event)
+            if final:
+                q.put_nowait(None)
+        if final:
+            self._subscribers.clear()
+
+
+class Scheduler:
+    """Bounded job queue + coalescing map + worker tasks.
+
+    Parameters
+    ----------
+    queue_depth:
+        Maximum jobs *waiting* to start (running jobs have left the
+        queue).  Submissions beyond that raise :class:`QueueFull`.
+    workers:
+        Concurrent jobs: event-loop worker tasks, each backed by a
+        thread in the executor pool.
+    sim_jobs:
+        ``jobs`` forwarded to each job's :class:`Executor` — ``1`` runs
+        cells inline in the worker thread; ``>1`` fans out to worker
+        processes (keeps the loop fully responsive during cold runs).
+    cache:
+        Shared :class:`RunCache`; ``None`` recomputes every request.
+    plans_for:
+        Request-to-plans mapping (overridable in tests / embeddings).
+    retry_after:
+        Seconds advertised in 503 ``Retry-After`` responses.
+    """
+
+    def __init__(
+        self,
+        queue_depth: int = 16,
+        workers: int = 2,
+        sim_jobs: int = 1,
+        cache: RunCache | None = None,
+        plans_for: Callable[..., list[tuple[str, Plan]]] = default_plans_for,
+        retry_after: float = 1.0,
+        registry: Registry | None = None,
+    ):
+        self.queue_depth = max(1, int(queue_depth))
+        self.workers = max(1, int(workers))
+        self.sim_jobs = max(1, int(sim_jobs))
+        self.cache = cache
+        self.plans_for = plans_for
+        self.retry_after = retry_after
+        self._salt = cache.salt if cache is not None else code_version_salt()
+        self._queue: asyncio.Queue[Job] = asyncio.Queue(
+            maxsize=self.queue_depth
+        )
+        self._inflight: dict[str, Job] = {}
+        self._tasks: list[asyncio.Task] = []
+        self.totals = ExecutorStats()
+
+        registry = registry if registry is not None else Registry()
+        self.registry = registry
+        self.m_jobs = registry.counter(
+            "repro_jobs_total", "Jobs by terminal status.", label="status"
+        )
+        self.m_coalesced = registry.counter(
+            "repro_coalesced_joins_total",
+            "Requests that attached to an in-flight job instead of "
+            "enqueuing a duplicate.",
+        )
+        self.m_rejected = registry.counter(
+            "repro_queue_rejected_total",
+            "Submissions rejected by admission control (503).",
+        )
+        registry.gauge(
+            "repro_queue_depth", "Jobs waiting to start.",
+            fn=lambda: self._queue.qsize(),
+        )
+        registry.gauge(
+            "repro_inflight_jobs", "Jobs queued or running.",
+            fn=lambda: len(self._inflight),
+        )
+        for name, help_text in (
+            ("computed", "Cells computed by the simulator."),
+            ("cache_hits", "Cells served from the run cache."),
+            ("deduped", "Cells deduplicated within a batch."),
+            ("pool_failures", "Worker-pool crashes survived."),
+            ("retried_serial", "Cells recomputed serially after a crash."),
+        ):
+            registry.gauge(
+                f"repro_cells_{name}", help_text,
+                fn=lambda n=name: getattr(self.totals, n),
+            )
+        registry.gauge(
+            "repro_cache_hit_ratio",
+            "Run-cache hits / lookups since start (0 when idle).",
+            fn=self._cache_hit_ratio,
+        )
+
+    def _cache_hit_ratio(self) -> float:
+        if self.cache is None:
+            return 0.0
+        lookups = self.cache.hits + self.cache.misses
+        return self.cache.hits / lookups if lookups else 0.0
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the worker tasks (idempotent)."""
+        if self._tasks:
+            return
+        for i in range(self.workers):
+            self._tasks.append(
+                asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
+            )
+
+    async def stop(self) -> None:
+        """Cancel workers; in-flight outcomes resolve as failed."""
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._tasks.clear()
+        for job in list(self._inflight.values()):
+            if not job.outcome.done():
+                job.outcome.set_result(JobOutcome(
+                    status="failed",
+                    body=error_body("server shutting down"),
+                    elapsed_ms=0.0, stats={}, error="server shutting down",
+                ))
+                job.publish({"event": "failed",
+                             "error": "server shutting down"}, final=True)
+        self._inflight.clear()
+
+    # -- submission ---------------------------------------------------
+
+    def request_key(self, experiment: str, scale_name: str,
+                    params: dict | None,
+                    entries: Sequence[tuple[str, Plan]]) -> str:
+        """Content address of a request: digest of the cells it runs."""
+        return spec_digest({
+            "experiment": experiment,
+            "scale": scale_name,
+            "cells": [
+                [key] + [c.spec() for c in plan.cells]
+                for key, plan in entries
+            ],
+        }, self._salt)
+
+    def submit(self, experiment: str, scale_name: str = "quick",
+               params: dict | None = None) -> tuple[Job, bool]:
+        """Admit (or coalesce) one request; returns ``(job, coalesced)``.
+
+        Raises :class:`UnknownExperiment` / :class:`BadRequest` for
+        unmappable requests and :class:`QueueFull` when admission
+        control rejects.  Must be called on the event-loop thread.
+        """
+        entries = self.plans_for(experiment, scale_name, params)
+        key = self.request_key(experiment, scale_name, params, entries)
+        existing = self._inflight.get(key)
+        if existing is not None:
+            existing.joiners += 1
+            self.m_coalesced.inc()
+            return existing, True
+        job = Job(key, experiment, scale_name, params, entries)
+        try:
+            self._queue.put_nowait(job)
+        except asyncio.QueueFull:
+            self.m_rejected.inc()
+            raise QueueFull(
+                f"queue full ({self.queue_depth} waiting jobs)"
+            ) from None
+        self._inflight[key] = job
+        job.publish({
+            "event": "queued", "experiment": experiment,
+            "scale": scale_name, "total_cells": job.total_cells,
+            "queue_depth": self._queue.qsize(),
+        })
+        return job, False
+
+    # -- execution ----------------------------------------------------
+
+    async def _worker(self) -> None:
+        while True:
+            job = await self._queue.get()
+            try:
+                await self._run(job)
+            finally:
+                self._inflight.pop(job.key, None)
+                self._queue.task_done()
+
+    async def _run(self, job: Job) -> None:
+        loop = asyncio.get_running_loop()
+        job.publish({"event": "started", "experiment": job.experiment,
+                     "scale": job.scale_name})
+        done_cells = 0
+
+        def on_cell(source: str, c) -> None:
+            # Fires in the executor thread; marshal onto the loop.
+            loop.call_soon_threadsafe(_publish_cell, source, c.label())
+
+        def _publish_cell(source: str, label: str) -> None:
+            nonlocal done_cells
+            done_cells += 1
+            job.publish({
+                "event": "cell-done", "source": source, "cell": label,
+                "done": done_cells, "total": job.total_cells,
+            })
+
+        executor = Executor(jobs=self.sim_jobs, cache=self.cache,
+                            progress=on_cell)
+        started = time.perf_counter()
+        try:
+            body = await loop.run_in_executor(
+                None, self._compute, job, executor
+            )
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            outcome = JobOutcome(
+                status="done", body=body, elapsed_ms=elapsed_ms,
+                stats=_stats_dict(executor.stats),
+            )
+            self.m_jobs.inc("done")
+        except Exception as exc:  # noqa: BLE001 - jobs must not kill workers
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            message = f"{type(exc).__name__}: {exc}"
+            outcome = JobOutcome(
+                status="failed", body=error_body(message),
+                elapsed_ms=elapsed_ms, stats=_stats_dict(executor.stats),
+                error=message,
+            )
+            self.m_jobs.inc("failed")
+        self.totals.merge(executor.stats)
+        job.outcome.set_result(outcome)
+        if outcome.status == "done":
+            job.publish({
+                "event": "finished", "elapsed_ms": round(elapsed_ms, 3),
+                "coalesced_joins": job.joiners, **outcome.stats,
+            })
+            job.publish({
+                "event": "result",
+                "data": json.loads(outcome.body.decode()),
+            }, final=True)
+        else:
+            job.publish({"event": "failed", "error": outcome.error,
+                         "elapsed_ms": round(elapsed_ms, 3)}, final=True)
+
+    def _compute(self, job: Job, executor: Executor) -> bytes:
+        """Run the job's plans and render the canonical body (thread)."""
+        from repro.experiments.serialize import to_jsonable
+
+        results = run_plans([plan for _, plan in job.entries], executor)
+        payload: dict[str, Any] = {
+            "experiment": job.experiment,
+            "scale": job.scale_name,
+            "results": {}, "reports": {},
+        }
+        for (key, _plan), result in zip(job.entries, results):
+            payload["results"][key] = to_jsonable(result)
+            payload["reports"][key] = result.report()
+        return json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        ).encode()
+
+
+def _stats_dict(stats: ExecutorStats) -> dict:
+    import dataclasses
+
+    return dataclasses.asdict(stats)
+
+
+def error_body(message: str) -> bytes:
+    """Canonical JSON error body."""
+    return json.dumps({"error": message}).encode()

@@ -1,0 +1,375 @@
+"""Stdlib asyncio HTTP/1.1 server exposing the experiment registry.
+
+Endpoints::
+
+    GET  /healthz            liveness + queue snapshot
+    GET  /v1/experiments     experiment registry with descriptions
+    GET  /metrics            Prometheus text exposition
+    POST /v1/run             {"experiment", "scale", "params"} -> result
+    POST /v1/run?stream=1    NDJSON progress events, result last
+
+Design notes.  One connection serves one request (``Connection:
+close``) — parsing stays trivial and a load generator saturates it
+fine.  Response *bodies* for ``/v1/run`` are a pure function of the
+request spec; volatile facts (timing, coalescing, cache provenance)
+travel in ``X-Repro-*`` headers so concurrent, cold and warm answers
+to the same request are byte-identical.  Streaming responses carry no
+``Content-Length`` and are delimited by connection close, which every
+HTTP/1.1 client understands.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from urllib.parse import parse_qs, urlsplit
+
+from repro.serve.metrics import Registry
+from repro.serve.scheduler import (
+    BadRequest,
+    Job,
+    JobOutcome,
+    QueueFull,
+    Scheduler,
+    UnknownExperiment,
+    default_plans_for,
+    error_body,
+)
+from repro.sim.cache import RunCache
+
+REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Limits keeping a misbehaving client from holding memory or sockets.
+MAX_HEADER_LINE = 8192
+MAX_HEADERS = 64
+MAX_BODY = 1 << 20
+READ_TIMEOUT = 30.0
+
+JSON_TYPE = "application/json"
+NDJSON_TYPE = "application/x-ndjson"
+METRICS_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class ReproServer:
+    """The serve-layer composition root: scheduler + HTTP front end."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8377,
+        queue_depth: int = 16,
+        workers: int = 2,
+        sim_jobs: int = 1,
+        cache: RunCache | None = None,
+        plans_for=default_plans_for,
+        retry_after: float = 1.0,
+    ):
+        self.host = host
+        self.port = port
+        self.registry = Registry()
+        self.m_requests = self.registry.counter(
+            "repro_requests_total", "HTTP requests by endpoint.",
+            label="endpoint",
+        )
+        self.m_responses = self.registry.counter(
+            "repro_responses_total", "HTTP responses by status code.",
+            label="code",
+        )
+        self.m_latency = self.registry.histogram(
+            "repro_request_seconds",
+            "Wall-clock request latency (connection accept to last byte).",
+        )
+        self.scheduler = Scheduler(
+            queue_depth=queue_depth, workers=workers, sim_jobs=sim_jobs,
+            cache=cache, plans_for=plans_for, retry_after=retry_after,
+            registry=self.registry,
+        )
+        self.started = time.time()
+        self._server: asyncio.base_events.Server | None = None
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket and spawn the scheduler workers.
+
+        ``port=0`` binds an ephemeral port; ``self.port`` is updated to
+        the bound value either way.
+        """
+        await self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.scheduler.stop()
+
+    def run(self) -> None:  # pragma: no cover - interactive entry point
+        """Blocking convenience runner (the CLI's ``repro serve``)."""
+
+        async def _main():
+            await self.start()
+            print(f"repro serve listening on http://{self.host}:{self.port} "
+                  f"(queue={self.scheduler.queue_depth}, "
+                  f"workers={self.scheduler.workers})")
+            try:
+                await self.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                await self.stop()
+
+        try:
+            asyncio.run(_main())
+        except KeyboardInterrupt:
+            pass
+
+    # -- connection handling ------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        started = time.perf_counter()
+        try:
+            try:
+                method, target, headers, body = await self._read_request(
+                    reader
+                )
+            except _HttpError as exc:
+                await self._respond_json(
+                    writer, exc.status, {"error": exc.message}
+                )
+                return
+            except (asyncio.IncompleteReadError, asyncio.TimeoutError,
+                    ConnectionError):
+                return  # client went away mid-request
+            await self._dispatch(writer, method, target, headers, body)
+        except ConnectionError:  # pragma: no cover - client reset mid-write
+            pass
+        finally:
+            self.m_latency.observe(time.perf_counter() - started)
+            try:
+                if writer.can_write_eof():
+                    writer.write_eof()
+            except (OSError, RuntimeError):
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        line = await asyncio.wait_for(
+            reader.readline(), timeout=READ_TIMEOUT
+        )
+        if not line:
+            raise asyncio.IncompleteReadError(b"", None)
+        if len(line) > MAX_HEADER_LINE:
+            raise _HttpError(400, "request line too long")
+        parts = line.decode("latin-1").split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1"):
+            raise _HttpError(400, "malformed request line")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await asyncio.wait_for(
+                reader.readline(), timeout=READ_TIMEOUT
+            )
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if len(line) > MAX_HEADER_LINE or len(headers) >= MAX_HEADERS:
+                raise _HttpError(400, "headers too large")
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        body = b""
+        if "content-length" in headers:
+            try:
+                length = int(headers["content-length"])
+            except ValueError:
+                raise _HttpError(400, "bad Content-Length") from None
+            if length > MAX_BODY:
+                raise _HttpError(400, f"body exceeds {MAX_BODY} bytes")
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=READ_TIMEOUT
+            )
+        return method, target, headers, body
+
+    async def _dispatch(self, writer, method: str, target: str,
+                        headers: dict, body: bytes) -> None:
+        url = urlsplit(target)
+        path = url.path
+        self.m_requests.inc(path)
+        if path == "/healthz" and method == "GET":
+            await self._respond_json(writer, 200, {
+                "status": "ok",
+                "uptime_seconds": round(time.time() - self.started, 3),
+                "queue_depth": self.scheduler._queue.qsize(),
+                "inflight": len(self.scheduler._inflight),
+            })
+        elif path == "/v1/experiments" and method == "GET":
+            from repro.cli import EXPERIMENTS, SCALES
+
+            await self._respond_json(writer, 200, {
+                "experiments": dict(EXPERIMENTS),
+                "scales": sorted(SCALES),
+            })
+        elif path == "/metrics" and method == "GET":
+            await self._respond(
+                writer, 200, self.registry.render().encode(),
+                content_type=METRICS_TYPE,
+            )
+        elif path == "/v1/run":
+            if method != "POST":
+                await self._respond_json(
+                    writer, 405, {"error": "POST required"},
+                    extra=[("Allow", "POST")],
+                )
+                return
+            stream = parse_qs(url.query).get("stream", ["0"])[0] not in (
+                "0", "", "false"
+            )
+            await self._handle_run(writer, body, stream)
+        else:
+            await self._respond_json(
+                writer, 404, {"error": f"no route for {method} {path}"}
+            )
+
+    async def _handle_run(self, writer, body: bytes, stream: bool) -> None:
+        try:
+            request = json.loads(body.decode() or "{}")
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            await self._respond_json(writer, 400, {"error": "body is not JSON"})
+            return
+        if not isinstance(request, dict) or "experiment" not in request:
+            await self._respond_json(
+                writer, 400,
+                {"error": 'body must be {"experiment": ..., "scale": ...}'},
+            )
+            return
+        experiment = request["experiment"]
+        scale = request.get("scale", "quick")
+        params = request.get("params") or None
+        if params is not None and not isinstance(params, dict):
+            await self._respond_json(
+                writer, 400, {"error": "params must be an object"}
+            )
+            return
+        try:
+            job, coalesced = self.scheduler.submit(experiment, scale, params)
+        except UnknownExperiment as exc:
+            await self._respond_json(writer, 404, {"error": str(exc)})
+            return
+        except BadRequest as exc:
+            await self._respond_json(writer, 400, {"error": str(exc)})
+            return
+        except QueueFull as exc:
+            await self._respond_json(
+                writer, 503, {"error": str(exc)},
+                extra=[("Retry-After", f"{self.scheduler.retry_after:g}")],
+            )
+            return
+        if stream:
+            await self._stream_job(writer, job, coalesced)
+        else:
+            outcome = await asyncio.shield(job.outcome)
+            await self._respond_outcome(writer, job, outcome, coalesced)
+
+    async def _respond_outcome(self, writer, job: Job, outcome: JobOutcome,
+                               coalesced: bool) -> None:
+        stats = outcome.stats or {}
+        extra = [
+            ("X-Repro-Job", job.job_id),
+            ("X-Repro-Coalesced", "1" if coalesced else "0"),
+            ("X-Repro-Elapsed-Ms", f"{outcome.elapsed_ms:.3f}"),
+            ("X-Repro-Cells-Computed", str(stats.get("computed", 0))),
+            ("X-Repro-Cells-Cached", str(stats.get("cache_hits", 0))),
+            ("X-Repro-Cells-Deduped", str(stats.get("deduped", 0))),
+        ]
+        status = 200 if outcome.status == "done" else 500
+        await self._respond(writer, status, outcome.body,
+                            content_type=JSON_TYPE, extra=extra)
+
+    async def _stream_job(self, writer, job: Job, coalesced: bool) -> None:
+        events = job.subscribe()
+        head = [
+            ("Content-Type", NDJSON_TYPE),
+            ("X-Repro-Job", job.job_id),
+            ("X-Repro-Coalesced", "1" if coalesced else "0"),
+            ("Connection", "close"),
+            ("Cache-Control", "no-store"),
+        ]
+        self.m_responses.inc("200")
+        writer.write(_head(200, head))
+        await writer.drain()
+        while True:
+            event = await events.get()
+            if event is None:
+                break
+            writer.write(json.dumps(event, sort_keys=True).encode() + b"\n")
+            try:
+                await writer.drain()
+            except ConnectionError:
+                return  # subscriber gone; job itself keeps running
+
+    # -- response plumbing --------------------------------------------
+
+    async def _respond_json(self, writer, status: int, payload: dict,
+                            extra: list[tuple[str, str]] | None = None
+                            ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        await self._respond(writer, status, body, content_type=JSON_TYPE,
+                            extra=extra)
+
+    async def _respond(self, writer, status: int, body: bytes,
+                       content_type: str = JSON_TYPE,
+                       extra: list[tuple[str, str]] | None = None) -> None:
+        headers = [
+            ("Content-Type", content_type),
+            ("Content-Length", str(len(body))),
+            ("Connection", "close"),
+        ] + list(extra or [])
+        self.m_responses.inc(str(status))
+        writer.write(_head(status, headers) + body)
+        await writer.drain()
+
+
+def _head(status: int, headers: list[tuple[str, str]]) -> bytes:
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines += [f"{name}: {value}" for name, value in headers]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def build_server(args) -> ReproServer:
+    """Construct a server from parsed ``repro serve`` CLI args."""
+    cache = None
+    if not getattr(args, "no_cache", False):
+        cache = RunCache(getattr(args, "cache_dir", None))
+    return ReproServer(
+        host=args.host, port=args.port,
+        queue_depth=args.queue_depth, workers=args.workers,
+        sim_jobs=args.jobs, cache=cache,
+        retry_after=args.retry_after,
+    )

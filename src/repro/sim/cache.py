@@ -140,7 +140,12 @@ class RunCache:
         return self.root / key[:2] / f"{key}.pkl"
 
     def get(self, key: str) -> Any:
-        """The cached result for ``key``, or :data:`MISS`."""
+        """The cached result for ``key``, or :data:`MISS`.
+
+        A hit refreshes the entry's mtime, so :meth:`prune`'s
+        oldest-first eviction is least-*recently-used*, not
+        least-recently-written.
+        """
         path = self.path_for(key)
         try:
             with path.open("rb") as fh:
@@ -149,6 +154,10 @@ class RunCache:
                 ImportError, IndexError):
             self.misses += 1
             return MISS
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - entry raced away; still a hit
+            pass
         self.hits += 1
         return value
 
@@ -168,6 +177,67 @@ class RunCache:
                 pass
             raise
         self.stores += 1
+
+    def _entries(self) -> list[tuple[Path, float, int]]:
+        """``(path, mtime, size_bytes)`` per entry, oldest first.
+
+        Entries that vanish mid-scan (a concurrent prune or clear) are
+        skipped rather than raising.
+        """
+        out = []
+        if not self.root.exists():
+            return out
+        for path in self.root.glob("*/*.pkl"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            out.append((path, st.st_mtime, st.st_size))
+        out.sort(key=lambda e: (e[1], str(e[0])))
+        return out
+
+    def stats(self) -> dict:
+        """Size and age summary of the on-disk store (JSON-ready)."""
+        entries = self._entries()
+        total = sum(size for _, _, size in entries)
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "total_bytes": total,
+            "oldest_mtime": entries[0][1] if entries else None,
+            "newest_mtime": entries[-1][1] if entries else None,
+        }
+
+    def prune(self, max_bytes: int) -> dict:
+        """Evict least-recently-used entries until <= ``max_bytes``.
+
+        Eviction is oldest-mtime-first (reads refresh mtime, see
+        :meth:`get`), so a long-lived server keeps its hot working set
+        while the cold tail is reclaimed.  Returns a JSON-ready summary
+        of what was removed and what remains.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries = self._entries()
+        total = sum(size for _, _, size in entries)
+        removed = 0
+        freed = 0
+        for path, _, size in entries:
+            if total - freed <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            freed += size
+        return {
+            "removed": removed,
+            "freed_bytes": freed,
+            "remaining_entries": len(entries) - removed,
+            "remaining_bytes": total - freed,
+            "max_bytes": max_bytes,
+        }
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""

@@ -26,7 +26,8 @@ storing every fresh result after.
 from __future__ import annotations
 
 import importlib
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -92,18 +93,29 @@ class Plan:
 
 @dataclass
 class ExecutorStats:
-    """Per-executor counters (reported by the CLI and the suite bench)."""
+    """Per-executor counters (reported by the CLI and the benches).
+
+    ``pool_failures`` counts batches whose worker pool broke (a worker
+    crashed hard — OOM killer, segfault, ``os._exit``); the cells the
+    pool never delivered are recomputed serially in-process and counted
+    in ``retried_serial``, so one crashed worker degrades throughput
+    instead of failing the batch.
+    """
 
     submitted: int = 0
     computed: int = 0
     cache_hits: int = 0
     deduped: int = 0
+    pool_failures: int = 0
+    retried_serial: int = 0
 
     def merge(self, other: "ExecutorStats") -> None:
         self.submitted += other.submitted
         self.computed += other.computed
         self.cache_hits += other.cache_hits
         self.deduped += other.deduped
+        self.pool_failures += other.pool_failures
+        self.retried_serial += other.retried_serial
 
 
 class Executor:
@@ -118,13 +130,26 @@ class Executor:
         A :class:`RunCache` consulted per cell; ``None`` disables
         memoization (the default, so library callers and tests are
         unaffected unless they opt in).
+    progress:
+        Optional ``callback(event, cell)`` fired as each unique cell
+        resolves, with ``event`` one of ``"cache_hit"`` or
+        ``"computed"``.  In the pool path it fires from the submitting
+        thread as futures complete (not in cell-key order); the serving
+        layer uses it to stream per-cell progress.  Deduplicated twin
+        cells do not fire.
     """
 
-    def __init__(self, jobs: int = 1, cache: RunCache | None = None):
+    def __init__(self, jobs: int = 1, cache: RunCache | None = None,
+                 progress: Callable[[str, Cell], None] | None = None):
         self.jobs = max(1, int(jobs))
         self.cache = cache
+        self.progress = progress
         self.stats = ExecutorStats()
         self._salt = cache.salt if cache is not None else ""
+
+    def _notify(self, event: str, c: Cell) -> None:
+        if self.progress is not None:
+            self.progress(event, c)
 
     def run(self, cells: Sequence[Cell]) -> list[Any]:
         """Execute ``cells``; results return in input order.
@@ -148,20 +173,19 @@ class Executor:
                 if hit is not MISS:
                     results[key] = hit
                     self.stats.cache_hits += 1
+                    self._notify("cache_hit", c)
                     continue
             pending.append((key, c))
             queued.add(key)
 
         if pending:
             if self.jobs == 1 or len(pending) == 1:
-                computed = [(key, execute_cell(c)) for key, c in pending]
+                computed = []
+                for key, c in pending:
+                    computed.append((key, execute_cell(c)))
+                    self._notify("computed", c)
             else:
-                workers = min(self.jobs, len(pending))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = [
-                        (key, pool.submit(execute_cell, c)) for key, c in pending
-                    ]
-                    computed = [(key, fut.result()) for key, fut in futures]
+                computed = self._run_pool(pending)
             for key, value in computed:
                 results[key] = value
                 self.stats.computed += 1
@@ -169,6 +193,35 @@ class Executor:
                     self.cache.put(key, value)
 
         return [results[key] for key in keys]
+
+    def _run_pool(self, pending: list[tuple[str, Cell]]) -> list[tuple[str, Any]]:
+        """Fan ``pending`` out over worker processes; survive a crash.
+
+        A worker dying hard (OOM kill, segfault) raises
+        ``BrokenProcessPool`` for every undelivered future; those cells
+        are retried once serially in-process so the batch still
+        completes.  Cell exceptions (the function itself raising)
+        propagate unchanged, as before.
+        """
+        workers = min(self.jobs, len(pending))
+        computed: dict[str, Any] = {}
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(execute_cell, c): (key, c) for key, c in pending
+                }
+                for fut in as_completed(futures):
+                    key, c = futures[fut]
+                    computed[key] = fut.result()
+                    self._notify("computed", c)
+        except BrokenProcessPool:
+            self.stats.pool_failures += 1
+            for key, c in pending:
+                if key not in computed:
+                    computed[key] = execute_cell(c)
+                    self.stats.retried_serial += 1
+                    self._notify("computed", c)
+        return [(key, computed[key]) for key, c in pending]
 
 
 def execute(cells: Sequence[Cell], executor: Executor | None = None) -> list[Any]:

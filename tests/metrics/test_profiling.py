@@ -1,0 +1,88 @@
+"""Profiler rate derivation and the fixed-bucket histogram."""
+
+import math
+
+import pytest
+
+from repro.metrics.profiling import Histogram, Profiler, Timer
+
+
+class TestProfilerRates:
+    def test_rate_from_time_and_events(self):
+        p = Profiler()
+        p.add("walk", 2.0, events=10)
+        assert p.rate("walk") == 5.0
+
+    def test_zero_duration_section_is_finite(self):
+        # Warm-cache serve sections can finish inside one perf_counter
+        # tick: events recorded, zero seconds.  Must not raise or go inf.
+        p = Profiler()
+        p.add("warm", 0.0)
+        p.count("warm", 1000)
+        assert p.rate("warm") == 0.0
+        assert math.isfinite(p.rate("warm"))
+
+    def test_count_only_section_appears_in_summary(self):
+        p = Profiler()
+        p.add("timed", 1.0, events=2)
+        p.count("untimed", 7)
+        out = p.as_dict()
+        assert out["untimed"] == {
+            "seconds": 0.0, "events": 7, "per_second": 0.0,
+        }
+        assert out["timed"]["per_second"] == 2.0
+
+    def test_unknown_section_rates_zero(self):
+        assert Profiler().rate("nope") == 0.0
+
+    def test_timer_accumulates(self):
+        t = Timer()
+        with t:
+            pass
+        with t:
+            pass
+        assert t.seconds >= 0.0
+
+
+class TestHistogram:
+    def test_observations_bucketed_cumulatively(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.cumulative() == [
+            (1.0, 1), (2.0, 2), (4.0, 3), (math.inf, 4),
+        ]
+
+    def test_quantiles_interpolate(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        for _ in range(10):
+            h.observe(0.5)
+        assert 0.0 < h.quantile(0.5) <= 1.0
+        assert h.quantile(0.0) == 0.0 if h.count == 0 else True
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram().quantile(0.99) == 0.0
+        assert Histogram().mean() == 0.0
+
+    def test_overflow_saturates_to_last_bound(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(50.0)
+        assert h.quantile(0.99) == 2.0  # finite, never inf
+
+    def test_negative_clamps_to_zero(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(-3.0)
+        assert h.total == 0.0
+        assert h.count == 1
+
+    def test_as_dict_shape(self):
+        h = Histogram()
+        h.observe(0.01)
+        d = h.as_dict()
+        assert d["count"] == 1
+        assert set(d) == {"count", "sum", "mean", "p50", "p95", "p99"}
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())

@@ -1,0 +1,73 @@
+"""CLI surface of the serving layer: cache commands, size parsing."""
+
+import argparse
+
+import pytest
+
+from repro.cli import build_parser, main, parse_size
+from repro.sim.cache import RunCache
+
+
+class TestParseSize:
+    def test_plain_bytes(self):
+        assert parse_size("1048576") == 1 << 20
+
+    def test_suffixes(self):
+        assert parse_size("500M") == 500 * (1 << 20)
+        assert parse_size("2G") == 2 << 30
+        assert parse_size("1k") == 1 << 10
+
+    def test_fractional(self):
+        assert parse_size("1.5K") == 1536
+
+    def test_rejects_garbage(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_size("lots")
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_size("-5M")
+
+
+class TestCacheCommands:
+    def test_stats_and_prune_round_trip(self, tmp_path, capsys):
+        cache = RunCache(tmp_path)
+        for i in range(3):
+            cache.put(f"{i:02x}" * 32, list(range(1000)))
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries:     3" in out
+        assert main([
+            "cache", "prune", "--max-bytes", "0",
+            "--cache-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "removed 3" in out
+        assert len(RunCache(tmp_path)) == 0
+
+    def test_prune_requires_budget(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "prune"])
+
+
+class TestParserWiring:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert (args.host, args.port) == ("127.0.0.1", 8377)
+        assert (args.queue_depth, args.workers, args.jobs) == (16, 2, 1)
+
+    def test_submit_defaults(self):
+        args = build_parser().parse_args(["submit", "fig11"])
+        assert args.experiment == "fig11"
+        assert args.scale == "quick"
+        assert not args.stream
+
+    def test_bench_serve_defaults(self):
+        args = build_parser().parse_args(["bench-serve"])
+        assert args.clients == 8
+        assert args.experiment == "fig11"
+        assert args.out == "BENCH_serve.json"
+
+    def test_submit_without_server_fails_cleanly(self, capsys):
+        # Port 1 is never listening; the command must not raise.
+        rc = main(["submit", "fig11", "--port", "1"])
+        assert rc == 1
+        assert "cannot reach server" in capsys.readouterr().err

@@ -1,0 +1,227 @@
+"""Scheduler unit tests: coalescing, admission control, events.
+
+These drive the scheduler directly on an event loop with toy plans —
+no sockets — so the concurrency mechanics are tested without HTTP
+noise (the server tests cover the wire).
+"""
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.serve.scheduler import (
+    BadRequest,
+    QueueFull,
+    Scheduler,
+    UnknownExperiment,
+    default_plans_for,
+)
+from repro.sim.jobs import Plan, cell
+
+
+def _sq(*, x, delay=0.0):
+    if delay:
+        time.sleep(delay)
+    return x * x
+
+
+def _boom(*, x):
+    raise ValueError(f"bad cell {x}")
+
+
+SQ = "tests.serve.test_scheduler:_sq"
+BOOM = "tests.serve.test_scheduler:_boom"
+
+
+@dataclass
+class ToyResult:
+    values: tuple
+
+    def report(self) -> str:
+        return f"values={self.values}"
+
+
+def toy_plans_for(experiment, scale_name, params):
+    """A one-plan registry: params pick the cells."""
+    params = params or {}
+    xs = params.get("xs", (1, 2))
+    delay = params.get("delay", 0.0)
+    fn = BOOM if params.get("boom") else SQ
+    cells = [cell(fn, x=x, delay=delay) if fn == SQ else cell(fn, x=x)
+             for x in xs]
+    return [(experiment, Plan(cells, assemble=lambda rs: ToyResult(tuple(rs))))]
+
+
+def make(**kwargs):
+    kwargs.setdefault("plans_for", toy_plans_for)
+    kwargs.setdefault("workers", 1)
+    return Scheduler(**kwargs)
+
+
+class TestCoalescing:
+    def test_identical_requests_share_one_job(self):
+        async def main():
+            sched = make(queue_depth=4)
+            # Submit before workers start, so both definitely coalesce.
+            job1, c1 = sched.submit("toy", "quick", {"xs": [3]})
+            job2, c2 = sched.submit("toy", "quick", {"xs": [3]})
+            assert job1 is job2
+            assert (c1, c2) == (False, True)
+            assert job1.joiners == 1
+            await sched.start()
+            out1 = await job1.outcome
+            out2 = await job2.outcome
+            await sched.stop()
+            assert out1.body is out2.body  # the same bytes object
+            assert json.loads(out1.body)["results"]["toy"]["values"] == [9]
+            # One executor invocation for two requests.
+            assert sched.totals.computed == 1
+            assert sched.m_coalesced.total() == 1
+            assert sched.m_jobs.get("done") == 1
+
+        asyncio.run(main())
+
+    def test_different_requests_do_not_coalesce(self):
+        async def main():
+            sched = make(queue_depth=4)
+            job1, _ = sched.submit("toy", "quick", {"xs": [3]})
+            job2, c2 = sched.submit("toy", "quick", {"xs": [4]})
+            assert job1 is not job2
+            assert c2 is False
+            await sched.start()
+            await job1.outcome
+            await job2.outcome
+            await sched.stop()
+            assert sched.totals.computed == 2
+
+        asyncio.run(main())
+
+    def test_finished_jobs_leave_the_coalescing_map(self):
+        async def main():
+            sched = make(queue_depth=4)
+            await sched.start()
+            job1, _ = sched.submit("toy", "quick", {"xs": [5]})
+            await job1.outcome
+            job2, coalesced = sched.submit("toy", "quick", {"xs": [5]})
+            assert job2 is not job1
+            assert coalesced is False
+            await job2.outcome
+            await sched.stop()
+
+        asyncio.run(main())
+
+
+class TestAdmissionControl:
+    def test_full_queue_rejects(self):
+        async def main():
+            sched = make(queue_depth=1)  # workers not started: nothing drains
+            job1, _ = sched.submit("toy", "quick", {"xs": [1]})
+            with pytest.raises(QueueFull):
+                sched.submit("toy", "quick", {"xs": [2]})
+            assert sched.m_rejected.total() == 1
+            # Coalescing still accepts duplicates of the queued job.
+            _, coalesced = sched.submit("toy", "quick", {"xs": [1]})
+            assert coalesced is True
+            await sched.start()
+            await job1.outcome
+            await sched.stop()
+
+        asyncio.run(main())
+
+
+class TestEvents:
+    def test_event_order_and_replay(self):
+        async def main():
+            sched = make(queue_depth=4)
+            job, _ = sched.submit("toy", "quick", {"xs": [1, 2, 3]})
+            live = job.subscribe()
+            await sched.start()
+            await job.outcome
+            events = []
+            while True:
+                event = await live.get()
+                if event is None:
+                    break
+                events.append(event)
+            # A late subscriber replays the identical history.
+            replay = job.subscribe()
+            replayed = []
+            while True:
+                event = await replay.get()
+                if event is None:
+                    break
+                replayed.append(event)
+            await sched.stop()
+            kinds = [e["event"] for e in events]
+            assert kinds == ["queued", "started", "cell-done", "cell-done",
+                            "cell-done", "finished", "result"]
+            assert events == replayed
+            dones = [e["done"] for e in events if e["event"] == "cell-done"]
+            assert dones == [1, 2, 3]
+            assert events[-1]["data"]["results"]["toy"]["values"] == [1, 4, 9]
+
+        asyncio.run(main())
+
+    def test_failed_job_reports_failure(self):
+        async def main():
+            sched = make(queue_depth=4)
+            job, _ = sched.submit("toy", "quick", {"xs": [1], "boom": True})
+            await sched.start()
+            outcome = await job.outcome
+            await sched.stop()
+            assert outcome.status == "failed"
+            assert "bad cell 1" in outcome.error
+            assert json.loads(outcome.body)["error"]
+            assert sched.m_jobs.get("failed") == 1
+            assert job.events[-1]["event"] == "failed"
+
+        asyncio.run(main())
+
+    def test_stop_fails_pending_jobs(self):
+        async def main():
+            sched = make(queue_depth=4)
+            job, _ = sched.submit("toy", "quick", {"xs": [1]})
+            await sched.stop()  # never started
+            outcome = await job.outcome
+            assert outcome.status == "failed"
+            assert "shutting down" in outcome.error
+
+        asyncio.run(main())
+
+
+class TestDefaultPlansFor:
+    def test_unknown_experiment(self):
+        with pytest.raises(UnknownExperiment):
+            default_plans_for("nope", "quick", None)
+
+    def test_unknown_scale(self):
+        with pytest.raises(BadRequest):
+            default_plans_for("fig11", "galactic", None)
+
+    def test_bad_params(self):
+        with pytest.raises(BadRequest):
+            default_plans_for("fig11", "quick", {"bogus_kw": 1})
+
+    def test_params_reach_the_plan(self):
+        entries = default_plans_for(
+            "fig11", "quick", {"policies": ["thp", "ca"], "workloads": ["gups"]}
+        )
+        [(key, plan)] = entries
+        assert key == "fig11"
+        assert len(plan.cells) == 2  # gups x {thp, ca}
+
+    def test_key_depends_on_params(self):
+        async def main():
+            sched = make(queue_depth=4)
+            a = sched.plans_for("toy", "quick", {"xs": [1]})
+            b = sched.plans_for("toy", "quick", {"xs": [2]})
+            ka = sched.request_key("toy", "quick", {"xs": [1]}, a)
+            kb = sched.request_key("toy", "quick", {"xs": [2]}, b)
+            ka2 = sched.request_key("toy", "quick", {"xs": [1]}, a)
+            assert ka != kb
+            assert ka == ka2
+
+        asyncio.run(main())

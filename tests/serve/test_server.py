@@ -1,0 +1,242 @@
+"""End-to-end server tests over real sockets.
+
+Each test boots a :class:`ReproServer` on an ephemeral port inside
+``asyncio.run`` and drives it with the synchronous
+:class:`ServeClient` via ``asyncio.to_thread``, so the full
+HTTP-parse -> schedule -> coalesce -> respond path is exercised,
+including the NDJSON stream framing.  Toy plans keep the simulator out
+of the loop; one registry test checks the real plan mapping.
+"""
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+
+from repro.serve.client import ServeClient
+from repro.serve.server import ReproServer
+from repro.sim.jobs import Plan, cell
+
+
+def _sq(*, x, delay=0.0):
+    if delay:
+        time.sleep(delay)
+    return x * x
+
+
+SQ = "tests.serve.test_server:_sq"
+
+
+@dataclass
+class ToyResult:
+    values: tuple
+
+    def report(self) -> str:
+        return f"values={self.values}"
+
+
+def toy_plans_for(experiment, scale_name, params):
+    params = params or {}
+    xs = tuple(params.get("xs", (1, 2)))
+    delay = params.get("delay", 0.0)
+    return [(experiment, Plan(
+        [cell(SQ, x=x, delay=delay) for x in xs],
+        assemble=lambda rs: ToyResult(tuple(rs)),
+    ))]
+
+
+async def _with_server(body, **kwargs):
+    kwargs.setdefault("plans_for", toy_plans_for)
+    kwargs.setdefault("workers", 1)
+    server = ReproServer(port=0, **kwargs)
+    await server.start()
+    try:
+        await body(server, ServeClient(port=server.port, timeout=30))
+    finally:
+        await server.stop()
+
+
+def run(body, **kwargs):
+    asyncio.run(_with_server(body, **kwargs))
+
+
+class TestEndpoints:
+    def test_healthz(self):
+        async def body(server, client):
+            health = await asyncio.to_thread(client.healthz)
+            assert health["status"] == "ok"
+            assert health["queue_depth"] == 0
+
+        run(body)
+
+    def test_experiments_lists_registry(self):
+        async def body(server, client):
+            listing = await asyncio.to_thread(client.experiments)
+            assert "fig11" in listing["experiments"]
+            assert listing["scales"] == ["big", "default", "quick"]
+
+        run(body)
+
+    def test_unknown_route_404(self):
+        async def body(server, client):
+            resp = await asyncio.to_thread(
+                client._request, "GET", "/v1/nope"
+            )
+            assert resp.status == 404
+
+        run(body)
+
+    def test_run_needs_post(self):
+        async def body(server, client):
+            resp = await asyncio.to_thread(client._request, "GET", "/v1/run")
+            assert resp.status == 405
+            assert resp.headers["allow"] == "POST"
+
+        run(body)
+
+    def test_bad_json_400(self):
+        def post_garbage(port: int) -> int:
+            import http.client
+
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+            try:
+                conn.request("POST", "/v1/run", body=b"{nope",
+                             headers={"Content-Type": "application/json"})
+                return conn.getresponse().status
+            finally:
+                conn.close()
+
+        async def body(server, client):
+            status = await asyncio.to_thread(post_garbage, client.port)
+            assert status == 400
+
+        run(body)
+
+    def test_missing_experiment_400(self):
+        async def body(server, client):
+            resp = await asyncio.to_thread(
+                client._request, "POST", "/v1/run", {"scale": "quick"}
+            )
+            assert resp.status == 400
+
+        run(body)
+
+    def test_metrics_exposition(self):
+        async def body(server, client):
+            await asyncio.to_thread(client.run, "toy")
+            text = await asyncio.to_thread(client.metrics_text)
+            assert "# TYPE repro_requests_total counter" in text
+            assert 'repro_jobs_total{status="done"} 1' in text
+            assert "repro_request_seconds_bucket" in text
+
+        run(body)
+
+
+class TestRun:
+    def test_run_round_trip(self):
+        async def body(server, client):
+            resp = await asyncio.to_thread(
+                client.run, "toy", "quick", {"xs": [2, 3]}
+            )
+            assert resp.ok
+            assert resp.json["results"]["toy"]["values"] == [4, 9]
+            assert resp.json["reports"]["toy"] == "values=(4, 9)"
+            assert resp.headers["x-repro-coalesced"] == "0"
+            assert resp.cells_computed == 2
+
+        run(body)
+
+    def test_unknown_experiment_404(self):
+        from repro.serve.scheduler import default_plans_for
+
+        async def body(server, client):
+            resp = await asyncio.to_thread(client.run, "not-an-experiment")
+            assert resp.status == 404
+
+        # The real registry, not the toy one.
+        run(body, plans_for=default_plans_for)
+
+
+class TestCoalescingOverHttp:
+    def test_concurrent_identical_requests_coalesce(self):
+        async def body(server, client):
+            params = {"xs": [7], "delay": 0.4}
+            results = await asyncio.gather(*[
+                asyncio.to_thread(client.run, "toy", "quick", params)
+                for _ in range(4)
+            ])
+            assert [r.status for r in results] == [200] * 4
+            assert len({r.body for r in results}) == 1
+            assert sorted(r.coalesced for r in results) == [
+                False, True, True, True,
+            ]
+            metrics = await asyncio.to_thread(client.metrics_text)
+            assert "repro_coalesced_joins_total 3" in metrics
+            assert 'repro_jobs_total{status="done"} 1' in metrics
+            assert server.scheduler.totals.computed == 1
+
+        run(body)
+
+
+class TestAdmissionOverHttp:
+    def test_queue_full_503_with_retry_after(self):
+        async def body(server, client):
+            slow = {"xs": [1], "delay": 0.8}
+            running = asyncio.create_task(asyncio.to_thread(
+                client.run, "toy", "quick", slow
+            ))
+            await asyncio.sleep(0.3)  # worker is busy with the slow job
+            queued = asyncio.create_task(asyncio.to_thread(
+                client.run, "toy", "quick", {"xs": [2]}
+            ))
+            await asyncio.sleep(0.1)
+            rejected = await asyncio.to_thread(
+                client.run, "toy", "quick", {"xs": [3]}
+            )
+            assert rejected.status == 503
+            assert rejected.headers["retry-after"] == "2.5"
+            assert json.loads(rejected.body)["error"].startswith("queue full")
+            assert (await running).status == 200
+            assert (await queued).status == 200
+            metrics = await asyncio.to_thread(client.metrics_text)
+            assert "repro_queue_rejected_total 1" in metrics
+
+        run(body, queue_depth=1, retry_after=2.5)
+
+
+class TestStreaming:
+    def test_ndjson_event_order_and_result(self):
+        async def body(server, client):
+            events = await asyncio.to_thread(
+                client.run_stream, "toy", "quick", {"xs": [1, 2]}
+            )
+            kinds = [e["event"] for e in events]
+            assert kinds == ["queued", "started", "cell-done", "cell-done",
+                            "finished", "result"]
+            queued = events[0]
+            assert queued["total_cells"] == 2
+            assert events[-1]["data"]["results"]["toy"]["values"] == [1, 4]
+            # Stream and plain bodies agree on the payload.
+            plain = await asyncio.to_thread(
+                client.run, "toy", "quick", {"xs": [1, 2]}
+            )
+            assert plain.json == events[-1]["data"]
+
+        run(body)
+
+    def test_stream_of_coalesced_request_replays_history(self):
+        async def body(server, client):
+            slow = {"xs": [5], "delay": 0.5}
+            first = asyncio.create_task(asyncio.to_thread(
+                client.run, "toy", "quick", slow
+            ))
+            await asyncio.sleep(0.2)
+            events = await asyncio.to_thread(
+                client.run_stream, "toy", "quick", slow
+            )
+            kinds = [e["event"] for e in events]
+            assert kinds[0] == "queued"  # replayed from history
+            assert kinds[-1] == "result"
+            assert (await first).status == 200
+
+        run(body)

@@ -26,8 +26,19 @@ def _concat(*, items, sep):
     return sep.join(items)
 
 
+def _die_in_worker(*, x):
+    """Kills worker processes hard; returns normally in the main one."""
+    import multiprocessing
+    import os
+
+    if multiprocessing.parent_process() is not None:
+        os._exit(13)  # simulate an OOM-killed / segfaulted worker
+    return x + 100
+
+
 SQ = "tests.sim.test_jobs:_square"
 CAT = "tests.sim.test_jobs:_concat"
+DIE = "tests.sim.test_jobs:_die_in_worker"
 
 
 class TestSpecEncoding:
@@ -149,6 +160,122 @@ class TestExecutor:
         serial = Executor().run(cells)
         parallel = Executor(jobs=2, cache=RunCache(tmp_path)).run(cells)
         assert serial == parallel
+
+    def test_progress_callback_fires_per_unique_cell(self, tmp_path):
+        events = []
+        cache = RunCache(tmp_path)
+        Executor(cache=cache).run([cell(SQ, x=4)])
+        ex = Executor(
+            cache=RunCache(tmp_path),
+            progress=lambda event, c: events.append((event, dict(c.kwargs))),
+        )
+        out = ex.run([cell(SQ, x=4), cell(SQ, x=5), cell(SQ, x=5)])
+        assert out == [16, 25, 25]
+        # One hit, one compute; the deduped twin fires nothing.
+        assert sorted(events) == [
+            ("cache_hit", {"x": 4}), ("computed", {"x": 5}),
+        ]
+
+
+class TestBrokenPoolFallback:
+    def test_crashed_workers_fall_back_to_serial(self, tmp_path):
+        # Every pooled cell kills its worker; the executor must survive,
+        # recompute serially in-process, and report the degradation.
+        cells = [cell(DIE, x=1), cell(DIE, x=2), cell(DIE, x=3)]
+        ex = Executor(jobs=2, cache=RunCache(tmp_path))
+        assert ex.run(cells) == [101, 102, 103]
+        assert ex.stats.pool_failures == 1
+        assert ex.stats.retried_serial == 3
+        assert ex.stats.computed == 3
+        # The fallback results were cached like any others.
+        warm = Executor(cache=RunCache(tmp_path))
+        assert warm.run(cells) == [101, 102, 103]
+        assert warm.stats.cache_hits == 3
+
+    def test_cell_exceptions_still_propagate(self):
+        with pytest.raises(ConfigError):
+            Executor(jobs=2).run([
+                Cell(fn="no.colon.here"), Cell(fn="also.none"),
+            ])
+
+    def test_stats_merge_includes_fallback_counters(self):
+        from repro.sim.jobs import ExecutorStats
+
+        a = ExecutorStats(pool_failures=1, retried_serial=2)
+        b = ExecutorStats(pool_failures=1, retried_serial=3, computed=4)
+        a.merge(b)
+        assert a.pool_failures == 2
+        assert a.retried_serial == 5
+        assert a.computed == 4
+
+
+class TestCacheLifecycle:
+    def _fill(self, tmp_path, n=4, size=1000):
+        import os
+        import time as _time
+
+        cache = RunCache(tmp_path)
+        now = _time.time()
+        for i in range(n):
+            key = f"{i:02x}" * 32
+            cache.put(key, "v" * size)
+            # Stamp distinct ages, oldest first.
+            os.utime(cache.path_for(key), (now - 1000 + i, now - 1000 + i))
+        return cache
+
+    def test_stats_counts_entries_and_bytes(self, tmp_path):
+        cache = self._fill(tmp_path, n=3)
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert stats["total_bytes"] > 3 * 1000
+        assert stats["oldest_mtime"] < stats["newest_mtime"]
+
+    def test_empty_cache_stats(self, tmp_path):
+        stats = RunCache(tmp_path / "nothing-here").stats()
+        assert stats == {
+            "root": str(tmp_path / "nothing-here"), "entries": 0,
+            "total_bytes": 0, "oldest_mtime": None, "newest_mtime": None,
+        }
+
+    def test_prune_evicts_oldest_first(self, tmp_path):
+        cache = self._fill(tmp_path, n=4)
+        entry = cache.stats()["total_bytes"] // 4
+        summary = cache.prune(max_bytes=2 * entry)
+        assert summary["removed"] == 2
+        assert summary["remaining_entries"] == 2
+        # The two oldest are gone, the two newest survive.
+        assert cache.get("00" * 32) is MISS
+        assert cache.get("01" * 32) is MISS
+        assert cache.get("02" * 32) == "v" * 1000
+        assert cache.get("03" * 32) == "v" * 1000
+
+    def test_reads_refresh_lru_position(self, tmp_path):
+        cache = self._fill(tmp_path, n=3)
+        # Touch the oldest entry: a get() bumps its mtime to now.
+        assert cache.get("00" * 32) == "v" * 1000
+        entry = cache.stats()["total_bytes"] // 3
+        cache.prune(max_bytes=entry)
+        # The recently-read entry survived; the stale middle ones died.
+        assert cache.get("00" * 32) == "v" * 1000
+        assert cache.get("01" * 32) is MISS
+        assert cache.get("02" * 32) is MISS
+
+    def test_prune_to_zero_clears_everything(self, tmp_path):
+        cache = self._fill(tmp_path, n=2)
+        summary = cache.prune(max_bytes=0)
+        assert summary["removed"] == 2
+        assert summary["remaining_bytes"] == 0
+        assert len(cache) == 0
+
+    def test_prune_noop_under_budget(self, tmp_path):
+        cache = self._fill(tmp_path, n=2)
+        summary = cache.prune(max_bytes=10 ** 9)
+        assert summary["removed"] == 0
+        assert len(cache) == 2
+
+    def test_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            RunCache(tmp_path).prune(max_bytes=-1)
 
 
 class TestPlans:
