@@ -14,8 +14,15 @@ batched engine that replaced it on the hot path:
    :class:`~repro.hw.mmu_sim.MmuSimulator` with the ``scalar`` and
    ``vector`` TLB engines, on a native THP state and on a virtualized
    CA+CA state.
+3. *walk path* — the same A/B on a *miss-heavy* virtualized state (a
+   CA+CA guest with every TLB entry splintered to 4K), where nearly
+   every access drains into the per-miss scheme machines (SpOT, vRMM,
+   DS — and, in the second sub-state, the mechanistic PWC/nTLB walk
+   coster).  This is the path the batched walk engines target; the
+   engines must agree on every scheme counter *and* on a full end-state
+   digest (table contents, LRU orders, confidence values).
 
-Both phases assert that the engines agree on every observable counter
+All phases assert that the engines agree on every observable counter
 before reporting throughput, so the speedups are for identical work.
 The JSON written to ``BENCH_engine.json`` is the perf-tracking artifact
 CI archives per commit.
@@ -241,13 +248,147 @@ def bench_replay(scale: ScaleProfile, workload_name: str = "svm",
     }
 
 
+def _sim_state_digest(sim: MmuSimulator) -> dict:
+    """Every observable end state of one simulator, for cross-engine
+    comparison: TLB sets in LRU order + counters, the SpOT table with
+    per-entry offset/confidence, resident vRMM ranges, DS counters and
+    (when present) the walk simulator's caches and float cycle sum."""
+    tlb = sim.tlb
+    digest: dict = {
+        "tlb": {
+            name: ([list(s) for s in level._sets], level.hits, level.misses)
+            for name, level in (
+                ("l1_4k", tlb.l1_4k), ("l1_2m", tlb.l1_2m), ("l2", tlb.l2)
+            )
+        },
+        "spot": None if sim.spot is None else (
+            [
+                [(pc, e.offset, e.confidence) for pc, e in s.items()]
+                for s in sim.spot._sets
+            ],
+            vars(sim.spot.stats),
+        ),
+        "rmm": None if sim.rmm is None else (
+            list(sim.rmm._ranges.items()), vars(sim.rmm.stats)
+        ),
+        "ds": None if sim.ds is None else vars(sim.ds.stats),
+    }
+    if sim.walk_sim is not None:
+        ws = sim.walk_sim
+        digest["walk_sim"] = (
+            vars(ws.stats),
+            [list(s) for s in ws.pwc._cache._sets],
+            (ws.pwc._cache.hits, ws.pwc._cache.misses),
+            None if ws.ntlb is None else (
+                [list(s) for s in ws.ntlb._sets], ws.ntlb.hits, ws.ntlb.misses
+            ),
+        )
+    return digest
+
+
+def _walk_once(view, trace, vma_start_vpns, wl, engine, make_walk_sim):
+    """Best-of-N walk-path replay; returns (counters, digest, seconds)."""
+    counters: dict | None = None
+    digest: dict | None = None
+    best = float("inf")
+    for _ in range(REPLAY_REPEATS):
+        sim = MmuSimulator(
+            view,
+            HardwareConfig(),
+            engine=engine,
+            walk_sim=make_walk_sim() if make_walk_sim else None,
+        )
+        started = time.perf_counter()
+        result = sim.run(trace, vma_start_vpns, workload=wl)
+        best = min(best, time.perf_counter() - started)
+        rep = (asdict(result), _sim_state_digest(sim))
+        if counters is None:
+            counters, digest = rep
+        elif (counters, digest) != rep:
+            raise AssertionError(
+                f"{engine} engine is nondeterministic across repeats"
+            )
+    return counters, digest, best
+
+
+def bench_walk_path(scale: ScaleProfile, workload_name: str = "svm",
+                    trace_len: int = REPLAY_TRACE_LEN) -> dict:
+    """A/B the MMU engines on the last-level-miss (walk) path.
+
+    The state under test is a CA+CA guest viewed with ``force_4k``:
+    every TLB entry splinters to 4K, TLB reach collapses, and nearly
+    every access becomes a page walk — the regime where the per-miss
+    scheme machines dominate.  Two sub-states: the scheme machines
+    alone, and with the mechanistic PWC/nTLB walk coster attached.
+    """
+    from repro.experiments import common
+    from repro.hw.pwc import WalkSimulator
+    from repro.workloads import make_workload
+
+    wl = make_workload(workload_name, scale)
+    trace = wl.trace(trace_len)
+    options = RunOptions(sample_every=None, exit_after=False)
+    vm = common.virtual_machine("ca", "ca", scale)
+    rv = run_virtualized(vm, wl, options)
+    view = TranslationView.virtualized(vm, rv.process, force_4k=True)
+
+    states: dict[str, dict] = {}
+    for name, make_walk_sim in (
+        ("virt_4k_schemes", None),
+        ("virt_4k_mechwalk", lambda: WalkSimulator(virtualized=True)),
+    ):
+        counters: dict[str, dict] = {}
+        digests: dict[str, dict] = {}
+        seconds: dict[str, float] = {}
+        for engine in ("scalar", "vector"):
+            counters[engine], digests[engine], seconds[engine] = _walk_once(
+                view, trace, rv.vma_start_vpns, wl, engine, make_walk_sim
+            )
+        miss_rate = counters["scalar"]["walks"] / max(
+            1, counters["scalar"]["accesses"]
+        )
+        states[name] = {
+            "accesses": trace_len,
+            "walks": counters["scalar"]["walks"],
+            "miss_rate": round(miss_rate, 4),
+            "scalar_seconds": round(seconds["scalar"], 4),
+            "vector_seconds": round(seconds["vector"], 4),
+            "scalar_walks_per_sec": round(
+                counters["scalar"]["walks"] / max(seconds["scalar"], 1e-9), 1
+            ),
+            "vector_walks_per_sec": round(
+                counters["scalar"]["walks"] / max(seconds["vector"], 1e-9), 1
+            ),
+            "speedup": round(
+                seconds["scalar"] / max(seconds["vector"], 1e-9), 2
+            ),
+            "engines_identical": (
+                counters["scalar"] == counters["vector"]
+                and digests["scalar"] == digests["vector"]
+            ),
+        }
+
+    vm.guest_exit_process(rv.process)
+    speedups = [s["speedup"] for s in states.values()]
+    return {
+        "workload": workload_name,
+        "trace_len": trace_len,
+        "states": states,
+        "walk_speedup": round(min(speedups), 2),
+        "engines_identical": all(
+            s["engines_identical"] for s in states.values()
+        ),
+    }
+
+
 def run_bench(scale_name: str = "default", workload_name: str = "svm",
               trace_len: int = REPLAY_TRACE_LEN) -> dict:
-    """Run both phases; returns the JSON-ready report."""
+    """Run all phases; returns the JSON-ready report."""
     scale = BENCH_SCALES[scale_name]
     started = time.time()
     fault = bench_fault_path(scale, workload_name)
     replay = bench_replay(scale, workload_name, trace_len)
+    walk = bench_walk_path(scale, workload_name, trace_len)
     return {
         "bench": "engine",
         "scale": scale_name,
@@ -255,11 +396,15 @@ def run_bench(scale_name: str = "default", workload_name: str = "svm",
         "python": platform.python_version(),
         "fault_path": fault,
         "replay": replay,
+        "walk_path": walk,
         # Headline numbers perf tracking plots per commit.
         "fault_speedup": fault["fault_speedup"],
         "replay_speedup": replay["replay_speedup"],
+        "walk_speedup": walk["walk_speedup"],
         "engines_identical": (
-            fault["engines_identical"] and replay["engines_identical"]
+            fault["engines_identical"]
+            and replay["engines_identical"]
+            and walk["engines_identical"]
         ),
         "wall_seconds": round(time.time() - started, 1),
     }

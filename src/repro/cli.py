@@ -191,9 +191,21 @@ def _cmd_bench(args) -> int:
               f" -> {row['vector_accesses_per_sec']:.0f} accesses/sec"
               f" ({row['speedup']}x, identical={row['engines_identical']})")
     print(f"replay speedup (min over states): {report['replay_speedup']}x")
+    for name, row in report["walk_path"]["states"].items():
+        print(f"walk path [{name}]: {row['scalar_walks_per_sec']:.0f}"
+              f" -> {row['vector_walks_per_sec']:.0f} walks/sec"
+              f" (miss rate {row['miss_rate']}, {row['speedup']}x, "
+              f"identical={row['engines_identical']})")
+    print(f"walk-path speedup (min over states): {report['walk_speedup']}x")
     print(f"engines identical: {report['engines_identical']}")
     print(f"[saved {out} in {report['wall_seconds']}s]")
-    return 0 if report["engines_identical"] else 1
+    if not report["engines_identical"]:
+        return 1
+    if args.min_walk_speedup and report["walk_speedup"] < args.min_walk_speedup:
+        print(f"walk-path speedup {report['walk_speedup']}x below required "
+              f"{args.min_walk_speedup}x", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_bench_suite(args) -> int:
@@ -445,6 +457,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument(
         "--out", default="BENCH_engine.json", metavar="FILE",
         help="JSON report path (default: BENCH_engine.json)",
+    )
+    bench_p.add_argument(
+        "--min-walk-speedup", type=float, default=None, metavar="X",
+        help="exit nonzero unless the walk-path phase beats the scalar "
+             "engine by at least this factor (CI gate)",
     )
     bench_p.set_defaults(func=_cmd_bench)
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 
 @dataclass
 class DsStats:
@@ -39,3 +41,15 @@ class DirectSegment:
             return True
         self.stats.outside += 1
         return False
+
+    def on_miss_batch(self, in_segment: np.ndarray) -> int:
+        """Batched :meth:`on_miss`: a pure mask reduction.
+
+        Returns the number of misses *outside* the segment (the ones
+        that pay a nested 4K walk).
+        """
+        n = int(in_segment.size)
+        inside = int(np.count_nonzero(in_segment))
+        self.stats.inside += inside
+        self.stats.outside += n - inside
+        return n - inside

@@ -106,13 +106,21 @@ class MmuSimulator:
         if self.engine not in ("vector", "scalar"):
             raise ConfigError(f"unknown MMU engine {self.engine!r}")
         self.tlb = TlbHierarchy.from_config(self.hw)
-        self.spot = SpotPredictor(
-            self.hw.spot_entries,
-            self.hw.spot_ways,
-            use_confidence=self.hw.spot_confidence,
+        # Disabled schemes skip their state machines entirely (their
+        # counters stay zero) — identically under both engines.
+        self.spot = (
+            SpotPredictor(
+                self.hw.spot_entries,
+                self.hw.spot_ways,
+                use_confidence=self.hw.spot_confidence,
+            )
+            if self.hw.spot_enabled
+            else None
         )
-        self.rmm = RangeTlb(self.hw.range_tlb_entries)
-        self.ds = DirectSegment()
+        self.rmm = (
+            RangeTlb(self.hw.range_tlb_entries) if self.hw.rmm_enabled else None
+        )
+        self.ds = DirectSegment() if self.hw.ds_enabled else None
 
     def run(
         self,
@@ -140,9 +148,9 @@ class MmuSimulator:
 
     def _loop(self, t: ResolvedTrace, result: MmuSimResult) -> None:
         access = self.tlb.access
-        spot_done = self.spot.on_walk_complete
-        rmm_on = self.rmm.on_miss
-        ds_on = self.ds.on_miss
+        spot_done = self.spot.on_walk_complete if self.spot else None
+        rmm_on = self.rmm.on_miss if self.rmm else None
+        ds_on = self.ds.on_miss if self.ds else None
         pcs = t.pc.tolist()
         bases = t.entry_base.tolist()
         huges = t.entry_huge.tolist()
@@ -165,29 +173,37 @@ class MmuSimulator:
             if self.walk_sim is not None:
                 self.walk_sim.walk(vpn, huges[i])
             # SpOT: predict + background verification walk.
-            outcome = spot_done(pcs[i], vpn, ppns[i], contigs[i])
-            if outcome == CORRECT:
-                result.spot_correct += 1
-            elif outcome == MISPREDICT:
-                result.spot_mispredict += 1
-            else:
-                result.spot_no_prediction += 1
+            if spot_done is not None:
+                outcome = spot_done(pcs[i], vpn, ppns[i], contigs[i])
+                if outcome == CORRECT:
+                    result.spot_correct += 1
+                elif outcome == MISPREDICT:
+                    result.spot_mispredict += 1
+                else:
+                    result.spot_no_prediction += 1
             # vRMM: range TLB / range table coverage.
-            if rmm_on(vpn, run_starts[i], run_lens[i]) == "uncovered":
+            if rmm_on is not None and (
+                rmm_on(vpn, run_starts[i], run_lens[i]) == "uncovered"
+            ):
                 result.rmm_uncovered += 1
             # DS: segment check.
-            if not ds_on(segs[i]):
+            if ds_on is not None and not ds_on(segs[i]):
                 result.ds_outside += 1
 
     def _loop_vector(self, t: ResolvedTrace, result: MmuSimResult) -> None:
-        """Vectorized replay: decide every TLB outcome up front.
+        """Vectorized replay: TLB outcomes *and* walk outcomes batched.
 
         Set-associative LRU outcomes are a pure function of the access
         stream (every access — hit or miss — moves its key to MRU), so
         :meth:`TlbHierarchy.simulate` resolves the whole hierarchy in
-        numpy and only the page walks run through the per-access scheme
-        machines (SpOT, vRMM, DS) — in trace order, exactly like the
-        scalar loop.  Counters and scheme state match it bit for bit.
+        numpy; the surviving page walks then go through each scheme's
+        *batched* machine (:meth:`SpotPredictor.on_walks_batch`,
+        :meth:`RangeTlb.on_miss_batch`, :meth:`DirectSegment.
+        on_miss_batch`, :meth:`WalkSimulator.walk_batch`) over the
+        whole miss stream at once.  The schemes share no state, so
+        batching per scheme instead of interleaving per miss leaves
+        every counter and every machine's end state bit-identical to
+        the scalar loop.
         """
         levels = self.tlb.simulate(t.entry_base, t.entry_huge)
         walk_idx = np.flatnonzero(levels == 2)
@@ -196,29 +212,49 @@ class MmuSimulator:
         result.walks += int(walk_idx.size)
         if walk_idx.size == 0:
             return
-        spot_done = self.spot.on_walk_complete
-        rmm_on = self.rmm.on_miss
-        ds_on = self.ds.on_miss
-        pcs = t.pc[walk_idx].tolist()
-        vpns = t.vpn[walk_idx].tolist()
-        ppns = t.ppn[walk_idx].tolist()
-        huges = t.entry_huge[walk_idx].tolist()
-        contigs = t.contig[walk_idx].tolist()
-        segs = t.in_segment[walk_idx].tolist()
-        run_starts = t.run_start[walk_idx].tolist()
-        run_lens = t.run_len[walk_idx].tolist()
-        for i in range(len(vpns)):
-            vpn = vpns[i]
-            if self.walk_sim is not None:
-                self.walk_sim.walk(vpn, huges[i])
-            outcome = spot_done(pcs[i], vpn, ppns[i], contigs[i])
-            if outcome == CORRECT:
-                result.spot_correct += 1
-            elif outcome == MISPREDICT:
-                result.spot_mispredict += 1
-            else:
-                result.spot_no_prediction += 1
-            if rmm_on(vpn, run_starts[i], run_lens[i]) == "uncovered":
-                result.rmm_uncovered += 1
-            if not ds_on(segs[i]):
-                result.ds_outside += 1
+        if (
+            self.walk_sim is None
+            and self.spot is None
+            and self.rmm is None
+            and self.ds is None
+        ):
+            return  # nothing consumes the walk stream
+        w = _walk_slice(t, walk_idx)
+        if self.walk_sim is not None:
+            self.walk_sim.walk_batch(w.vpn, w.entry_huge)
+        if self.spot is not None:
+            correct, mispredict, no_prediction = self.spot.on_walks_batch(
+                w.pc, w.vpn, w.ppn, w.contig
+            )
+            result.spot_correct += correct
+            result.spot_mispredict += mispredict
+            result.spot_no_prediction += no_prediction
+        if self.rmm is not None:
+            _, _, uncovered = self.rmm.on_miss_batch(
+                w.vpn, w.run_start, w.run_len
+            )
+            result.rmm_uncovered += uncovered
+        if self.ds is not None:
+            result.ds_outside += self.ds.on_miss_batch(w.in_segment)
+
+
+def _walk_slice(t: ResolvedTrace, walk_idx: np.ndarray) -> ResolvedTrace:
+    """Gather the per-walk attribute arrays once, for every consumer.
+
+    One fancy-indexing pass per needed column — the batched scheme
+    machines take numpy arrays directly, so no ``.tolist()`` happens
+    here at all (the old per-scheme loop materialized eight Python
+    lists even for a handful of walks).
+    """
+    return ResolvedTrace(
+        pc=t.pc[walk_idx],
+        vpn=t.vpn[walk_idx],
+        ppn=t.ppn[walk_idx],
+        entry_base=t.entry_base,  # not needed past the TLB; unsliced
+        entry_huge=t.entry_huge[walk_idx],
+        contig=t.contig[walk_idx],
+        in_segment=t.in_segment[walk_idx],
+        range_covered=t.range_covered,
+        run_start=t.run_start[walk_idx],
+        run_len=t.run_len[walk_idx],
+    )

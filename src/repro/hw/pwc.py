@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.hw.tlb import SetAssocTlb
 from repro.vm.page_table import LEVEL_BITS
 
@@ -131,3 +133,131 @@ class WalkSimulator:
         self.stats.references += refs
         self.stats.cycles += cycles
         return cycles
+
+    # -- batched walk path (the vector engine) -------------------------------
+
+    def walk_batch(self, vpns: np.ndarray, huges: np.ndarray) -> None:
+        """Charge a batch of misses; identical to per-walk :meth:`walk`.
+
+        Unlike the TLB and the schemes, the PWC access stream is *not*
+        a pure function of the inputs: ``deepest_hit`` probes levels
+        until the first hit, so which key gets an LRU refresh (and how
+        many probes count as misses) feeds back through the cache
+        state, and the nTLB stream length depends on the PWC's answer.
+        The caches therefore stay sequential — but everything around
+        them vectorizes: all per-level VA prefixes, CPython tuple
+        hashes and set indices are computed up front in numpy (via the
+        shared :mod:`~repro.hw.vector_tlb` helpers), and the loop runs
+        on packed-integer keys against raw set dicts, skipping the
+        per-access tuple construction, hashing and attribute chasing
+        of the scalar path.  End state (cache contents, LRU order,
+        hit/miss counters, float-accumulated cycles) is bit-identical.
+        """
+        from repro.hw import vector_tlb as vt
+
+        n = int(len(vpns))
+        if n == 0:
+            return
+        vpns = np.ascontiguousarray(vpns, dtype=np.int64)
+        huge_l = np.ascontiguousarray(huges, dtype=bool).tolist()
+        cache = self.pwc._cache
+        # Per PWC level 2..levels: packed key (prefix << 3 | level) and
+        # set index, replicating hash((level, prefix)) exactly.
+        pwc_keys: dict[int, list[int]] = {}
+        pwc_sets_of: dict[int, list[int]] = {}
+        for level in range(2, self.levels + 1):
+            prefix = vpns >> np.int64(LEVEL_BITS * (level - 1))
+            pwc_keys[level] = ((prefix << np.int64(3)) | np.int64(level)).tolist()
+            lvl_arr = np.full(n, level, dtype=np.int64)
+            pwc_sets_of[level] = vt.set_indices(
+                vt.tuple2_hashes(lvl_arr, prefix), cache.n_sets
+            ).tolist()
+        # Per nTLB step 0..levels-1: packed key (prefix << 3 | step).
+        ntlb = self.ntlb
+        ntlb_keys: dict[int, list[int]] = {}
+        ntlb_sets_of: dict[int, list[int]] = {}
+        if ntlb is not None:
+            for step in range(self.levels):
+                prefix = vpns >> np.int64(LEVEL_BITS * step)
+                ntlb_keys[step] = (
+                    (prefix << np.int64(3)) | np.int64(step)
+                ).tolist()
+                step_arr = np.full(n, step, dtype=np.int64)
+                ntlb_sets_of[step] = vt.set_indices(
+                    vt.tuple2_hashes(prefix, step_arr), ntlb.n_sets
+                ).tolist()
+
+        # Packed-key mirrors of the cache sets (insertion order = LRU).
+        psets = [
+            {(key[1] << 3) | key[0]: None for key in s} for s in cache._sets
+        ]
+        nsets = (
+            [{(key[0] << 3) | key[1]: None for key in s} for s in ntlb._sets]
+            if ntlb is not None
+            else None
+        )
+        pwc_ways = cache.ways
+        ntlb_ways = ntlb.ways if ntlb is not None else 0
+        pwc_hits = pwc_misses = ntlb_hits = ntlb_misses = 0
+        virtualized = self.virtualized
+        ref_cycles = self.ref_cycles
+        total_refs = 0
+        cycles_acc = self.stats.cycles
+        max_levels = self.levels
+
+        for i in range(n):
+            levels = max_levels - (1 if huge_l[i] else 0)
+            skipped = 0
+            for level in range(2, levels + 1):
+                s = psets[pwc_sets_of[level][i]]
+                k = pwc_keys[level][i]
+                if k in s:
+                    del s[k]
+                    s[k] = None
+                    pwc_hits += 1
+                    skipped = levels - level + 1
+                    break
+                pwc_misses += 1
+            refs = 0
+            for step in range(levels - skipped):
+                refs += 1
+                if nsets is not None:
+                    s = nsets[ntlb_sets_of[step][i]]
+                    k = ntlb_keys[step][i]
+                    if k in s:
+                        del s[k]
+                        s[k] = None
+                        ntlb_hits += 1
+                    else:
+                        ntlb_misses += 1
+                        refs += levels
+                        if len(s) >= ntlb_ways:
+                            del s[next(iter(s))]
+                        s[k] = None
+            if virtualized:
+                refs += 1
+            for level in range(2, levels + 1):
+                s = psets[pwc_sets_of[level][i]]
+                k = pwc_keys[level][i]
+                if k in s:
+                    del s[k]
+                elif len(s) >= pwc_ways:
+                    del s[next(iter(s))]
+                s[k] = None
+            total_refs += refs
+            cycles_acc += WALK_FIXED_CYCLES + refs * ref_cycles
+
+        cache._sets = [
+            {(k & 7, k >> 3): None for k in s} for s in psets
+        ]
+        cache.hits += pwc_hits
+        cache.misses += pwc_misses
+        if ntlb is not None:
+            ntlb._sets = [
+                {(k >> 3, k & 7): None for k in s} for s in nsets
+            ]
+            ntlb.hits += ntlb_hits
+            ntlb.misses += ntlb_misses
+        self.stats.walks += n
+        self.stats.references += total_refs
+        self.stats.cycles = cycles_acc

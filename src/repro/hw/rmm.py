@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 
 RANGE_HIT = "range_hit"
 RANGE_FILL = "range_fill"
@@ -79,6 +81,94 @@ class RangeTlb:
             return RANGE_FILL
         self.stats.uncovered += 1
         return UNCOVERED
+
+    # -- batched miss path (the vector engine) -------------------------------
+
+    def on_miss_batch(
+        self,
+        vpns: np.ndarray,
+        run_starts: np.ndarray,
+        run_lens: np.ndarray,
+    ) -> tuple[int, int, int]:
+        """Batched :meth:`on_miss`; returns (hits, fills, uncovered).
+
+        When every access lies inside its own run and the runs form a
+        consistent disjoint set (always true for a
+        :class:`~repro.hw.translation.ResolvedTrace`), a miss hits the
+        range TLB iff its *own* run is resident, so the whole stream
+        reduces to fully-associative LRU over ``run_start`` keys —
+        resolved in one :func:`~repro.hw.vector_tlb.simulate_level`
+        call over the rangeable (``run_len >= min_range_pages``)
+        subset; shorter runs are never filled, so they are uncovered
+        and perturb nothing.  Warm or inconsistent streams fall back to
+        the per-miss loop (same results, just not batched).
+        """
+        n = int(len(vpns))
+        if n == 0:
+            return (0, 0, 0)
+        vpns = np.ascontiguousarray(vpns, dtype=np.int64)
+        run_starts = np.ascontiguousarray(run_starts, dtype=np.int64)
+        run_lens = np.ascontiguousarray(run_lens, dtype=np.int64)
+        runs = self._batch_exact(vpns, run_starts, run_lens)
+        if self._ranges or runs is None:
+            hits = fills = uncovered = 0
+            for v, s, ln in zip(
+                vpns.tolist(), run_starts.tolist(), run_lens.tolist()
+            ):
+                outcome = self.on_miss(v, s, ln)
+                if outcome == RANGE_HIT:
+                    hits += 1
+                elif outcome == RANGE_FILL:
+                    fills += 1
+                else:
+                    uncovered += 1
+            return (hits, fills, uncovered)
+
+        from repro.hw import vector_tlb as vt
+
+        rangeable = run_lens >= self.min_range_pages
+        n_rangeable = int(rangeable.sum())
+        uncovered = n - n_rangeable
+        hits = fills = 0
+        if n_rangeable:
+            starts = run_starts[rangeable]
+            hit_mask, residents = vt.simulate_level(
+                starts,
+                np.zeros(n_rangeable, dtype=np.int32),
+                1,
+                self.entries,
+            )
+            hits = int(hit_mask.sum())
+            fills = n_rangeable - hits
+            # End VPN of each resident range, via the unique run table
+            # (at most ``entries`` lookups).
+            su, lu = runs
+            pos = np.searchsorted(su, np.asarray(residents[0], dtype=np.int64))
+            ends = (su[pos] + lu[pos]).tolist()
+            self._ranges = dict(zip(residents[0], ends))
+        self.stats.range_hits += hits
+        self.stats.range_fills += fills
+        self.stats.uncovered += uncovered
+        return (hits, fills, uncovered)
+
+    @staticmethod
+    def _batch_exact(vpns, run_starts, run_lens):
+        """The unique sorted ``(starts, lens)`` run table when the
+        stream satisfies the batched path's invariants, else None."""
+        if not ((run_starts <= vpns) & (vpns < run_starts + run_lens)).all():
+            return None
+        order = np.argsort(run_starts, kind="stable")
+        s = run_starts[order]
+        ln = run_lens[order]
+        same = s[1:] == s[:-1]
+        if (ln[1:][same] != ln[:-1][same]).any():
+            return None  # one start, two lengths
+        first = np.concatenate(([True], ~same))
+        su = s[first]
+        lu = ln[first]
+        if (su[1:] < su[:-1] + lu[:-1]).any():
+            return None  # overlapping runs
+        return su, lu
 
 
 def ranges_for_coverage(run_sizes: list[int], footprint_pages: int,

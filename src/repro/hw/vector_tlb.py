@@ -45,20 +45,22 @@ _SET_MIX = np.uint64(0x9E3779B1)
 _SCAN_TAIL = 256
 
 
-def key_hashes(base_vpn: np.ndarray, huge: np.ndarray) -> np.ndarray:
-    """``hash((int(b), bool(h)))`` per element, as wrapping uint64.
+def tuple2_hashes(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """``hash((int(a), int(b)))`` per element, as wrapping uint64.
 
-    Exact for ``0 <= base_vpn < 2**61 - 1`` (where ``hash(int)`` is the
-    identity; page numbers always are) on 64-bit CPython >= 3.8.
+    Exact for lane values in ``[0, 2**61 - 1)`` (where ``hash(int)`` is
+    the identity — page numbers, PCs, walk levels and bools all are) on
+    64-bit CPython >= 3.8.  Every 2-tuple set-index replication (TLB
+    keys, PWC level prefixes, nTLB table pages) shares this helper.
     """
-    acc = base_vpn.astype(np.uint64)
+    acc = first.astype(np.uint64)
     acc *= _XXPRIME_2
     acc += _XXPRIME_5
     hi = acc >> np.uint64(33)
     acc <<= np.uint64(31)
     acc |= hi
     acc *= _XXPRIME_1
-    lane = huge.astype(np.uint64)
+    lane = second.astype(np.uint64)
     lane *= _XXPRIME_2
     acc += lane
     np.right_shift(acc, np.uint64(33), out=hi)
@@ -71,8 +73,16 @@ def key_hashes(base_vpn: np.ndarray, huge: np.ndarray) -> np.ndarray:
     return acc
 
 
+def key_hashes(base_vpn: np.ndarray, huge: np.ndarray) -> np.ndarray:
+    """``hash((int(b), bool(h)))`` per element (see :func:`tuple2_hashes`)."""
+    return tuple2_hashes(base_vpn, huge)
+
+
 def set_indices(hashes: np.ndarray, n_sets: int) -> np.ndarray:
     """The set each key maps to, matching :meth:`SetAssocTlb._set_of`.
+
+    Also exact for *unhashed* integer keys (``SpotPredictor._set_of``
+    multiplies the raw PC): pass the keys themselves as ``hashes``.
 
     Python evaluates ``((hash * 0x9E3779B1) >> 12) % n_sets`` in exact
     integer arithmetic; for power-of-two set counts (every geometry in

@@ -157,6 +157,12 @@ class HardwareConfig:
     range_tlb_entries: int = 32
     #: Pipeline-flush penalty on a SpOT misprediction (cycles, §V).
     mispredict_penalty: int = 20
+    #: Scheme machine switches: experiments that never read a scheme's
+    #: counters can turn it off and skip its state machine entirely
+    #: (both engines honour these identically).
+    spot_enabled: bool = True
+    rmm_enabled: bool = True
+    ds_enabled: bool = True
 
     @classmethod
     def broadwell(cls) -> "HardwareConfig":
