@@ -1,0 +1,19 @@
+"""Deterministic fault injection and the injectable clock.
+
+See ``docs/robustness.md`` for the site/recovery contract and
+:mod:`repro.chaos.soak` for the end-to-end determinism-under-fault
+check (``repro chaos-soak``).
+"""
+
+from repro.chaos.clock import CLOCK, Clock, FakeClock
+from repro.chaos.faults import SITES, FaultInjector, FaultPlan, FaultRecord
+
+__all__ = [
+    "CLOCK",
+    "Clock",
+    "FakeClock",
+    "SITES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+]

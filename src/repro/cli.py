@@ -13,6 +13,8 @@ Usage::
     python -m repro bench-serve --clients 8 --out BENCH_serve.json
     python -m repro cache stats
     python -m repro cache prune --max-bytes 500M
+    python -m repro run fig9 --chaos-plan 0.2 --chaos-seed 7
+    python -m repro chaos-soak --quick --out CHAOS_TRACE.json
 
 Experiments decompose into run cells (see :mod:`repro.sim.jobs`);
 ``--jobs N`` fans the cells of all requested experiments out over N
@@ -89,15 +91,29 @@ def suite_plans(scale, names=None) -> list[tuple[str, str, "object"]]:
     return entries
 
 
-def make_executor(args):
-    """Build the Executor the ``--jobs``/cache flags describe."""
+def make_injector(args):
+    """Build the chaos injector ``--chaos-plan``/``--chaos-seed``
+    describe (``None`` when chaos is off — the default)."""
+    spec = getattr(args, "chaos_plan", None)
+    if not spec:
+        return None
+    from repro.chaos import FaultInjector, FaultPlan
+
+    return FaultInjector(FaultPlan.parse(
+        spec, seed=getattr(args, "chaos_seed", 0) or 0
+    ))
+
+
+def make_executor(args, injector=None):
+    """Build the Executor the ``--jobs``/cache/chaos flags describe."""
     from repro.sim.cache import RunCache
     from repro.sim.jobs import Executor
 
     cache = None
     if not getattr(args, "no_cache", False):
-        cache = RunCache(getattr(args, "cache_dir", None))
-    return Executor(jobs=getattr(args, "jobs", None) or 1, cache=cache)
+        cache = RunCache(getattr(args, "cache_dir", None), injector=injector)
+    return Executor(jobs=getattr(args, "jobs", None) or 1, cache=cache,
+                    injector=injector)
 
 
 def _run_experiments(names: list[str], args) -> int:
@@ -105,7 +121,8 @@ def _run_experiments(names: list[str], args) -> int:
 
     scale = SCALES[args.scale]
     json_dir = _json_dir(args)
-    executor = make_executor(args)
+    injector = make_injector(args)
+    executor = make_executor(args, injector=injector)
     started = time.time()
     entries = suite_plans(scale, names)
     results = run_plans([plan for _, _, plan in entries], executor)
@@ -133,6 +150,17 @@ def _run_experiments(names: list[str], args) -> int:
         f"{s.deduped} deduped; jobs={executor.jobs}; "
         f"{time.time() - started:.1f}s]"
     )
+    if injector is not None:
+        fired = sum(injector.fired_by_site().values())
+        unrecovered = injector.unrecovered()
+        print(f"[chaos: {fired} fault(s) fired "
+              f"({injector.fired_by_site()}), "
+              f"{len(unrecovered)} unrecovered]")
+        if unrecovered:
+            for record in unrecovered:
+                print(f"  UNRECOVERED {record.site} @ {record.token}",
+                      file=sys.stderr)
+            return 1
     return 0
 
 
@@ -368,6 +396,42 @@ def _cmd_bench_serve(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_chaos_soak(args) -> int:
+    from repro.chaos.soak import run_soak, write_trace
+
+    for name in args.experiments or ():
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; try `python -m repro list`",
+                  file=sys.stderr)
+            return 2
+    print(f"=== chaos-soak: determinism under faults "
+          f"(scale={args.scale}, plan={args.plan}, seed={args.seed}) ===")
+    report = run_soak(
+        scale=args.scale,
+        experiments=tuple(args.experiments) if args.experiments else None,
+        plan_spec=args.plan, seed=args.seed, jobs=args.jobs,
+        serve=not args.skip_serve, quick=args.quick,
+    )
+    out = write_trace(report, args.out)
+    if "error" in report:
+        print(f"UNHANDLED: {report['error']}", file=sys.stderr)
+    else:
+        print(f" grid: {report['experiments']} — byte-identical across "
+              f"clean/chaos-A/chaos-B: {report['identical_grid']}")
+        print(f" trace: {report['total_faults_fired']} fault(s) fired "
+              f"{report['faults_fired']}; "
+              f"deterministic={report['trace_deterministic']}; "
+              f"unrecovered={sum(len(v) for v in report['unrecovered'].values())}")
+        serve = report["serve"]
+        if serve.get("enabled"):
+            print(f" serve: statuses={serve.get('statuses')} "
+                  f"bodies_identical={serve.get('bodies_identical')} "
+                  f"results_match_clean={serve.get('results_match_clean')}")
+    print(f"[saved {out} in {report['wall_seconds']}s]")
+    print(f"chaos-soak: {'OK' if report['ok'] else 'FAILED'}")
+    return 0 if report["ok"] else 1
+
+
 def _make_cache(args):
     from repro.sim.cache import RunCache
 
@@ -379,6 +443,8 @@ def _cmd_cache_stats(args) -> int:
     print(f"cache root:  {stats['root']}")
     print(f"entries:     {stats['entries']}")
     print(f"total bytes: {stats['total_bytes']:,}")
+    if stats["quarantined"]:
+        print(f"quarantined: {stats['quarantined']}")
     if stats["entries"]:
         age = time.time() - stats["oldest_mtime"]
         print(f"oldest entry age: {age / 3600:.1f}h")
@@ -428,6 +494,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--no-cache", action="store_true",
             help="compute every cell, skip cache reads and writes",
+        )
+        add_chaos_flags(p)
+
+    def add_chaos_flags(p) -> None:
+        p.add_argument(
+            "--chaos-plan", metavar="SPEC", default=None,
+            help="enable fault injection: a probability for every site "
+                 "('0.2') or a site=p list ('cache.read=0.1,"
+                 "pool.worker=0.3'); see docs/robustness.md",
+        )
+        p.add_argument(
+            "--chaos-seed", type=int, default=0, metavar="N",
+            help="seed for the fault plan (same seed => same faults; "
+                 "default: 0)",
         )
 
     run_p = sub.add_parser("run", help="run one or more experiments")
@@ -528,7 +608,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="recompute every request, skip the run cache",
     )
+    add_chaos_flags(serve_p)
     serve_p.set_defaults(func=_cmd_serve)
+
+    soak_p = sub.add_parser(
+        "chaos-soak",
+        help="run the suite clean vs under a fault plan; fail unless "
+             "results are byte-identical and every fault recovered",
+    )
+    soak_p.add_argument(
+        "--scale", choices=sorted(SCALES), default="quick",
+        help="scale profile (default: quick)",
+    )
+    soak_p.add_argument(
+        "--quick", action="store_true",
+        help="small grid (fast CI smoke) instead of the default grid",
+    )
+    soak_p.add_argument(
+        "--experiments", nargs="*", default=None, metavar="NAME",
+        help="explicit soak grid (default: a built-in grid; see --quick)",
+    )
+    soak_p.add_argument(
+        "--plan", default="0.2", metavar="SPEC",
+        help="fault plan (default: 0.2 on every site)",
+    )
+    soak_p.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="fault plan seed (default: 0)",
+    )
+    soak_p.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="worker processes for the grid passes (default: 2)",
+    )
+    soak_p.add_argument(
+        "--skip-serve", action="store_true",
+        help="skip the HTTP serve phase (grid passes only)",
+    )
+    soak_p.add_argument(
+        "--out", default="CHAOS_TRACE.json", metavar="FILE",
+        help="fault trace / report path (default: CHAOS_TRACE.json)",
+    )
+    soak_p.set_defaults(func=_cmd_chaos_soak)
 
     submit_p = sub.add_parser(
         "submit", help="submit one experiment to a running server"

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
@@ -144,6 +145,36 @@ class ServeClient:
         if params:
             payload["params"] = params
         return self._request("POST", "/v1/run", payload)
+
+    def run_with_retries(self, experiment: str, scale: str = "quick",
+                         params: dict | None = None, attempts: int = 5,
+                         backoff: float = 0.05,
+                         retry_statuses: tuple[int, ...] = (408, 503),
+                         ) -> RunResponse:
+        """:meth:`run` with bounded retry on transient failures.
+
+        Retries dropped/reset connections and the retryable statuses
+        (408 request timeout, 503 admission control) with exponential
+        backoff; any other response returns immediately.  Raises
+        :class:`ServeError` when the budget is exhausted — the caller
+        always gets either a definitive response or a clear error.
+        """
+        last_error: str = "no attempts made"
+        for attempt in range(attempts):
+            try:
+                resp = self.run(experiment, scale, params)
+            except (ConnectionError, OSError,
+                    http.client.HTTPException) as exc:
+                last_error = f"{type(exc).__name__}: {exc}"
+            else:
+                if resp.status not in retry_statuses:
+                    return resp
+                last_error = f"HTTP {resp.status}"
+            if attempt + 1 < attempts:
+                time.sleep(backoff * (2 ** attempt))
+        raise ServeError(
+            0, f"gave up after {attempts} attempt(s): {last_error}"
+        )
 
     def run_stream(self, experiment: str, scale: str = "quick",
                    params: dict | None = None,

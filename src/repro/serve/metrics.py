@@ -85,6 +85,24 @@ class Counter(Metric):
         return [("", lv, v) for lv, v in sorted(self.values.items())]
 
 
+class FuncCounter(Metric):
+    """Counter whose labelled values are read from a callable at scrape
+    time (e.g. the chaos injector's per-site fault counts)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, label: str,
+                 fn: Callable[[], dict[str, float]]):
+        super().__init__(name, help, label)
+        self.fn = fn
+
+    def samples(self) -> list[tuple[str, str, float]]:
+        values = self.fn() or {}
+        if not values:
+            return [("", "", 0)]
+        return [("", lv, float(v)) for lv, v in sorted(values.items())]
+
+
 class Gauge(Metric):
     """Point-in-time value: set explicitly or computed at scrape time."""
 
@@ -155,6 +173,10 @@ class Registry:
     def gauge(self, name: str, help: str,
               fn: Callable[[], float] | None = None) -> Gauge:
         return self.add(Gauge(name, help, fn))
+
+    def func_counter(self, name: str, help: str, label: str,
+                     fn: Callable[[], dict[str, float]]) -> FuncCounter:
+        return self.add(FuncCounter(name, help, label, fn))
 
     def histogram(self, name: str, help: str,
                   buckets: tuple[float, ...] = DEFAULT_BUCKETS,

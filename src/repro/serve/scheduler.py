@@ -29,10 +29,10 @@ from __future__ import annotations
 
 import asyncio
 import json
-import time
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+from repro.chaos.clock import CLOCK
 from repro.errors import ConfigError
 from repro.serve.metrics import Registry
 from repro.sim.cache import RunCache, code_version_salt, spec_digest
@@ -175,6 +175,12 @@ class Scheduler:
         Request-to-plans mapping (overridable in tests / embeddings).
     retry_after:
         Seconds advertised in 503 ``Retry-After`` responses.
+    injector:
+        Optional :class:`~repro.chaos.FaultInjector` forwarded to every
+        job's :class:`Executor` (and surfaced on ``/metrics``).
+    clock:
+        Time source for job timing (:data:`repro.chaos.CLOCK` by
+        default; tests inject a :class:`~repro.chaos.FakeClock`).
     """
 
     def __init__(
@@ -186,6 +192,8 @@ class Scheduler:
         plans_for: Callable[..., list[tuple[str, Plan]]] = default_plans_for,
         retry_after: float = 1.0,
         registry: Registry | None = None,
+        injector=None,
+        clock=None,
     ):
         self.queue_depth = max(1, int(queue_depth))
         self.workers = max(1, int(workers))
@@ -193,6 +201,8 @@ class Scheduler:
         self.cache = cache
         self.plans_for = plans_for
         self.retry_after = retry_after
+        self.injector = injector
+        self.clock = clock if clock is not None else CLOCK
         self._salt = cache.salt if cache is not None else code_version_salt()
         self._queue: asyncio.Queue[Job] = asyncio.Queue(
             maxsize=self.queue_depth
@@ -229,6 +239,8 @@ class Scheduler:
             ("deduped", "Cells deduplicated within a batch."),
             ("pool_failures", "Worker-pool crashes survived."),
             ("retried_serial", "Cells recomputed serially after a crash."),
+            ("worker_crashes", "Individual worker crashes absorbed."),
+            ("cell_retries", "Backed-off cell retries after crashes."),
         ):
             registry.gauge(
                 f"repro_cells_{name}", help_text,
@@ -239,6 +251,27 @@ class Scheduler:
             "Run-cache hits / lookups since start (0 when idle).",
             fn=self._cache_hit_ratio,
         )
+        registry.gauge(
+            "repro_cache_corrupt_evictions",
+            "Corrupt/truncated cache entries quarantined and missed.",
+            fn=lambda: self.cache.corrupt_evictions if self.cache else 0,
+        )
+        registry.gauge(
+            "repro_cache_write_failures",
+            "Cache stores dropped because the disk write failed.",
+            fn=lambda: self.cache.write_failures if self.cache else 0,
+        )
+        if self.injector is not None:
+            registry.func_counter(
+                "repro_chaos_faults_total",
+                "Injected faults fired, by site.", label="site",
+                fn=self.injector.fired_by_site,
+            )
+            registry.func_counter(
+                "repro_chaos_recovered_total",
+                "Injected faults answered by a recovery action, by site.",
+                label="site", fn=self.injector.recovered_by_site,
+            )
 
     def _cache_hit_ratio(self) -> float:
         if self.cache is None:
@@ -354,20 +387,21 @@ class Scheduler:
             })
 
         executor = Executor(jobs=self.sim_jobs, cache=self.cache,
-                            progress=on_cell)
-        started = time.perf_counter()
+                            progress=on_cell, injector=self.injector,
+                            clock=self.clock)
+        started = self.clock.monotonic()
         try:
             body = await loop.run_in_executor(
                 None, self._compute, job, executor
             )
-            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            elapsed_ms = (self.clock.monotonic() - started) * 1000.0
             outcome = JobOutcome(
                 status="done", body=body, elapsed_ms=elapsed_ms,
                 stats=_stats_dict(executor.stats),
             )
             self.m_jobs.inc("done")
         except Exception as exc:  # noqa: BLE001 - jobs must not kill workers
-            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            elapsed_ms = (self.clock.monotonic() - started) * 1000.0
             message = f"{type(exc).__name__}: {exc}"
             outcome = JobOutcome(
                 status="failed", body=error_body(message),

@@ -22,9 +22,9 @@ from __future__ import annotations
 
 import asyncio
 import json
-import time
 from urllib.parse import parse_qs, urlsplit
 
+from repro.chaos.clock import CLOCK
 from repro.serve.metrics import Registry
 from repro.serve.scheduler import (
     BadRequest,
@@ -40,13 +40,15 @@ from repro.sim.cache import RunCache
 
 REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 500: "Internal Server Error",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 500: "Internal Server Error",
     503: "Service Unavailable",
 }
 
 #: Limits keeping a misbehaving client from holding memory or sockets.
 MAX_HEADER_LINE = 8192
 MAX_HEADERS = 64
+MAX_TARGET = 2048
 MAX_BODY = 1 << 20
 READ_TIMEOUT = 30.0
 
@@ -75,9 +77,18 @@ class ReproServer:
         cache: RunCache | None = None,
         plans_for=default_plans_for,
         retry_after: float = 1.0,
+        read_timeout: float = READ_TIMEOUT,
+        max_body: int = MAX_BODY,
+        injector=None,
+        clock=None,
     ):
         self.host = host
         self.port = port
+        self.read_timeout = read_timeout
+        self.max_body = max_body
+        self.injector = injector
+        self.clock = clock if clock is not None else CLOCK
+        self._conn_seq = 0
         self.registry = Registry()
         self.m_requests = self.registry.counter(
             "repro_requests_total", "HTTP requests by endpoint.",
@@ -91,12 +102,16 @@ class ReproServer:
             "repro_request_seconds",
             "Wall-clock request latency (connection accept to last byte).",
         )
+        self.m_dropped = self.registry.counter(
+            "repro_connections_dropped_total",
+            "Connections dropped before reading (injected accept faults).",
+        )
         self.scheduler = Scheduler(
             queue_depth=queue_depth, workers=workers, sim_jobs=sim_jobs,
             cache=cache, plans_for=plans_for, retry_after=retry_after,
-            registry=self.registry,
+            registry=self.registry, injector=injector, clock=self.clock,
         )
-        self.started = time.time()
+        self.started = self.clock.wall()
         self._server: asyncio.base_events.Server | None = None
 
     # -- lifecycle ----------------------------------------------------
@@ -149,25 +164,41 @@ class ReproServer:
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
-        started = time.perf_counter()
+        started = self.clock.monotonic()
+        conn_id = self._conn_seq
+        self._conn_seq += 1
         try:
+            if self.injector is not None:
+                record = self.injector.fire("serve.accept", f"conn{conn_id}")
+                if record is not None:
+                    # Drop the connection before reading a byte — the
+                    # client retries; the server must degrade cleanly,
+                    # never crash or leak the socket.
+                    self.m_dropped.inc()
+                    self.injector.recover(record, "dropped_for_retry")
+                    return
             try:
                 method, target, headers, body = await self._read_request(
-                    reader
+                    reader, conn_id
                 )
             except _HttpError as exc:
                 await self._respond_json(
                     writer, exc.status, {"error": exc.message}
                 )
                 return
-            except (asyncio.IncompleteReadError, asyncio.TimeoutError,
-                    ConnectionError):
+            except asyncio.TimeoutError:
+                # A stalled client gets a definite answer, not a hang.
+                await self._respond_json(
+                    writer, 408, {"error": "request read timed out"}
+                )
+                return
+            except (asyncio.IncompleteReadError, ConnectionError):
                 return  # client went away mid-request
             await self._dispatch(writer, method, target, headers, body)
         except ConnectionError:  # pragma: no cover - client reset mid-write
             pass
         finally:
-            self.m_latency.observe(time.perf_counter() - started)
+            self.m_latency.observe(self.clock.monotonic() - started)
             try:
                 if writer.can_write_eof():
                     writer.write_eof()
@@ -179,9 +210,10 @@ class ReproServer:
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
 
-    async def _read_request(self, reader: asyncio.StreamReader):
-        line = await asyncio.wait_for(
-            reader.readline(), timeout=READ_TIMEOUT
+    async def _read_request(self, reader: asyncio.StreamReader,
+                            conn_id: int = 0):
+        line = await self.clock.wait_for(
+            reader.readline(), self.read_timeout
         )
         if not line:
             raise asyncio.IncompleteReadError(b"", None)
@@ -191,10 +223,12 @@ class ReproServer:
         if len(parts) != 3 or not parts[2].startswith("HTTP/1"):
             raise _HttpError(400, "malformed request line")
         method, target, _version = parts
+        if len(target) > MAX_TARGET:
+            raise _HttpError(400, "request target too long")
         headers: dict[str, str] = {}
         while True:
-            line = await asyncio.wait_for(
-                reader.readline(), timeout=READ_TIMEOUT
+            line = await self.clock.wait_for(
+                reader.readline(), self.read_timeout
             )
             if line in (b"\r\n", b"\n", b""):
                 break
@@ -209,10 +243,21 @@ class ReproServer:
                 length = int(headers["content-length"])
             except ValueError:
                 raise _HttpError(400, "bad Content-Length") from None
-            if length > MAX_BODY:
-                raise _HttpError(400, f"body exceeds {MAX_BODY} bytes")
-            body = await asyncio.wait_for(
-                reader.readexactly(length), timeout=READ_TIMEOUT
+            if length < 0:
+                raise _HttpError(400, "bad Content-Length")
+            if length > self.max_body:
+                raise _HttpError(
+                    413, f"body exceeds {self.max_body} bytes"
+                )
+            if self.injector is not None:
+                record = self.injector.fire("serve.body", f"conn{conn_id}")
+                if record is not None:
+                    # Model a body that never finishes arriving: the
+                    # guard answers 408 instead of holding the socket.
+                    self.injector.recover(record, "timeout_408")
+                    raise asyncio.TimeoutError("injected body stall")
+            body = await self.clock.wait_for(
+                reader.readexactly(length), self.read_timeout
             )
         return method, target, headers, body
 
@@ -224,7 +269,7 @@ class ReproServer:
         if path == "/healthz" and method == "GET":
             await self._respond_json(writer, 200, {
                 "status": "ok",
-                "uptime_seconds": round(time.time() - self.started, 3),
+                "uptime_seconds": round(self.clock.wall() - self.started, 3),
                 "queue_depth": self.scheduler._queue.qsize(),
                 "inflight": len(self.scheduler._inflight),
             })
@@ -364,12 +409,22 @@ def _head(status: int, headers: list[tuple[str, str]]) -> bytes:
 
 def build_server(args) -> ReproServer:
     """Construct a server from parsed ``repro serve`` CLI args."""
+    injector = None
+    plan_spec = getattr(args, "chaos_plan", None)
+    if plan_spec:
+        from repro.chaos import FaultInjector, FaultPlan
+
+        injector = FaultInjector(FaultPlan.parse(
+            plan_spec, seed=getattr(args, "chaos_seed", 0) or 0
+        ))
     cache = None
     if not getattr(args, "no_cache", False):
-        cache = RunCache(getattr(args, "cache_dir", None))
+        cache = RunCache(getattr(args, "cache_dir", None),
+                         injector=injector)
     return ReproServer(
         host=args.host, port=args.port,
         queue_depth=args.queue_depth, workers=args.workers,
         sim_jobs=args.jobs, cache=cache,
         retry_after=args.retry_after,
+        injector=injector,
     )

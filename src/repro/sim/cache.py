@@ -22,7 +22,15 @@ The cache key is ``sha256(code_salt + canonical-JSON(spec))``:
 Entries are pickled result objects stored under
 ``<root>/<key[:2]>/<key>.pkl`` with atomic rename, so concurrent
 writers (parallel suite runs) can share one cache directory safely.
-Unreadable or truncated entries count as misses and are overwritten.
+
+Corrupted, truncated or otherwise unreadable entries are treated as
+misses, **quarantined** (moved to ``<root>/quarantine/<key>.bad`` so
+they can never be served again but stay inspectable) and counted in
+``corrupt_evictions``; failed writes degrade to "not cached" and are
+counted in ``write_failures`` instead of failing the run.  Both paths
+double as chaos injection sites (``cache.read`` corrupts the entry on
+disk before the read so the real quarantine machinery runs;
+``cache.write`` drops the store) — see :mod:`repro.chaos`.
 """
 
 from __future__ import annotations
@@ -126,32 +134,89 @@ class RunCache:
         Code-version salt mixed into every key; defaults to
         :func:`code_version_salt`.  Tests inject fixed salts to model
         code edits without editing code.
+    injector:
+        Optional :class:`~repro.chaos.FaultInjector` driving the
+        ``cache.read`` / ``cache.write`` fault sites; ``None`` (the
+        default) leaves the hot path untouched.
     """
 
-    def __init__(self, root: str | Path | None = None, salt: str | None = None):
+    #: Errors that mean "the entry exists but cannot be deserialized".
+    CORRUPTION_ERRORS = (
+        OSError, pickle.UnpicklingError, EOFError, AttributeError,
+        ImportError, IndexError, ValueError, TypeError,
+        UnicodeDecodeError,
+    )
+
+    def __init__(self, root: str | Path | None = None, salt: str | None = None,
+                 injector=None):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.salt = code_version_salt() if salt is None else salt
+        self.injector = injector
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt_evictions = 0
+        self.write_failures = 0
 
     def path_for(self, key: str) -> Path:
         """Where a key's entry lives (two-level fan-out like git)."""
         return self.root / key[:2] / f"{key}.pkl"
+
+    def quarantine_path_for(self, key: str) -> Path:
+        """Where a corrupt entry is parked (``.bad`` so no glob serves it)."""
+        return self.root / "quarantine" / f"{key}.bad"
+
+    def _quarantine(self, key: str, path: Path) -> None:
+        """Evict a corrupt entry: move it aside, or delete it."""
+        self.corrupt_evictions += 1
+        target = self.quarantine_path_for(key)
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - nothing more we can do
+                pass
 
     def get(self, key: str) -> Any:
         """The cached result for ``key``, or :data:`MISS`.
 
         A hit refreshes the entry's mtime, so :meth:`prune`'s
         oldest-first eviction is least-*recently-used*, not
-        least-recently-written.
+        least-recently-written.  An entry that exists but cannot be
+        read back (corrupt, truncated, wrong permissions) is
+        quarantined and reported as a miss — a bad file must never
+        raise out of the cache layer or be served twice.
         """
         path = self.path_for(key)
+        if self.injector is not None:
+            record = self.injector.fire("cache.read", key)
+            if record is not None:
+                if path.exists():
+                    # Garble the real entry so the genuine corruption
+                    # handling below (quarantine + miss) is exercised.
+                    try:
+                        path.write_bytes(b"\x80\x04chaos-corrupted")
+                    except OSError:
+                        pass
+                    self.injector.recover(record, "quarantined")
+                else:
+                    self.injector.recover(record, "already_miss")
         try:
-            with path.open("rb") as fh:
+            fh = path.open("rb")
+        except FileNotFoundError:
+            self.misses += 1
+            return MISS
+        except OSError:
+            self._quarantine(key, path)
+            self.misses += 1
+            return MISS
+        try:
+            with fh:
                 value = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
+        except self.CORRUPTION_ERRORS:
+            self._quarantine(key, path)
             self.misses += 1
             return MISS
         try:
@@ -162,14 +227,37 @@ class RunCache:
         return value
 
     def put(self, key: str, value: Any) -> None:
-        """Store a result under ``key`` (atomic; last writer wins)."""
+        """Store a result under ``key`` (atomic; last writer wins).
+
+        A failed disk write (full disk, permissions, injected
+        ``cache.write`` fault) degrades to "not cached" — counted in
+        ``write_failures`` — because a cache must never turn a
+        computed result into an error.
+        """
+        if self.injector is not None:
+            record = self.injector.fire("cache.write", key)
+            if record is not None:
+                self.write_failures += 1
+                self.injector.recover(record, "dropped_write")
+                return
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        except OSError:
+            self.write_failures += 1
+            return
         try:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
+        except OSError:
+            self.write_failures += 1
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -200,12 +288,20 @@ class RunCache:
         """Size and age summary of the on-disk store (JSON-ready)."""
         entries = self._entries()
         total = sum(size for _, _, size in entries)
+        quarantine = self.root / "quarantine"
+        quarantined = (
+            sum(1 for _ in quarantine.glob("*.bad"))
+            if quarantine.exists() else 0
+        )
         return {
             "root": str(self.root),
             "entries": len(entries),
             "total_bytes": total,
             "oldest_mtime": entries[0][1] if entries else None,
             "newest_mtime": entries[-1][1] if entries else None,
+            "corrupt_evictions": self.corrupt_evictions,
+            "write_failures": self.write_failures,
+            "quarantined": quarantined,
         }
 
     def prune(self, max_bytes: int) -> dict:

@@ -20,19 +20,29 @@ values (primitives, tuples, dataclasses), which makes it:
 The :class:`Executor` runs a batch of cells serially (``jobs=1``,
 in-process) or through a ``ProcessPoolExecutor`` fan-out, consulting an
 optional :class:`~repro.sim.cache.RunCache` before computing and
-storing every fresh result after.
+storing every fresh result after.  Worker crashes — real
+``BrokenProcessPool`` breakage or faults injected through
+:mod:`repro.chaos` — are absorbed by bounded retry-with-backoff;
+because cells are pure, the retried results are byte-identical to an
+undisturbed run.
 """
 
 from __future__ import annotations
 
+import hashlib
 import importlib
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from repro.chaos.clock import CLOCK
 from repro.errors import ConfigError
 from repro.sim.cache import MISS, RunCache, spec_digest
+
+
+class WorkerCrashLoop(RuntimeError):
+    """A cell's worker kept crashing past the retry budget."""
 
 
 @dataclass(frozen=True)
@@ -99,7 +109,9 @@ class ExecutorStats:
     crashed hard — OOM killer, segfault, ``os._exit``); the cells the
     pool never delivered are recomputed serially in-process and counted
     in ``retried_serial``, so one crashed worker degrades throughput
-    instead of failing the batch.
+    instead of failing the batch.  ``worker_crashes`` counts individual
+    lost-cell crashes (real or injected) and ``cell_retries`` the
+    backed-off retries that answered them.
     """
 
     submitted: int = 0
@@ -108,6 +120,8 @@ class ExecutorStats:
     deduped: int = 0
     pool_failures: int = 0
     retried_serial: int = 0
+    worker_crashes: int = 0
+    cell_retries: int = 0
 
     def merge(self, other: "ExecutorStats") -> None:
         self.submitted += other.submitted
@@ -116,6 +130,8 @@ class ExecutorStats:
         self.deduped += other.deduped
         self.pool_failures += other.pool_failures
         self.retried_serial += other.retried_serial
+        self.worker_crashes += other.worker_crashes
+        self.cell_retries += other.cell_retries
 
 
 class Executor:
@@ -137,13 +153,32 @@ class Executor:
         thread as futures complete (not in cell-key order); the serving
         layer uses it to stream per-cell progress.  Deduplicated twin
         cells do not fire.
+    injector:
+        Optional :class:`~repro.chaos.FaultInjector` driving the
+        ``pool.submit`` / ``pool.worker`` / ``clock`` fault sites.
+        Decisions are keyed by cell content address, so the same seed
+        crashes the same cells whatever the fan-out width or harvest
+        order.
+    clock:
+        Time source for retry backoff (:data:`repro.chaos.CLOCK` by
+        default; tests inject a fake).
+    max_attempts:
+        Retry budget per cell for worker crashes (first try included).
+    backoff_base:
+        First retry delay in seconds; doubles per further attempt.
     """
 
     def __init__(self, jobs: int = 1, cache: RunCache | None = None,
-                 progress: Callable[[str, Cell], None] | None = None):
+                 progress: Callable[[str, Cell], None] | None = None,
+                 injector=None, clock=None, max_attempts: int = 4,
+                 backoff_base: float = 0.05):
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.progress = progress
+        self.injector = injector
+        self.clock = clock if clock is not None else CLOCK
+        self.max_attempts = max(1, int(max_attempts))
+        self.backoff_base = backoff_base
         self.stats = ExecutorStats()
         self._salt = cache.salt if cache is not None else ""
 
@@ -182,7 +217,7 @@ class Executor:
             if self.jobs == 1 or len(pending) == 1:
                 computed = []
                 for key, c in pending:
-                    computed.append((key, execute_cell(c)))
+                    computed.append((key, self._attempt_cell(key, c)))
                     self._notify("computed", c)
             else:
                 computed = self._run_pool(pending)
@@ -194,17 +229,79 @@ class Executor:
 
         return [results[key] for key in keys]
 
+    # -- crash recovery -----------------------------------------------
+
+    def _backoff(self, attempt: int, token: str) -> None:
+        """Exponential backoff before a retry (``clock`` fault site).
+
+        An injected clock fault models the monotonic clock jumping past
+        the backoff deadline (suspend/resume, NTP step): the retry must
+        proceed correctly without the real wait.
+        """
+        delay = self.backoff_base * (2 ** (attempt - 1))
+        if self.injector is not None:
+            record = self.injector.fire("clock", token)
+            if record is not None:
+                self.injector.recover(record, "jump_absorbed")
+                return
+        self.clock.sleep_sync(delay)
+
+    def _attempt_cell(self, key: str, c: Cell, value: Any = MISS) -> Any:
+        """Obtain one cell's result, surviving (injected) worker crashes.
+
+        ``value`` carries an already-computed result from the pool path;
+        :data:`MISS` means "compute here".  Each attempt may be lost to
+        a ``pool.worker`` fault — the attempt's result is discarded as
+        if the worker died before delivering — and is retried after
+        backoff, up to ``max_attempts``.  Cells are pure functions of
+        their spec, so a retried attempt reproduces the identical
+        result.
+        """
+        for attempt in range(self.max_attempts):
+            record = (self.injector.fire("pool.worker", f"{key}#a{attempt}")
+                      if self.injector is not None else None)
+            if record is None:
+                return execute_cell(c) if value is MISS else value
+            value = MISS  # the crashed worker's result is lost
+            self.stats.worker_crashes += 1
+            if attempt + 1 >= self.max_attempts:
+                raise WorkerCrashLoop(
+                    f"cell {c.label()} lost {self.max_attempts} worker "
+                    f"attempt(s); giving up"
+                )
+            self.stats.cell_retries += 1
+            self.injector.recover(record, f"retry_{attempt + 1}")
+            self._backoff(attempt + 1, f"{key}#b{attempt}")
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def _run_pool(self, pending: list[tuple[str, Cell]]) -> list[tuple[str, Any]]:
-        """Fan ``pending`` out over worker processes; survive a crash.
+        """Fan ``pending`` out over worker processes; survive crashes.
 
         A worker dying hard (OOM kill, segfault) raises
         ``BrokenProcessPool`` for every undelivered future; those cells
-        are retried once serially in-process so the batch still
-        completes.  Cell exceptions (the function itself raising)
-        propagate unchanged, as before.
+        are retried serially in-process so the batch still completes.
+        An injected ``pool.submit`` fault breaks the whole pool the
+        same way; injected ``pool.worker`` faults lose single cells at
+        harvest time and go through the bounded backoff retry.  Cell
+        exceptions (the function itself raising) propagate unchanged,
+        as before.
         """
+        if self.injector is not None:
+            batch_token = hashlib.sha256(
+                "|".join(key for key, _ in pending).encode()
+            ).hexdigest()[:16]
+            record = self.injector.fire("pool.submit", batch_token)
+            if record is not None:
+                self.stats.pool_failures += 1
+                computed = []
+                for key, c in pending:
+                    computed.append((key, self._attempt_cell(key, c)))
+                    self.stats.retried_serial += 1
+                    self._notify("computed", c)
+                self.injector.recover(record, "serial_retry")
+                return computed
         workers = min(self.jobs, len(pending))
-        computed: dict[str, Any] = {}
+        harvested: dict[str, Any] = {}
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
@@ -212,16 +309,16 @@ class Executor:
                 }
                 for fut in as_completed(futures):
                     key, c = futures[fut]
-                    computed[key] = fut.result()
+                    harvested[key] = self._attempt_cell(key, c, fut.result())
                     self._notify("computed", c)
         except BrokenProcessPool:
             self.stats.pool_failures += 1
             for key, c in pending:
-                if key not in computed:
-                    computed[key] = execute_cell(c)
+                if key not in harvested:
+                    harvested[key] = self._attempt_cell(key, c)
                     self.stats.retried_serial += 1
                     self._notify("computed", c)
-        return [(key, computed[key]) for key, c in pending]
+        return [(key, harvested[key]) for key, c in pending]
 
 
 def execute(cells: Sequence[Cell], executor: Executor | None = None) -> list[Any]:

@@ -1,0 +1,1 @@
+"""Chaos suite: fault plans, injected failures, determinism-under-fault."""

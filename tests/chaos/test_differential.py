@@ -1,0 +1,91 @@
+"""Differential chaos: faults may cost retries, never change bytes.
+
+Runs the same cell grid clean and under ``FaultPlan.uniform(0.2)``
+across several seeds, through one shared cache directory, and asserts
+the canonical JSON of the results is byte-identical every time, with
+zero unhandled exceptions and every fired fault recovered.
+"""
+
+import json
+
+from repro.chaos import FaultInjector, FaultPlan
+from repro.sim.cache import RunCache
+from repro.sim.jobs import Executor, Plan, cell, run_plans
+
+MIX = "tests.chaos.test_differential:_mix"
+
+#: Sites a single-process executor grid actually passes through.
+GRID_SITES = ("cache.read", "cache.write", "pool.submit", "pool.worker",
+              "clock")
+
+
+def _mix(*, a, b):
+    # Non-trivial but pure: floats exercise exact byte comparison.
+    return {"sum": a + b, "ratio": a / b, "tag": f"{a}/{b}"}
+
+
+def grid_plans():
+    return [
+        Plan([cell(MIX, a=a, b=b) for b in (2, 3, 5)],
+             assemble=lambda rs: list(rs))
+        for a in (1, 4, 9, 16)
+    ]
+
+
+def canonical(results) -> bytes:
+    return json.dumps(results, sort_keys=True,
+                      separators=(",", ":")).encode()
+
+
+def run_grid(cache_dir, injector=None, jobs=1):
+    cache = RunCache(cache_dir, salt="diff", injector=injector)
+    executor = Executor(jobs=jobs, cache=cache, injector=injector,
+                        max_attempts=8, backoff_base=0.001)
+    return canonical(run_plans(grid_plans(), executor))
+
+
+class TestDifferentialChaos:
+    def test_chaos_results_are_byte_identical_to_clean(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        clean = run_grid(cache_dir)          # cold: populates the cache
+        assert run_grid(cache_dir) == clean  # warm clean
+
+        total_fired = 0
+        for seed in (0, 1, 2):
+            injector = FaultInjector(
+                FaultPlan.uniform(0.2, seed=seed, sites=GRID_SITES)
+            )
+            assert run_grid(cache_dir, injector) == clean, f"seed {seed}"
+            assert injector.unrecovered() == [], f"seed {seed}"
+            total_fired += len(injector.records)
+            # Repair dropped writes so every seed starts warm.
+            run_grid(cache_dir)
+        # 0.2 across five sites and 12 cells: some seed must fire.
+        assert total_fired > 0
+
+    def test_chaos_through_the_pool_is_still_identical(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        clean = run_grid(cache_dir)
+        injector = FaultInjector(
+            FaultPlan.uniform(0.2, seed=3, sites=GRID_SITES)
+        )
+        assert run_grid(cache_dir, injector, jobs=2) == clean
+        assert injector.unrecovered() == []
+
+    def test_same_seed_same_trace_different_seed_different_faults(
+            self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_grid(cache_dir)
+
+        def trace_for(seed):
+            injector = FaultInjector(
+                FaultPlan.uniform(0.2, seed=seed, sites=GRID_SITES)
+            )
+            run_grid(cache_dir, injector)
+            run_grid(cache_dir)  # repair
+            return sorted((r.site, r.token, r.recovered)
+                          for r in injector.records)
+
+        seeds = {seed: trace_for(seed) for seed in (7, 8)}
+        assert trace_for(7) == seeds[7]          # reproducible
+        assert seeds[7] != seeds[8]              # seed actually matters

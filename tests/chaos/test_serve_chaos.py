@@ -1,0 +1,101 @@
+"""Serve-layer fault injection over real sockets: dropped accepts,
+stalled bodies, and the chaos counters surfaced on ``/metrics``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.chaos import FaultInjector, FaultPlan
+from repro.serve.client import ServeError
+from tests.serve.test_server import run
+
+
+def _seed_where(site, p, fired, clean, limit=1000):
+    """A seed whose hash decisions fire exactly on ``fired`` tokens.
+
+    Searching is deterministic — the decisions are pure functions of
+    the seed — so the test pins real behaviour, not luck.
+    """
+    for seed in range(limit):
+        injector = FaultInjector(FaultPlan(((site, p),), seed=seed))
+        if all(injector.decide(site, t) for t in fired) and \
+                not any(injector.decide(site, t) for t in clean):
+            return seed
+    raise AssertionError(f"no seed under {limit} fires exactly {fired}")
+
+
+class TestAcceptFaults:
+    def test_dropped_connection_is_retried_to_success(self):
+        # conn0 (the first request) is dropped; conn1 (the retry) and
+        # conn2 (the metrics scrape) get through.
+        seed = _seed_where("serve.accept", 0.5,
+                           fired=["conn0"],
+                           clean=["conn1", "conn2", "conn3"])
+        injector = FaultInjector(
+            FaultPlan((("serve.accept", 0.5),), seed=seed)
+        )
+
+        async def body(server, client):
+            resp = await asyncio.to_thread(
+                client.run_with_retries, "toy", "quick", {"xs": [4]}
+            )
+            assert resp.status == 200
+            assert resp.json["results"]["toy"]["values"] == [16]
+            [record] = injector.records
+            assert record.site == "serve.accept"
+            assert record.token == "conn0"
+            assert record.recovered == "dropped_for_retry"
+            metrics = await asyncio.to_thread(client.metrics_text)
+            assert "repro_connections_dropped_total 1" in metrics
+            assert ('repro_chaos_faults_total{site="serve.accept"} 1'
+                    in metrics)
+            assert ('repro_chaos_recovered_total{site="serve.accept"} 1'
+                    in metrics)
+
+        run(body, injector=injector)
+
+
+class TestBodyFaults:
+    def test_stalled_body_answers_408_and_retries_give_up_cleanly(self):
+        injector = FaultInjector(FaultPlan((("serve.body", 1.0),)))
+
+        async def body(server, client):
+            resp = await asyncio.to_thread(
+                client.run, "toy", "quick", {"xs": [2]}
+            )
+            assert resp.status == 408
+            assert "timed out" in resp.json["error"]
+            # A bounded retrier gets a definite error, never a hang.
+            with pytest.raises(ServeError, match="gave up after 2"):
+                await asyncio.to_thread(
+                    lambda: client.run_with_retries(
+                        "toy", attempts=2, backoff=0.001
+                    )
+                )
+            # GETs carry no body, so the fault site stays clear and the
+            # server keeps answering health and metrics.
+            health = await asyncio.to_thread(client.healthz)
+            assert health["status"] == "ok"
+            metrics = await asyncio.to_thread(client.metrics_text)
+            assert 'repro_responses_total{code="408"} 3' in metrics
+            assert ('repro_chaos_faults_total{site="serve.body"} 3'
+                    in metrics)
+            assert all(r.recovered == "timeout_408"
+                       for r in injector.records)
+
+        run(body, injector=injector)
+
+
+class TestChaosMetricsSurface:
+    def test_hardening_gauges_render_without_an_injector(self):
+        async def body(server, client):
+            metrics = await asyncio.to_thread(client.metrics_text)
+            assert "repro_cells_worker_crashes 0" in metrics
+            assert "repro_cells_cell_retries 0" in metrics
+            assert "repro_cache_corrupt_evictions 0" in metrics
+            assert "repro_cache_write_failures 0" in metrics
+            # No injector: the chaos counters are absent entirely.
+            assert "repro_chaos_faults_total" not in metrics
+
+        run(body)

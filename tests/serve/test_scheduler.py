@@ -7,7 +7,6 @@ noise (the server tests cover the wire).
 
 import asyncio
 import json
-import time
 from dataclasses import dataclass
 
 import pytest
@@ -22,9 +21,7 @@ from repro.serve.scheduler import (
 from repro.sim.jobs import Plan, cell
 
 
-def _sq(*, x, delay=0.0):
-    if delay:
-        time.sleep(delay)
+def _sq(*, x):
     return x * x
 
 
@@ -48,10 +45,8 @@ def toy_plans_for(experiment, scale_name, params):
     """A one-plan registry: params pick the cells."""
     params = params or {}
     xs = params.get("xs", (1, 2))
-    delay = params.get("delay", 0.0)
     fn = BOOM if params.get("boom") else SQ
-    cells = [cell(fn, x=x, delay=delay) if fn == SQ else cell(fn, x=x)
-             for x in xs]
+    cells = [cell(fn, x=x) for x in xs]
     return [(experiment, Plan(cells, assemble=lambda rs: ToyResult(tuple(rs))))]
 
 

@@ -6,10 +6,17 @@ Each test boots a :class:`ReproServer` on an ephemeral port inside
 HTTP-parse -> schedule -> coalesce -> respond path is exercised,
 including the NDJSON stream framing.  Toy plans keep the simulator out
 of the loop; one registry test checks the real plan mapping.
+
+No real-time choreography: tests that need a job to stay in flight
+park its cell on a named :func:`threading.Event` **gate** and open it
+once the scheduler state they are arranging (coalesced joiners, a full
+queue) has been observed via :func:`eventually` — nothing sleeps for a
+tuned duration, so the suite cannot flake on a slow machine.
 """
 
 import asyncio
 import json
+import threading
 import time
 from dataclasses import dataclass
 
@@ -17,14 +24,32 @@ from repro.serve.client import ServeClient
 from repro.serve.server import ReproServer
 from repro.sim.jobs import Plan, cell
 
+#: Named gates cells can block on (same process: the scheduler runs
+#: cells on a thread pool, so the test coroutine can open them).
+_GATES: dict[str, threading.Event] = {}
 
-def _sq(*, x, delay=0.0):
-    if delay:
-        time.sleep(delay)
+
+def _gate(name: str) -> threading.Event:
+    return _GATES.setdefault(name, threading.Event())
+
+
+def _sq(*, x, gate=""):
+    if gate and not _gate(gate).wait(timeout=30):
+        raise TimeoutError(f"gate {gate!r} never opened")
     return x * x
 
 
 SQ = "tests.serve.test_server:_sq"
+
+
+async def eventually(cond, timeout=10.0, message="condition"):
+    """Poll ``cond()`` until true (cheap in-process checks only)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if cond():
+            return
+        await asyncio.sleep(0.01)
+    raise AssertionError(f"{message} not reached within {timeout}s")
 
 
 @dataclass
@@ -38,9 +63,9 @@ class ToyResult:
 def toy_plans_for(experiment, scale_name, params):
     params = params or {}
     xs = tuple(params.get("xs", (1, 2)))
-    delay = params.get("delay", 0.0)
+    gate = params.get("gate", "")
     return [(experiment, Plan(
-        [cell(SQ, x=x, delay=delay) for x in xs],
+        [cell(SQ, x=x, gate=gate) for x in xs],
         assemble=lambda rs: ToyResult(tuple(rs)),
     ))]
 
@@ -160,11 +185,21 @@ class TestRun:
 class TestCoalescingOverHttp:
     def test_concurrent_identical_requests_coalesce(self):
         async def body(server, client):
-            params = {"xs": [7], "delay": 0.4}
-            results = await asyncio.gather(*[
-                asyncio.to_thread(client.run, "toy", "quick", params)
+            params = {"xs": [7], "gate": "coalesce-http"}
+            tasks = [
+                asyncio.create_task(asyncio.to_thread(
+                    client.run, "toy", "quick", params
+                ))
                 for _ in range(4)
-            ])
+            ]
+            # The job is parked on the gate; wait until the three late
+            # twins have joined it, then let it finish.
+            await eventually(
+                lambda: server.scheduler.m_coalesced.total() == 3,
+                message="3 coalesced joiners",
+            )
+            _gate("coalesce-http").set()
+            results = await asyncio.gather(*tasks)
             assert [r.status for r in results] == [200] * 4
             assert len({r.body for r in results}) == 1
             assert sorted(r.coalesced for r in results) == [
@@ -181,21 +216,32 @@ class TestCoalescingOverHttp:
 class TestAdmissionOverHttp:
     def test_queue_full_503_with_retry_after(self):
         async def body(server, client):
-            slow = {"xs": [1], "delay": 0.8}
             running = asyncio.create_task(asyncio.to_thread(
-                client.run, "toy", "quick", slow
+                client.run, "toy", "quick",
+                {"xs": [1], "gate": "admission-http"},
             ))
-            await asyncio.sleep(0.3)  # worker is busy with the slow job
+            # The gated job occupies the single worker...
+            await eventually(
+                lambda: len(server.scheduler._inflight) == 1
+                and server.scheduler._queue.qsize() == 0,
+                message="worker busy with the gated job",
+            )
             queued = asyncio.create_task(asyncio.to_thread(
                 client.run, "toy", "quick", {"xs": [2]}
             ))
-            await asyncio.sleep(0.1)
+            # ...the next job fills the depth-1 queue...
+            await eventually(
+                lambda: server.scheduler._queue.qsize() == 1,
+                message="queue full",
+            )
+            # ...so a third is rejected immediately.
             rejected = await asyncio.to_thread(
                 client.run, "toy", "quick", {"xs": [3]}
             )
             assert rejected.status == 503
             assert rejected.headers["retry-after"] == "2.5"
             assert json.loads(rejected.body)["error"].startswith("queue full")
+            _gate("admission-http").set()
             assert (await running).status == 200
             assert (await queued).status == 200
             metrics = await asyncio.to_thread(client.metrics_text)
@@ -226,14 +272,23 @@ class TestStreaming:
 
     def test_stream_of_coalesced_request_replays_history(self):
         async def body(server, client):
-            slow = {"xs": [5], "delay": 0.5}
+            params = {"xs": [5], "gate": "stream-replay"}
             first = asyncio.create_task(asyncio.to_thread(
-                client.run, "toy", "quick", slow
+                client.run, "toy", "quick", params
             ))
-            await asyncio.sleep(0.2)
-            events = await asyncio.to_thread(
-                client.run_stream, "toy", "quick", slow
+            await eventually(
+                lambda: len(server.scheduler._inflight) == 1,
+                message="first request in flight",
             )
+            stream = asyncio.create_task(asyncio.to_thread(
+                client.run_stream, "toy", "quick", params
+            ))
+            await eventually(
+                lambda: server.scheduler.m_coalesced.total() == 1,
+                message="stream joined the in-flight job",
+            )
+            _gate("stream-replay").set()
+            events = await stream
             kinds = [e["event"] for e in events]
             assert kinds[0] == "queued"  # replayed from history
             assert kinds[-1] == "result"
