@@ -206,12 +206,36 @@ def _cmd_bench(args) -> int:
         return 2
     print(f"=== bench: engine A/B (scale={scale_name}, "
           f"workload={args.workload}) ===")
-    report = run_bench(scale_name, args.workload, args.trace_len)
+    report = run_bench(
+        scale_name, args.workload, args.trace_len, fault_steps=args.fault_steps
+    )
     out = write_report(report, args.out)
     fault = report["fault_path"]
+    if scale_name == "paper":
+        col = fault["columnar"]
+        print(f"fault path [paper/{fault['policy']}]: columnar "
+              f"{col['seconds']:.1f}s for {col['faults']:,} faults "
+              f"({col['faults_per_sec']:,.0f}/s)")
+        print(f"scalar projected: {fault['scalar_projected_seconds']:.0f}s, "
+              f"fast projected: {fault['fast_projected_seconds']:.0f}s "
+              f"(budget {fault['budget_seconds']:.0f}s)")
+        print(f"columnar in budget: {fault['columnar_in_budget']}, "
+              f"scalar in budget: {fault['scalar_in_budget']}")
+        print(f"fault-path speedup (projected scalar / columnar): "
+              f"{report['fault_speedup']}x")
+        print(f"[saved {out} in {report['wall_seconds']}s]")
+        if not fault["columnar_in_budget"]:
+            print("columnar paper-tier run blew the budget", file=sys.stderr)
+            return 1
+        if args.min_fault_speedup and report["fault_speedup"] < args.min_fault_speedup:
+            print(f"fault-path speedup {report['fault_speedup']}x below required "
+                  f"{args.min_fault_speedup}x", file=sys.stderr)
+            return 1
+        return 0
     for policy, row in fault["policies"].items():
         print(f"fault path [{policy:>6}]: scalar {row['scalar']['seconds']:.2f}s"
               f" -> fast {row['fast']['seconds']:.2f}s"
+              f" -> columnar {row['columnar']['seconds']:.2f}s"
               f" ({row['speedup']}x, identical={row['engines_identical']})")
     print(f"fault path aggregate: {report['fault_speedup']}x faults/sec")
     for name, row in report["replay"]["states"].items():
@@ -232,6 +256,10 @@ def _cmd_bench(args) -> int:
     if args.min_walk_speedup and report["walk_speedup"] < args.min_walk_speedup:
         print(f"walk-path speedup {report['walk_speedup']}x below required "
               f"{args.min_walk_speedup}x", file=sys.stderr)
+        return 1
+    if args.min_fault_speedup and report["fault_speedup"] < args.min_fault_speedup:
+        print(f"fault-path speedup {report['fault_speedup']}x below required "
+              f"{args.min_fault_speedup}x", file=sys.stderr)
         return 1
     return 0
 
@@ -261,6 +289,13 @@ def _cmd_bench_suite(args) -> int:
         print(f"{mode:>13}: {row['seconds']:.2f}s{extra} — "
               f"{s['computed']} computed, {s['cache_hits']} cached, "
               f"{s['deduped']} deduped of {s['submitted']}")
+    ser = report["serialize"]
+    print(f"serialize overhead: {ser['total_bytes']:,} bytes across "
+          f"{ser['cells_measured']} cells in {ser['total_seconds']:.3f}s "
+          f"({ser['share_of_cold'] * 100:.1f}% of the cold pass per pickling)")
+    for row in ser["top_cells"][:3]:
+        print(f"  heaviest: {row['cell']} — {row['bytes']:,} bytes "
+              f"({row['seconds'] * 1000:.1f} ms)")
     print(f"results identical across modes: {report['results_identical']}")
     out = write_report(report, args.out)
     print(f"[saved {out} in {report['wall_seconds']}s]")
@@ -444,7 +479,8 @@ def _cmd_cache_stats(args) -> int:
     print(f"entries:     {stats['entries']}")
     print(f"total bytes: {stats['total_bytes']:,}")
     if stats["quarantined"]:
-        print(f"quarantined: {stats['quarantined']}")
+        print(f"quarantined: {stats['quarantined']} "
+              f"({stats['quarantined_bytes']:,} bytes)")
     if stats["entries"]:
         age = time.time() - stats["oldest_mtime"]
         print(f"oldest entry age: {age / 3600:.1f}h")
@@ -524,8 +560,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_p.add_argument(
         "--scale", default=None,
-        help="bench scale: test/quick/default/big (default: "
-             "$REPRO_BENCH_SCALE or default)",
+        help="bench scale: test/quick/default/big/paper (default: "
+             "$REPRO_BENCH_SCALE or default); 'paper' runs the "
+             "face-value fault phase only (columnar full run + "
+             "reference-engine projections)",
     )
     bench_p.add_argument(
         "--workload", default="svm", help="workload to replay (default: svm)",
@@ -542,6 +580,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-walk-speedup", type=float, default=None, metavar="X",
         help="exit nonzero unless the walk-path phase beats the scalar "
              "engine by at least this factor (CI gate)",
+    )
+    bench_p.add_argument(
+        "--min-fault-speedup", type=float, default=None, metavar="X",
+        help="exit nonzero unless the fault phase's columnar engine "
+             "beats the scalar engine by at least this factor (CI gate)",
+    )
+    bench_p.add_argument(
+        "--fault-steps", type=int, default=None, metavar="N",
+        help="cap the fault phase at N allocation steps per engine "
+             "(CI smoke for the paper scale; default: all steps)",
     )
     bench_p.set_defaults(func=_cmd_bench)
 

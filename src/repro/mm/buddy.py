@@ -22,6 +22,8 @@ from __future__ import annotations
 import bisect
 from typing import Callable, Iterator
 
+import numpy as np
+
 from repro.errors import BuddyError, OutOfMemoryError
 from repro.mm.frame import FrameTable
 from repro.units import DEFAULT_MAX_ORDER, is_aligned, order_pages
@@ -273,6 +275,49 @@ class BuddyAllocator:
         self._remove(head, head_order)
         self._split_to(head, head_order, order, target=pfn)
         return True
+
+    def alloc_pages_bulk(self, n: int) -> np.ndarray:
+        """Allocate up to ``n`` order-0 pages in one batched operation.
+
+        Returns the allocated PFNs as an int64 array, possibly shorter
+        than ``n`` when the allocator runs dry (never raises).  The end
+        state is *bit-identical* to ``n`` sequential :meth:`alloc_block`
+        calls at order 0: sequential splitting hands out the pages of a
+        popped block consecutively from its head (each split's freed
+        right half is the LIFO top of its list), and the surviving tail
+        of a partially consumed block is the unique greedy buddy
+        decomposition of that tail from its low end.  Survivor orders
+        are strictly increasing, so at most one survivor lands in each
+        free list — the per-list LIFO order relative to pre-existing
+        blocks is preserved no matter the insertion sequence.  Survivors
+        are always below ``max_order``, so the only listener events are
+        the pop-side removals, exactly as in the sequential path.
+        """
+        out = np.empty(n, dtype=np.int64)
+        got = 0
+        while got < n:
+            for avail in range(self.max_order + 1):
+                if self._lists[avail]:
+                    break
+            else:
+                return out[:got]
+            head = self._lists[avail].pop()
+            self.frames.clear_head(head)
+            self._free_pages -= order_pages(avail)
+            if avail == self.max_order:
+                self._notify(head, False)
+            block_pages = order_pages(avail)
+            take = min(n - got, block_pages)
+            out[got : got + take] = np.arange(head, head + take, dtype=np.int64)
+            self.frames.mark_allocated_run(head, take)
+            got += take
+            rem, end = head + take, head + block_pages
+            while rem < end:
+                align = (rem & -rem).bit_length() - 1
+                order = min(align, (end - rem).bit_length() - 1)
+                self._insert(rem, order)
+                rem += order_pages(order)
+        return out
 
     def _split_to(self, head: int, order: int, want: int, target: int) -> int:
         """Split block ``(head, order)`` down to ``want``, keeping ``target``.

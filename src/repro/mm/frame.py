@@ -15,6 +15,12 @@ import numpy as np
 #: Sentinel stored in ``free_order`` for frames that do not head a free block.
 NOT_A_FREE_HEAD = -1
 
+#: Sentinel stored in ``owner`` for frames not mapped by any process.
+NO_OWNER = -1
+
+#: Sentinel stored in ``alloc_order`` for frames not heading an allocation.
+NOT_ALLOCATED = -1
+
 
 class FrameTable:
     """Array-of-struct-page metadata for a contiguous PFN range.
@@ -27,7 +33,10 @@ class FrameTable:
         Number of frames in the range.
     """
 
-    __slots__ = ("base_pfn", "n_pages", "free_order", "refcount", "mapcount")
+    __slots__ = (
+        "base_pfn", "n_pages", "free_order", "refcount", "mapcount",
+        "owner", "alloc_order",
+    )
 
     def __init__(self, base_pfn: int, n_pages: int):
         if n_pages <= 0:
@@ -40,6 +49,16 @@ class FrameTable:
         self.refcount = np.zeros(n_pages, dtype=np.int32)
         # struct page ->_mapcount: page-table mappings of the frame.
         self.mapcount = np.zeros(n_pages, dtype=np.int32)
+        # Pid of the last process to map the frame, or NO_OWNER.  Shared
+        # COW frames record the most recent mapper (last-writer-wins),
+        # which is what reclaim diagnostics want.
+        self.owner = np.full(n_pages, NO_OWNER, dtype=np.int32)
+        # Buddy order this frame's block was allocated at (recorded on
+        # every frame of the block), or NOT_ALLOCATED for free frames.
+        # Together with ``free_order`` this is the "flags" state column:
+        # free head / free body / allocated head+order are all readable
+        # with one vectorized compare.
+        self.alloc_order = np.full(n_pages, NOT_ALLOCATED, dtype=np.int8)
 
     @property
     def end_pfn(self) -> int:
@@ -69,17 +88,33 @@ class FrameTable:
         """Account a block of frames as handed out by the allocator."""
         i = self.index(pfn)
         self.refcount[i : i + n_pages] = 1
+        self.alloc_order[i : i + n_pages] = n_pages.bit_length() - 1
+
+    def mark_allocated_run(self, pfn: int, n_pages: int) -> None:
+        """Account ``n_pages`` *individual* order-0 allocations at once.
+
+        The bulk fault path hands out runs of consecutive frames that
+        are logically separate order-0 blocks; one slice write replaces
+        ``n_pages`` calls to :meth:`mark_allocated`.
+        """
+        i = self.index(pfn)
+        self.refcount[i : i + n_pages] = 1
+        self.alloc_order[i : i + n_pages] = 0
 
     def mark_free(self, pfn: int, n_pages: int) -> None:
         """Return a block of frames to the allocator."""
         i = self.index(pfn)
         self.refcount[i : i + n_pages] = 0
         self.mapcount[i : i + n_pages] = 0
+        self.owner[i : i + n_pages] = NO_OWNER
+        self.alloc_order[i : i + n_pages] = NOT_ALLOCATED
 
-    def map_block(self, pfn: int, n_pages: int) -> None:
+    def map_block(self, pfn: int, n_pages: int, owner: int | None = None) -> None:
         """Account page-table mappings covering ``n_pages`` frames."""
         i = self.index(pfn)
         self.mapcount[i : i + n_pages] += 1
+        if owner is not None:
+            self.owner[i : i + n_pages] = owner
 
     def unmap_block(self, pfn: int, n_pages: int) -> None:
         """Drop page-table mappings covering ``n_pages`` frames."""

@@ -11,6 +11,8 @@ from __future__ import annotations
 import random
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from repro.errors import ConfigError, OutOfMemoryError
 from repro.mm.zone import Zone
 from repro.units import DEFAULT_MAX_ORDER, order_pages  # noqa: F401
@@ -98,6 +100,27 @@ class PhysicalMemory:
         raise OutOfMemoryError(
             f"no node can satisfy an order-{order} allocation"
         )
+
+    def alloc_pages_bulk(self, n: int, preferred_node: int = 0):
+        """Allocate up to ``n`` order-0 pages, draining nodes in order.
+
+        Mirrors ``n`` calls to :meth:`alloc_block` at order 0: the
+        preferred node is consumed until dry, then the next node in the
+        fallback order, and so on.  Returns an int64 PFN array that may
+        be shorter than ``n`` when the whole machine runs out.
+        """
+        parts = []
+        remaining = n
+        for zone in self.iter_zones_from(preferred_node):
+            if remaining <= 0:
+                break
+            got = zone.alloc_pages_bulk(remaining)
+            if len(got):
+                parts.append(got)
+                remaining -= len(got)
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
 
     def alloc_target(self, pfn: int, order: int) -> bool:
         """Targeted allocation; routes to the owning zone."""

@@ -88,6 +88,10 @@ class Zone:
         """Allocate any block of the given order from this node."""
         return self.buddy.alloc_block(order)
 
+    def alloc_pages_bulk(self, n: int):
+        """Allocate up to ``n`` order-0 pages at once (may return short)."""
+        return self.buddy.alloc_pages_bulk(n)
+
     def alloc_target(self, pfn: int, order: int) -> bool:
         """Allocate the specific block at ``pfn`` if it is entirely free."""
         return self.buddy.alloc_target(pfn, order)

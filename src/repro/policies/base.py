@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.errors import OutOfMemoryError
 from repro.vm.address_space import AddressSpace
 from repro.vm.page_cache import CachedFile
@@ -19,6 +21,9 @@ from repro.vm.vma import Vma
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mm.physmem import PhysicalMemory
     from repro.sim.kernel import Kernel
+
+#: Shared "nothing claimed" return for :meth:`PlacementPolicy.on_fault_batch`.
+_EMPTY_PFNS = np.empty(0, dtype=np.int64)
 
 
 @dataclass
@@ -100,6 +105,39 @@ class PlacementPolicy:
     def allocate_file(self, file: CachedFile, index: int, n_pages: int) -> list[int]:
         """Place a page-cache readahead window; returns one PFN per page."""
         return [self._default_alloc(0, 0)[0] for _ in range(n_pages)]
+
+    def on_fault_batch(self, ctx: FaultContext, vpns) -> "np.ndarray":
+        """Batch-place order-0 faults for the columnar engine.
+
+        ``vpns`` is an ascending int64 array of unmapped base VPNs; the
+        policy may claim any *prefix* of it and must return the matching
+        int64 PFN array (``pfns[i]`` backs ``vpns[i]``).  Contract:
+
+        - never raise — on pressure or a placement miss, stop claiming
+          and return what was claimed so far (possibly empty); the
+          kernel re-drives unclaimed pages through :meth:`allocate`,
+          which owns the OOM / reclaim / miss-accounting semantics;
+        - claimed pages must be plain (non-placement) order-0 grants
+          with per-fault accounting already applied, exactly as ``len``
+          calls to :meth:`allocate` would have produced: the kernel
+          charges each the base non-placed fault latency;
+        - ``ctx.vpn`` equals ``vpns[0]`` and ``ctx.order`` is 0.
+
+        The default claims nothing, which routes every fault through
+        the scalar :meth:`allocate` path.
+        """
+        return _EMPTY_PFNS
+
+    def _bulk_alloc_accounted(self, n: int, preferred_node: int) -> "np.ndarray":
+        """Bulk order-0 grab with the same accounting as ``n`` plain
+        :meth:`allocate` calls (one allocation + one zeroed page each)."""
+        assert self.mem is not None, "policy not bound to a machine"
+        pfns = self.mem.alloc_pages_bulk(n, preferred_node)
+        got = len(pfns)
+        if got:
+            self.stats.allocations += got
+            self.stats.zeroed_pages_per_event.extend([1] * got)
+        return pfns
 
     # -- shared helpers -----------------------------------------------------------
 

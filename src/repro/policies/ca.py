@@ -32,8 +32,10 @@ the cost of turning away placements that would have fit.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.mm.contiguity_map import Cluster
-from repro.policies.base import FaultContext, PlacementPolicy
+from repro.policies.base import _EMPTY_PFNS, FaultContext, PlacementPolicy
 from repro.units import HUGE_ORDER, align_down, order_pages
 from repro.vm.page_cache import CachedFile
 
@@ -107,6 +109,41 @@ class CAPaging(PlacementPolicy):
                         return target, ctx.order
         self.stats.fallbacks += 1
         return self._default_alloc(ctx.order, ctx.preferred_node)
+
+    def on_fault_batch(self, ctx: FaultContext, vpns):
+        """Columnar engine: claim the streak of successful targeted grabs.
+
+        Targets are computed for the whole batch at once (nearest
+        recorded offset per fault, same first-minimum tie-break as
+        :meth:`Vma.pick_offset`), then claimed in order until the first
+        target that is out of range or occupied — that fault and the
+        rest of the batch go back through :meth:`allocate`, which owns
+        the miss accounting and the re-placement decision.
+        """
+        vma = ctx.vma
+        if not vma.offsets:
+            return _EMPTY_PFNS  # first fault: placement decision is scalar
+        assert self.mem is not None
+        fault_vpns = np.array([o.fault_vpn for o in vma.offsets], dtype=np.int64)
+        offs = np.array([o.offset for o in vma.offsets], dtype=np.int64)
+        picks = np.abs(vpns[:, None] - fault_vpns[None, :]).argmin(axis=1)
+        targets = vpns - offs[picks]
+        out = np.empty(len(vpns), dtype=np.int64)
+        got = 0
+        stats = self.stats
+        for target in targets.tolist():
+            if (
+                target < 0
+                or not self._target_in_range(target, 0)
+                or not self.mem.alloc_target(target, 0)
+            ):
+                break  # no accounting here: allocate() re-drives this fault
+            stats.allocations += 1
+            stats.targeted_hits += 1
+            self._note_zeroing(0)
+            out[got] = target
+            got += 1
+        return out[:got]
 
     # -- page-cache readahead -------------------------------------------------
 

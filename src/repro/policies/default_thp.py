@@ -19,3 +19,7 @@ class DefaultPaging(PlacementPolicy):
 
     def allocate(self, ctx: FaultContext) -> tuple[int, int]:
         return self._default_alloc(ctx.order, ctx.preferred_node)
+
+    def on_fault_batch(self, ctx: FaultContext, vpns):
+        """Columnar engine: one bulk buddy grab for the whole stretch."""
+        return self._bulk_alloc_accounted(len(vpns), ctx.preferred_node)

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.errors import OutOfMemoryError
 from repro.policies.base import FaultContext, PlacementPolicy
 from repro.units import HUGE_ORDER, HUGE_PAGES
@@ -53,6 +55,26 @@ class IngensPaging(PlacementPolicy):
         self._util[key] = self._util.get(key, 0) + 1
         return self._default_alloc(0, ctx.preferred_node)
 
+    def on_fault_batch(self, ctx: FaultContext, vpns):
+        """Columnar engine: bulk base-page grab + array-reduced util counts.
+
+        ``np.unique`` on the ascending VPN batch yields regions in
+        first-fault order, so ``_util``'s dict insertion order — which
+        the promotion pass observes — matches the scalar path exactly.
+        """
+        pfns = self._bulk_alloc_accounted(len(vpns), ctx.preferred_node)
+        got = len(pfns)
+        if got:
+            regions, counts = np.unique(
+                vpns[:got] - vpns[:got] % HUGE_PAGES, return_counts=True
+            )
+            space_id = id(ctx.space)
+            util = self._util
+            for region, count in zip(regions.tolist(), counts.tolist()):
+                key = (space_id, region)
+                util[key] = util.get(key, 0) + count
+        return pfns
+
     def tick(self, kernel: "Kernel") -> None:
         """Background promotion pass (called periodically by the kernel)."""
         need = int(self.util_threshold * HUGE_PAGES)
@@ -80,6 +102,11 @@ class IngensPaging(PlacementPolicy):
                 # covered pages replaces 512 per-page walks.
                 n_resident = process.space.runs.covered_pages(
                     region, region + HUGE_PAGES
+                )
+            elif kernel.engine == "columnar":
+                # Present-bitmap popcount over the region slice.
+                n_resident = process.space.region_resident_pages(
+                    vma, region, region + HUGE_PAGES
                 )
             else:
                 n_resident = len(self._resident_pages(process.space, region))

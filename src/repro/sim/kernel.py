@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
+import numpy as np
+
 from repro.errors import AddressSpaceError, ConfigError, MappingError, OutOfMemoryError
 from repro.mm.physmem import PhysicalMemory
 from repro.policies.base import FaultContext, PlacementPolicy
@@ -44,6 +46,90 @@ class FaultEvent:
     placed: bool
 
 
+class FaultLog:
+    """Run-length-encoded major-fault log.
+
+    The batched fault paths retire thousands of identical ``(pid,
+    order, latency, placed)`` events per call; storing one block per
+    maximal run keeps paper-scale logs (tens of millions of faults) in
+    O(distinct transitions) memory while reproducing the exact
+    per-event view on demand.
+    """
+
+    __slots__ = ("_pids", "_orders", "_lats", "_placed", "_counts", "_total")
+
+    def __init__(self) -> None:
+        self._pids: list[int] = []
+        self._orders: list[int] = []
+        self._lats: list[float] = []
+        self._placed: list[bool] = []
+        self._counts: list[int] = []
+        self._total = 0
+
+    def append(self, pid: int, order: int, latency_us: float, placed: bool) -> None:
+        """Record one fault event."""
+        self.append_run(pid, order, latency_us, placed, 1)
+
+    def append_run(self, pid: int, order: int, latency_us: float,
+                   placed: bool, count: int) -> None:
+        """Record ``count`` identical consecutive fault events."""
+        if count <= 0:
+            return
+        if (
+            self._counts
+            and self._pids[-1] == pid
+            and self._orders[-1] == order
+            and self._lats[-1] == latency_us
+            and self._placed[-1] == placed
+        ):
+            self._counts[-1] += count
+        else:
+            self._pids.append(pid)
+            self._orders.append(order)
+            self._lats.append(latency_us)
+            self._placed.append(placed)
+            self._counts.append(count)
+        self._total += count
+
+    def __len__(self) -> int:
+        return self._total
+
+    def events(self) -> "list[FaultEvent]":
+        """Materialized per-event view (small logs, tests, percentiles)."""
+        out: list[FaultEvent] = []
+        for pid, order, lat, placed, count in zip(
+            self._pids, self._orders, self._lats, self._placed, self._counts
+        ):
+            out.extend(FaultEvent(pid, order, lat, placed) for _ in range(count))
+        return out
+
+    def latencies_us(self) -> list[float]:
+        """Latency of every fault, in event order (materialized)."""
+        out: list[float] = []
+        for lat, count in zip(self._lats, self._counts):
+            out.extend([lat] * count)
+        return out
+
+    def latency_sum_us(self) -> float:
+        """Exact total latency without materializing the events.
+
+        Block sums match the sequential per-event sum bit-for-bit:
+        every modelled latency is a small multiple of 0.5 us, so both
+        summation orders stay exact in float64 far beyond any
+        reachable fault count.
+        """
+        return sum(c * lat for c, lat in zip(self._counts, self._lats))
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self._pids.clear()
+        self._orders.clear()
+        self._lats.clear()
+        self._placed.clear()
+        self._counts.clear()
+        self._total = 0
+
+
 @dataclass
 class FaultResult:
     """Outcome of a fault: what got mapped."""
@@ -67,26 +153,33 @@ class Kernel:
         tick_every_faults: int = 256,
         engine: str = "fast",
     ):
-        if engine not in ("fast", "scalar"):
+        if engine not in ("fast", "scalar", "columnar"):
             raise ConfigError(f"unknown kernel engine {engine!r}")
         self.mem = mem
         self.policy = policy
         policy.bind(mem)
         policy.oom_reclaim = self.reclaim_pages
         self.thp = thp
-        #: ``"fast"`` routes batched implementations of the hot paths
-        #: (span faulting, leaf-order fork, region-batched promotion);
-        #: ``"scalar"`` routes the reference page-at-a-time paths.  The
-        #: observable state and counters are identical; the bench
-        #: harness A/Bs the two engines.
+        #: ``"columnar"`` routes whole-span batched fault paths over
+        #: structure-of-arrays state (bulk buddy pops, per-VMA columns,
+        #: policy ``on_fault_batch`` hooks); ``"fast"`` routes the
+        #: leaf-at-a-time batched hot paths (span faulting, leaf-order
+        #: fork, region-batched promotion); ``"scalar"`` routes the
+        #: reference page-at-a-time paths.  The observable state and
+        #: counters are identical; the bench harness A/Bs the engines.
         self.engine = engine
+        #: True when the bound policy overrides ``on_fault_batch`` (the
+        #: columnar span path then claims whole order-0 batches).
+        self._policy_batches = (
+            type(policy).on_fault_batch is not PlacementPolicy.on_fault_batch
+        )
         self.contig_threshold = contig_threshold
         self.tick_every_faults = tick_every_faults
         self.page_cache = PageCache()
         self._processes: dict[int, Process] = {}
         self._next_pid = 1
         self._next_scratch_id = 1
-        self.fault_events: list[FaultEvent] = []
+        self.fault_log = FaultLog()
         self.minor_faults = 0
         self.cow_breaks = 0
         self.tlb_shootdowns = 0
@@ -102,6 +195,8 @@ class Kernel:
         process = Process(self._next_pid, name, preferred_node)
         self._next_pid += 1
         self._processes[process.pid] = process
+        if self.engine == "columnar":
+            process.space.columnar = True
         return process
 
     def iter_processes(self) -> Iterator[Process]:
@@ -147,13 +242,11 @@ class Kernel:
         blocks = self.policy.on_mmap(process.space, vma)
         for vpn, pfn, order in blocks:
             self._install_block(process, vma, vpn, pfn, order)
-            self.fault_events.append(
-                FaultEvent(
-                    process.pid,
-                    order,
-                    FAULT_BASE_US + ZERO_US_PER_PAGE * order_pages(order),
-                    placed=False,
-                )
+            self.fault_log.append(
+                process.pid,
+                order,
+                FAULT_BASE_US + ZERO_US_PER_PAGE * order_pages(order),
+                placed=False,
             )
         return vma
 
@@ -218,29 +311,38 @@ class Kernel:
         if pte_flags is None:
             pte_flags = self._prot_flags(vma, write)
         pte = space.install(vma, base_vpn, pfn, got_order, pte_flags)
-        self._account_frame(pfn, got_order)
+        self._account_frame(pfn, got_order, owner=process.pid)
         self._update_contig_bit(space, base_vpn, pte)
 
         placed = self.policy.stats.placements > placements_before
         latency = FAULT_BASE_US + ZERO_US_PER_PAGE * order_pages(got_order)
         if placed:
             latency += PLACEMENT_SEARCH_US
-        self.fault_events.append(FaultEvent(process.pid, got_order, latency, placed))
+        self.fault_log.append(process.pid, got_order, latency, placed)
         ticked = self._maybe_tick()
         return FaultResult(base_vpn, pfn, got_order), ticked
 
     def fault_span(self, process: Process, vma: Vma, vpn: int, end: int,
-                   write: bool = True, on_fault=None) -> tuple[int, int]:
+                   write: bool = True, on_fault=None,
+                   on_span=None) -> tuple[int, int]:
         """Fault in the (unmapped) span ``[vpn, end)`` inside ``vma``.
 
         The batched analogue of calling :meth:`fault` per page: one
         policy call per granted leaf, without re-walking the page table
         or re-resolving the VMA between leaves.  ``on_fault`` is invoked
-        after each fault (the hypervisor backs the granted frames there).
-        Stops early when a policy tick fires, because daemon work may
-        have remapped pages inside the caller's pending span.  Returns
-        ``(major_faults, next_vpn)``.
+        after each fault (the hypervisor backs the granted frames there);
+        ``on_span(vpn, pfn, n_pages)`` is its whole-segment analogue for
+        the columnar engine.  Stops early when a policy tick fires,
+        because daemon work may have remapped pages inside the caller's
+        pending span.  Returns ``(major_faults, next_vpn)``.
+
+        The columnar engine batches order-0 stretches through the
+        policy's ``on_fault_batch`` hook (when ``on_fault`` does not
+        force per-leaf granularity); huge faults and policy-ceded pages
+        take the identical per-leaf path.
         """
+        if self.engine == "columnar" and on_fault is None:
+            return self._fault_span_columnar(process, vma, vpn, end, write, on_span)
         space = process.space
         majors = 0
         thp = self.thp
@@ -268,6 +370,133 @@ class Kernel:
                 break
         return majors, vpn
 
+    def _fault_span_columnar(self, process: Process, vma: Vma, vpn: int,
+                             end: int, write: bool,
+                             on_span=None) -> tuple[int, int]:
+        """Whole-span batched faulting (the ``columnar`` engine path).
+
+        Order-0 stretches are claimed from the policy in one
+        ``on_fault_batch`` call (bounded by the pending tick budget so
+        daemon ticks fire after exactly the same fault as the scalar
+        engine), installed with one page-table descent per PT node and
+        one run/column/frame update per physically contiguous segment.
+        Huge-eligible faults and pages the policy declines to batch
+        (placement decisions, OOM fallbacks) take the per-leaf reference
+        path, so the observable state is bit-identical to the scalar
+        engine's.
+        """
+        space = process.space
+        majors = 0
+        thp = self.thp
+        huge_candidate = space.huge_candidate
+        pte_flags = self._prot_flags(vma, write)
+        batch_latency = FAULT_BASE_US + ZERO_US_PER_PAGE
+        ctx = FaultContext(
+            space, vma, vpn, 0, write=write,
+            preferred_node=process.preferred_node,
+        )
+        while vpn < end:
+            span_end = end
+            if thp:
+                candidate = huge_candidate(vma, vpn)
+                if candidate is not None:
+                    result, ticked = self._install_fault(
+                        process, vma, candidate, HUGE_ORDER, vpn, write,
+                        pte_flags=pte_flags, ctx=ctx,
+                    )
+                    majors += 1
+                    if on_span is not None:
+                        on_span(result.vpn, result.pfn, order_pages(result.order))
+                    vpn = result.vpn + order_pages(result.order)
+                    if ticked:
+                        break
+                    continue
+                # No huge leaf here: the rest of this 2 MiB region is
+                # order-0 (the slot stays ineligible once partial).
+                span_end = min(end, (vpn | (HUGE_PAGES - 1)) + 1)
+            take = min(span_end - vpn, self.tick_every_faults - self._faults_since_tick)
+            got = 0
+            if self._policy_batches and take > 1:
+                ctx.vpn = vpn
+                ctx.order = 0
+                vpns = np.arange(vpn, vpn + take, dtype=np.int64)
+                pfns = self.policy.on_fault_batch(ctx, vpns)
+                got = len(pfns)
+                if got:
+                    self._install_span_batch(
+                        process, vma, vpn, pfns, pte_flags, on_span
+                    )
+                    majors += got
+                    self.fault_log.append_run(
+                        process.pid, 0, batch_latency, False, got
+                    )
+                    vpn += got
+                    self._faults_since_tick += got
+                    if self._faults_since_tick >= self.tick_every_faults:
+                        self._faults_since_tick = 0
+                        self.policy.tick(self)
+                        break  # daemon work may have remapped the pending span
+            if got < take and vpn < span_end:
+                # The policy ceded this page (or batching is off): take
+                # the per-leaf reference path, which carries the full
+                # placement / OOM / reclaim semantics.
+                result, ticked = self._install_fault(
+                    process, vma, vpn, 0, vpn, write,
+                    pte_flags=pte_flags, ctx=ctx,
+                )
+                majors += 1
+                if on_span is not None:
+                    on_span(result.vpn, result.pfn, order_pages(result.order))
+                vpn = result.vpn + order_pages(result.order)
+                if ticked:
+                    break
+        return majors, vpn
+
+    def _install_span_batch(self, process: Process, vma: Vma, vpn: int,
+                            pfns, pte_flags: PteFlags, on_span=None) -> None:
+        """Install one claimed batch of order-0 leaves.
+
+        Splits the batch at physical discontinuities; each segment
+        becomes one ``install_run`` (one run insertion, one PT sweep,
+        one frame-column slice).  The contiguity bit follows the scalar
+        per-page rule: page ``i`` of a segment is created CONTIG when
+        the run it lands in has already reached the threshold at that
+        point (``pred_len + i + 1 >= thr``), and the final page picks
+        the bit up when its install merges past the threshold through an
+        existing successor run.
+        """
+        space = process.space
+        runs = space.runs
+        thr = self.contig_threshold
+        owner = process.pid
+        n = len(pfns)
+        breaks = np.flatnonzero(np.diff(pfns) != 1)
+        starts = [0, *(int(b) + 1 for b in breaks), n]
+        for s, e in zip(starts, starts[1:]):
+            seg_vpn = vpn + s
+            seg_pfn = int(pfns[s])
+            seg_n = e - s
+            pred = runs.find(seg_vpn - 1)
+            pred_len = (
+                pred.n_pages
+                if pred is not None
+                and pred.end_vpn == seg_vpn
+                and pred.offset == seg_vpn - seg_pfn
+                else 0
+            )
+            contig_from = max(0, thr - pred_len - 1)
+            run, last = space.install_run(
+                vma, seg_vpn, seg_pfn, seg_n, pte_flags,
+                contig_from=min(contig_from, seg_n),
+            )
+            if contig_from >= seg_n and run.n_pages >= thr:
+                # Successor merge crossed the threshold on the last page.
+                last.flags |= PteFlags.CONTIG
+                space.note_contig(seg_vpn + seg_n - 1, 1)
+            self._account_frame_span(seg_pfn, seg_n, owner)
+            if on_span is not None:
+                on_span(seg_vpn, seg_pfn, seg_n)
+
     def touch(self, process: Process, vpn: int, write: bool = True) -> FaultResult:
         """Access a page, faulting it in when absent (workload driver API)."""
         return self.fault(process, vpn, write)
@@ -285,7 +514,7 @@ class Kernel:
         per page.  Behaviour is identical to :meth:`touch_range_scalar`,
         which the ``scalar`` engine routes here.
         """
-        if self.engine != "fast":
+        if self.engine == "scalar":
             return self.touch_range_scalar(process, start_vpn, n_pages, write, step)
         space = process.space
         majors = 0
@@ -359,7 +588,7 @@ class Kernel:
         order) instead of walking every VPN of every VMA — sparse or
         huge-mapped parents fork in O(leaves), not O(pages).
         """
-        if self.engine != "fast":
+        if self.engine == "scalar":
             return self.fork_scalar(parent, name)
         child = self.create_process(name or f"{parent.name}-child", parent.preferred_node)
         self._cow_possible = True
@@ -379,7 +608,7 @@ class Kernel:
             # Write-protect both sides; share the frame.
             pte.flags = (pte.flags | PteFlags.COW) & ~PteFlags.WRITE
             child.space.install(child_vma, base_vpn, pte.pfn, pte.order, pte.flags)
-            self._account_frame(pte.pfn, pte.order)
+            self._account_frame(pte.pfn, pte.order, owner=child.pid)
         return child
 
     def fork_scalar(self, parent: Process, name: str = "") -> Process:
@@ -404,7 +633,7 @@ class Kernel:
                 child.space.install(
                     child_vma, walk.base_vpn, pte.pfn, pte.order, pte.flags
                 )
-                self._account_frame(pte.pfn, pte.order)
+                self._account_frame(pte.pfn, pte.order, owner=child.pid)
                 vpn = walk.base_vpn + order_pages(pte.order)
         return child
 
@@ -428,10 +657,10 @@ class Kernel:
         process.space.install(
             vma, base_vpn, pfn, got_order, self._prot_flags(vma, write=True)
         )
-        self._account_frame(pfn, got_order)
+        self._account_frame(pfn, got_order, owner=process.pid)
         self._update_contig_bit(process.space, base_vpn)
         latency = FAULT_BASE_US + 2 * ZERO_US_PER_PAGE * order_pages(got_order)
-        self.fault_events.append(FaultEvent(process.pid, got_order, latency, False))
+        self.fault_log.append(process.pid, got_order, latency, False)
         return FaultResult(base_vpn, pfn, got_order, cow_break=True)
 
     # -- page cache ---------------------------------------------------------------
@@ -490,7 +719,7 @@ class Kernel:
         process.space.uninstall(vma, base_vpn)
         self._put_frame(old_pfn, order)
         process.space.install(vma, base_vpn, desired_pfn, order, flags)
-        self._account_frame(desired_pfn, order)
+        self._account_frame(desired_pfn, order, owner=process.pid)
         self._update_contig_bit(process.space, base_vpn)
         self.tlb_shootdowns += 1
         return True
@@ -519,6 +748,8 @@ class Kernel:
         space.runs.remove(wb.base_vpn, pages)
         space.runs.add(wa.base_vpn, pfn_b, pages)
         space.runs.add(wb.base_vpn, pfn_a, pages)
+        space.note_remap(wa.base_vpn, pfn_b, pages)
+        space.note_remap(wb.base_vpn, pfn_a, pages)
         self._update_contig_bit(space, wa.base_vpn)
         self._update_contig_bit(space, wb.base_vpn)
         self.tlb_shootdowns += 2
@@ -547,7 +778,7 @@ class Kernel:
         space.uninstall(vma, walk.base_vpn)
         self._put_frame(old_pfn, order)
         space.install(vma, walk.base_vpn, dest, order, flags)
-        self._account_frame(dest, order)
+        self._account_frame(dest, order, owner=process.pid)
         self._update_contig_bit(space, walk.base_vpn)
         self.tlb_shootdowns += 1
         return True
@@ -595,7 +826,7 @@ class Kernel:
     def remap_region_huge(self, process: Process, vma: Vma, region_vpn: int,
                           new_pfn: int) -> None:
         """Ingens promotion: replace resident 4K pages with one huge leaf."""
-        if self.engine != "fast":
+        if self.engine == "scalar":
             self._remap_region_huge_scalar(process, vma, region_vpn, new_pfn)
             return
         space = process.space
@@ -604,7 +835,7 @@ class Kernel:
         pte = space.install(
             vma, region_vpn, new_pfn, HUGE_ORDER, self._prot_flags(vma, write=True)
         )
-        self._account_frame(new_pfn, HUGE_ORDER)
+        self._account_frame(new_pfn, HUGE_ORDER, owner=process.pid)
         self._update_contig_bit(space, region_vpn, pte)
         self.tlb_shootdowns += 1
 
@@ -622,7 +853,7 @@ class Kernel:
         space.install(
             vma, region_vpn, new_pfn, HUGE_ORDER, self._prot_flags(vma, write=True)
         )
-        self._account_frame(new_pfn, HUGE_ORDER)
+        self._account_frame(new_pfn, HUGE_ORDER, owner=process.pid)
         self._update_contig_bit(space, region_vpn)
         self.tlb_shootdowns += 1
 
@@ -644,11 +875,24 @@ class Kernel:
             pte = space.page_table.lookup(base_vpn)
         if pte is not None:
             pte.flags |= PteFlags.CONTIG
+            space.note_contig(base_vpn, order_pages(pte.order))
 
     # -- frame accounting --------------------------------------------------------------
 
-    def _account_frame(self, pfn: int, order: int) -> None:
-        self.mem.zone_of(pfn).frames.map_block(pfn, order_pages(order))
+    def _account_frame(self, pfn: int, order: int, owner: int | None = None) -> None:
+        self.mem.zone_of(pfn).frames.map_block(pfn, order_pages(order), owner)
+
+    def _account_frame_span(self, pfn: int, n_pages: int, owner: int) -> None:
+        """Batched :meth:`_account_frame` over ``n_pages`` base frames."""
+        while n_pages > 0:
+            zone = self.mem.zone_of(pfn)
+            take = min(n_pages, zone.end_pfn - pfn)
+            frames = zone.frames
+            i = frames.index(pfn)
+            frames.mapcount[i:i + take] += 1
+            frames.owner[i:i + take] = owner
+            pfn += take
+            n_pages -= take
 
     def _put_frame(self, pfn: int, order: int) -> None:
         """Drop one mapping of a frame block; free it on last unmap."""
@@ -739,7 +983,7 @@ class Kernel:
             else:
                 step_order = 0
             process.space.install(vma, vpn, pfn, step_order, flags)
-            self._account_frame(pfn, step_order)
+            self._account_frame(pfn, step_order, owner=process.pid)
             vpn += order_pages(step_order)
             pfn += order_pages(step_order)
             remaining -= order_pages(step_order)
@@ -748,16 +992,25 @@ class Kernel:
     # -- statistics --------------------------------------------------------------------
 
     @property
+    def fault_events(self) -> list[FaultEvent]:
+        """Every major fault as an event object (materialized from the log)."""
+        return self.fault_log.events()
+
+    @property
     def major_faults(self) -> int:
         """Major faults (incl. eager pre-allocation events, like ftrace)."""
-        return len(self.fault_events)
+        return len(self.fault_log)
 
     def fault_latencies_us(self) -> list[float]:
         """Latency of every major fault, in microseconds."""
-        return [e.latency_us for e in self.fault_events]
+        return self.fault_log.latencies_us()
+
+    def fault_latency_sum_us(self) -> float:
+        """Total fault latency without materializing the event list."""
+        return self.fault_log.latency_sum_us()
 
     def reset_fault_stats(self) -> None:
         """Clear fault accounting (used between experiment phases)."""
-        self.fault_events.clear()
+        self.fault_log.clear()
         self.minor_faults = 0
         self.cow_breaks = 0

@@ -150,6 +150,42 @@ class PageTable:
         self._leaf_count += 1
         return pte
 
+    def map_span(self, vpn: int, pfn: int, n_pages: int, flags: PteFlags,
+                 contig_from: int | None = None) -> Pte:
+        """Install ``n_pages`` consecutive 4 KiB leaves ``vpn+i -> pfn+i``.
+
+        The bulk analogue of ``n_pages`` order-0 :meth:`map` calls: one
+        radix descent per 512-entry PT node instead of one per page, and
+        no per-page collision checks — callers guarantee the span is
+        unmapped (the fault path derives spans from the mapping runs,
+        which mirror the table exactly).  Pages at index >=
+        ``contig_from`` get :attr:`PteFlags.CONTIG` at creation (the
+        batched contiguity-bit rule).  Returns the last installed Pte.
+        """
+        base_flags = flags | PteFlags.PRESENT
+        contig_flags = base_flags | PteFlags.CONTIG
+        if contig_from is None:
+            contig_from = n_pages
+        done = 0
+        pte: Pte | None = None
+        while done < n_pages:
+            v = vpn + done
+            node = self._walk_to_level(v, 1, create=True)
+            entries = node.entries
+            idx = v & (LEVEL_FANOUT - 1)
+            chunk = min(n_pages - done, LEVEL_FANOUT - idx)
+            p = pfn + done
+            for i in range(chunk):
+                pte = Pte(
+                    p + i,
+                    contig_flags if done + i >= contig_from else base_flags,
+                )
+                entries[idx + i] = pte
+            done += chunk
+        self._leaf_count += n_pages
+        assert pte is not None
+        return pte
+
     def unmap(self, vpn: int) -> Pte:
         """Remove the leaf covering ``vpn`` and return it.
 

@@ -1,5 +1,6 @@
 """Unit tests for the buddy allocator."""
 
+import numpy as np
 import pytest
 
 from repro.errors import BuddyError, OutOfMemoryError
@@ -177,6 +178,99 @@ class TestFree:
         buddy.free_block(b, 4)
         # Two adjacent max-order blocks stay separate in the buddy...
         assert len(list(buddy.iter_free_blocks(4))) == 4
+
+
+class TestAllocPagesBulk:
+    def test_zero_pages_is_a_noop(self):
+        buddy = make_buddy(n_pages=64, max_order=4)
+        before = buddy.free_list_sizes()
+        out = buddy.alloc_pages_bulk(0)
+        assert len(out) == 0 and out.dtype == np.int64
+        assert buddy.free_pages == 64
+        assert buddy.free_list_sizes() == before
+
+    def test_matches_sequential_alloc(self):
+        # The whole point of the bulk path: same PFN stream and same
+        # end state as n alloc_block(0) calls, order for order.
+        for n in (1, 7, 16, 17, 64, 100):
+            bulk, seq = make_buddy(), make_buddy()
+            # Age both identically so free lists are non-trivial.
+            for b in (bulk, seq):
+                held = [b.alloc_block(0) for _ in range(48)]
+                for pfn in held[::3]:
+                    b.free_block(pfn, 0)
+            got = bulk.alloc_pages_bulk(n).tolist()
+            want = [seq.alloc_block(0) for _ in range(n)]
+            assert got == want
+            assert bulk.free_list_sizes() == seq.free_list_sizes()
+
+    def test_partial_max_order_block_survivors(self):
+        # Taking 3 pages out of a fresh order-4 block leaves the 13-page
+        # tail carved greedily from its low end: 1 + 4 + 8.
+        buddy = make_buddy(n_pages=16, max_order=4)
+        out = buddy.alloc_pages_bulk(3)
+        assert out.tolist() == [0, 1, 2]
+        assert buddy.free_list_sizes() == [1, 0, 1, 1, 0]
+
+    def test_spans_max_order_boundary(self):
+        # 24 pages from 16-page max-order blocks: consumes one block
+        # entirely and half of the next (seeded lists pop LIFO, so the
+        # highest-addressed block goes first).
+        buddy = make_buddy(n_pages=64, max_order=4)
+        out = buddy.alloc_pages_bulk(24)
+        assert out.tolist() == list(range(48, 64)) + list(range(32, 40))
+        assert buddy.free_pages == 40
+        assert buddy.free_list_sizes() == [0, 0, 0, 1, 2]
+
+    def test_exhaustion_returns_short_never_raises(self):
+        buddy = make_buddy(n_pages=32, max_order=4)
+        out = buddy.alloc_pages_bulk(100)
+        assert len(out) == 32
+        assert buddy.free_pages == 0
+        assert len(buddy.alloc_pages_bulk(5)) == 0
+
+    def test_bulk_then_free_restores_max_order_blocks(self):
+        buddy = make_buddy(n_pages=64, max_order=4)
+        out = buddy.alloc_pages_bulk(24)
+        for pfn in out.tolist():
+            buddy.free_block(pfn, 0)
+        assert buddy.free_pages == 64
+        assert buddy.free_list_sizes() == [0, 0, 0, 0, 4]
+
+
+class TestMaxOrderBoundary:
+    def test_split_and_remerge_last_block(self):
+        # Break the highest max-order block down to a single page at the
+        # very end of the managed range, then coalesce it back.
+        buddy = make_buddy(n_pages=64, max_order=4)
+        last = buddy.end_pfn - 1
+        assert buddy.alloc_target(last, 0)
+        assert buddy.free_pages == 63
+        sizes = buddy.free_list_sizes()
+        assert sizes == [1, 1, 1, 1, 3]
+        buddy.free_block(last, 0)
+        assert buddy.free_list_sizes() == [0, 0, 0, 0, 4]
+
+    def test_merge_does_not_cross_max_order(self):
+        # Freeing two buddies at max_order must not merge into a
+        # (nonexistent) max_order+1 block.
+        buddy = make_buddy(n_pages=32, max_order=4)
+        a = buddy.alloc_block(4)
+        b = buddy.alloc_block(4)
+        buddy.free_block(a, 4)
+        buddy.free_block(b, 4)
+        assert buddy.free_list_sizes() == [0, 0, 0, 0, 2]
+
+    def test_bulk_drains_every_max_order_block(self):
+        # Bulk allocation walking the whole range touches each
+        # max-order block exactly once and in list order.
+        buddy = make_buddy(n_pages=64, max_order=4)
+        out = buddy.alloc_pages_bulk(64)
+        assert sorted(out.tolist()) == list(range(64))
+        assert buddy.free_pages == 0
+        for pfn in range(0, 64, 16):
+            buddy.free_block(pfn, 4)
+        assert buddy.free_pages == 64
 
 
 class TestFindFreeBlock:

@@ -236,6 +236,7 @@ class TestCacheLifecycle:
             "root": str(tmp_path / "nothing-here"), "entries": 0,
             "total_bytes": 0, "oldest_mtime": None, "newest_mtime": None,
             "corrupt_evictions": 0, "write_failures": 0, "quarantined": 0,
+            "quarantined_bytes": 0,
         }
 
     def test_prune_evicts_oldest_first(self, tmp_path):
