@@ -28,10 +28,13 @@ The JSON written to ``BENCH_engine.json`` is the perf-tracking artifact
 CI archives per commit.
 
 A third bench, ``python -m repro bench-suite`` (:func:`run_suite_bench`),
-measures the experiment orchestrator itself: the whole suite serially,
-through the process fan-out against a cold cache, and again warm — with
-the serialized results asserted byte-identical across all three modes —
-writing ``BENCH_suite.json``.
+measures the experiment orchestrator itself across four modes: the
+whole suite serially with monolithic chain cells, through the
+DAG-scheduled process fan-out (stage-checkpointed chains) against a
+cold two-tier cache, again warm, and once more with a fresh local L1
+against the now-warm shared HTTP tier (every cell must arrive by
+digest over the wire) — with the serialized results asserted
+byte-identical across all four modes — writing ``BENCH_suite.json``.
 
 A fourth, ``python -m repro bench-serve``
 (:func:`repro.serve.loadgen.run_serve_bench`), load-tests the serving
@@ -563,8 +566,21 @@ def _serialize_overhead(cells, results, salt: str) -> dict:
     }
 
 
+def _tier_stats(cache) -> dict | None:
+    """The shared-tier traffic one pass generated (None when untiered)."""
+    if cache is None or cache.tier is None:
+        return None
+    return {
+        "hits": cache.tier_hits,
+        "misses": cache.tier_misses,
+        "stores": cache.tier_stores,
+        "errors": cache.tier_errors,
+    }
+
+
 def _suite_pass(scale: ScaleProfile, names: list[str], jobs: int,
-                cache, measure_serialize: bool = False
+                cache, staged: bool | None = None,
+                measure_serialize: bool = False
                 ) -> tuple[str, float, dict, dict | None]:
     """One full-suite pass; returns (canonical JSON, seconds, stats,
     serialize overhead or None).
@@ -572,25 +588,30 @@ def _suite_pass(scale: ScaleProfile, names: list[str], jobs: int,
     Cells run through one flat :meth:`Executor.run` batch and assemble
     per plan — the exact :func:`repro.sim.jobs.run_plans` semantics,
     inlined so the flat cell/result pairing stays available for the
-    (untimed) serialize-overhead measurement afterwards.
+    (untimed) serialize-overhead measurement afterwards.  ``staged``
+    picks checkpointed chain stages vs monolithic chain cells for the
+    experiments that support both.
     """
     from repro.cli import suite_plans
     from repro.experiments.serialize import to_jsonable
     from repro.sim.jobs import Executor
 
     executor = Executor(jobs=jobs, cache=cache)
-    started = time.perf_counter()
-    entries = suite_plans(scale, names)
-    plans = [plan for _, _, plan in entries]
-    flat = [c for plan in plans for c in plan.cells]
-    cell_results = executor.run(flat)
-    results = []
-    offset = 0
-    for plan in plans:
-        n = len(plan.cells)
-        results.append(plan.assemble(cell_results[offset:offset + n]))
-        offset += n
-    seconds = time.perf_counter() - started
+    try:
+        started = time.perf_counter()
+        entries = suite_plans(scale, names, staged=staged)
+        plans = [plan for _, _, plan in entries]
+        flat = [c for plan in plans for c in plan.cells]
+        cell_results = executor.run(flat)
+        results = []
+        offset = 0
+        for plan in plans:
+            n = len(plan.cells)
+            results.append(plan.assemble(cell_results[offset:offset + n]))
+            offset += n
+        seconds = time.perf_counter() - started
+    finally:
+        executor.close()
     payload = {
         key: to_jsonable(result)
         for (_, key, _), result in zip(entries, results)
@@ -600,7 +621,11 @@ def _suite_pass(scale: ScaleProfile, names: list[str], jobs: int,
         _serialize_overhead(flat, cell_results, executor._salt)
         if measure_serialize else None
     )
-    return blob, seconds, asdict(executor.stats), serialize
+    stats = asdict(executor.stats)
+    tier = _tier_stats(cache)
+    if tier is not None:
+        stats["tier"] = tier
+    return blob, seconds, stats, serialize
 
 
 def run_suite_bench(
@@ -609,12 +634,22 @@ def run_suite_bench(
     experiments: tuple[str, ...] | None = None,
     cache_root: str | Path | None = None,
 ) -> dict:
-    """Orchestrator A/B/C: serial vs parallel-cold vs parallel-warm.
+    """Orchestrator A/B/C/D: serial vs parallel-cold vs warm vs two-tier.
 
-    The same experiment suite runs three times — serially with no cache,
-    through the ``jobs``-wide fan-out against an empty cache, and again
-    against the now-populated cache — and the three serialized result
-    sets are asserted byte-identical before any timing is reported.
+    The same experiment suite runs four times and the four serialized
+    result sets are asserted byte-identical before any timing is
+    reported:
+
+    - ``serial`` — monolithic chain cells, one process, no cache: the
+      baseline the speedups are against.
+    - ``parallel_cold`` — stage-checkpointed chains through the
+      ``jobs``-wide DAG fan-out, empty local L1, write-through to a
+      live shared HTTP tier (a real in-process ``repro serve``).
+    - ``parallel_warm`` — the same L1 again, now populated.
+    - ``two_tier_cold`` — a **fresh, empty** local L1 against the warm
+      shared tier: every cell must arrive by digest over the wire
+      (the second-worker / resumed-suite scenario), so its ``tier``
+      hit count is the federation proof CI checks.
 
     ``cache_root`` (a scratch directory; **cleared** before the cold
     pass so cold means cold) defaults to a private temp dir.
@@ -625,11 +660,13 @@ def run_suite_bench(
     import tempfile
 
     from repro.cli import EXPERIMENTS, SCALES
-    from repro.sim.cache import RunCache
+    from repro.serve.loadgen import ServerThread
+    from repro.sim.cache import HttpCacheTier, RunCache
 
     scale = SCALES[scale_name]
     names = list(experiments) if experiments else list(EXPERIMENTS)
-    jobs = jobs or (os.cpu_count() or 1)
+    cpus = os.cpu_count() or 1
+    jobs = jobs or cpus
     started = time.time()
     own_tmp = cache_root is None
     root = (
@@ -637,21 +674,31 @@ def run_suite_bench(
         if own_tmp else Path(cache_root)
     )
     try:
-        RunCache(root).clear()
+        for sub in ("shared", "l1", "l1-fresh"):
+            RunCache(root / sub).clear()
         serial_blob, serial_s, serial_stats, serialize = _suite_pass(
-            scale, names, 1, None, measure_serialize=True
+            scale, names, 1, None, staged=False, measure_serialize=True
         )
-        cold_blob, cold_s, cold_stats, _ = _suite_pass(
-            scale, names, jobs, RunCache(root)
-        )
-        warm_blob, warm_s, warm_stats, _ = _suite_pass(
-            scale, names, jobs, RunCache(root)
-        )
+        with ServerThread(cache=RunCache(root / "shared")) as server:
+            url = f"http://127.0.0.1:{server.port}"
+
+            def l1(sub: str) -> RunCache:
+                return RunCache(root / sub, tier=HttpCacheTier(url))
+
+            cold_blob, cold_s, cold_stats, _ = _suite_pass(
+                scale, names, jobs, l1("l1")
+            )
+            warm_blob, warm_s, warm_stats, _ = _suite_pass(
+                scale, names, jobs, l1("l1")
+            )
+            tier_blob, tier_s, tier_stats, _ = _suite_pass(
+                scale, names, jobs, l1("l1-fresh")
+            )
     finally:
         if own_tmp:
             shutil.rmtree(root, ignore_errors=True)
 
-    identical = serial_blob == cold_blob == warm_blob
+    identical = serial_blob == cold_blob == warm_blob == tier_blob
     assert serialize is not None
     serialize["share_of_cold"] = round(
         serialize["total_seconds"] / max(cold_s, 1e-9), 4
@@ -661,8 +708,11 @@ def run_suite_bench(
         "scale": scale_name,
         "experiments": names,
         "jobs": jobs,
-        "cpus": os.cpu_count() or 1,
+        "cpus": cpus,
         "python": platform.python_version(),
+        # The cold gate needs >= 2 cores to mean anything; CI reads
+        # this note instead of failing single-core runners.
+        "parallel_gate_meaningful": cpus >= 2,
         "modes": {
             "serial": {
                 "seconds": round(serial_s, 3), "stats": serial_stats,
@@ -675,6 +725,10 @@ def run_suite_bench(
                 "seconds": round(warm_s, 3), "stats": warm_stats,
                 "speedup_vs_serial": round(serial_s / max(warm_s, 1e-9), 2),
             },
+            "two_tier_cold": {
+                "seconds": round(tier_s, 3), "stats": tier_stats,
+                "speedup_vs_serial": round(serial_s / max(tier_s, 1e-9), 2),
+            },
         },
         # Per-cell result-pickling cost: what each parallel worker pays
         # returning results over IPC and what every cache put re-pays.
@@ -682,6 +736,10 @@ def run_suite_bench(
         # Headline numbers perf tracking plots per commit.
         "cold_speedup": round(serial_s / max(cold_s, 1e-9), 2),
         "warm_speedup": round(serial_s / max(warm_s, 1e-9), 2),
+        "two_tier_speedup": round(serial_s / max(tier_s, 1e-9), 2),
+        # Federation proof: a fresh L1 pulled everything from the tier.
+        "two_tier_computed": tier_stats["computed"],
+        "two_tier_hits": tier_stats.get("tier", {}).get("hits", 0),
         "results_identical": identical,
         "results_sha256": hashlib.sha256(serial_blob.encode()).hexdigest(),
         "wall_seconds": round(time.time() - started, 1),

@@ -67,11 +67,21 @@ SCALES = {
 }
 
 
-def experiment_plans(name: str, scale) -> list[tuple[str, "object"]]:
+#: Experiments whose aging-VM chains split into checkpointed stages
+#: (``plan(staged=...)``); the rest always build monolithic cells.
+STAGED_EXPERIMENTS = frozenset(
+    {"fig13", "fig14", "table7", "ext_shadow", "ext_vhc"}
+)
+
+
+def experiment_plans(name: str, scale,
+                     staged: bool | None = None) -> list[tuple[str, "object"]]:
     """The ``(result_key, Plan)`` pairs one experiment contributes.
 
     Most experiments expose a single ``plan()``; fig 1 carries two
-    sub-experiments with their own plans.
+    sub-experiments with their own plans.  ``staged`` overrides the
+    chain-splitting default for the experiments that support it
+    (``None`` keeps each module's default, which is staged).
     """
     module = importlib.import_module(f"repro.experiments.{name}")
     if name == "fig1":
@@ -79,14 +89,18 @@ def experiment_plans(name: str, scale) -> list[tuple[str, "object"]]:
             ("fig1b", module.plan_fig1b(scale=scale)),
             ("fig1c", module.plan_fig1c(scale=scale)),
         ]
-    return [(name, module.plan(scale=scale))]
+    kwargs = {}
+    if staged is not None and name in STAGED_EXPERIMENTS:
+        kwargs["staged"] = staged
+    return [(name, module.plan(scale=scale, **kwargs))]
 
 
-def suite_plans(scale, names=None) -> list[tuple[str, str, "object"]]:
+def suite_plans(scale, names=None,
+                staged: bool | None = None) -> list[tuple[str, str, "object"]]:
     """``(experiment, result_key, Plan)`` for every requested experiment."""
     entries = []
     for name in (names if names is not None else EXPERIMENTS):
-        for key, plan in experiment_plans(name, scale):
+        for key, plan in experiment_plans(name, scale, staged=staged):
             entries.append((name, key, plan))
     return entries
 
@@ -106,12 +120,17 @@ def make_injector(args):
 
 def make_executor(args, injector=None):
     """Build the Executor the ``--jobs``/cache/chaos flags describe."""
-    from repro.sim.cache import RunCache
+    from repro.sim.cache import HttpCacheTier, RunCache
     from repro.sim.jobs import Executor
 
     cache = None
     if not getattr(args, "no_cache", False):
-        cache = RunCache(getattr(args, "cache_dir", None), injector=injector)
+        tier = None
+        cache_url = getattr(args, "cache_url", None)
+        if cache_url:
+            tier = HttpCacheTier(cache_url)
+        cache = RunCache(getattr(args, "cache_dir", None), injector=injector,
+                         tier=tier)
     return Executor(jobs=getattr(args, "jobs", None) or 1, cache=cache,
                     injector=injector)
 
@@ -125,7 +144,10 @@ def _run_experiments(names: list[str], args) -> int:
     executor = make_executor(args, injector=injector)
     started = time.time()
     entries = suite_plans(scale, names)
-    results = run_plans([plan for _, _, plan in entries], executor)
+    try:
+        results = run_plans([plan for _, _, plan in entries], executor)
+    finally:
+        executor.close()
     by_name: dict[str, list[tuple[str, object]]] = {}
     for (name, key, _), result in zip(entries, results):
         by_name.setdefault(name, []).append((key, result))
@@ -150,6 +172,12 @@ def _run_experiments(names: list[str], args) -> int:
         f"{s.deduped} deduped; jobs={executor.jobs}; "
         f"{time.time() - started:.1f}s]"
     )
+    cache = executor.cache
+    if cache is not None and cache.tier is not None:
+        print(f"[cache tier: {cache.tier_hits} hit(s), "
+              f"{cache.tier_misses} miss(es), "
+              f"{cache.tier_stores} store(s), "
+              f"{cache.tier_errors} error(s)]")
     if injector is not None:
         fired = sum(injector.fired_by_site().values())
         unrecovered = injector.unrecovered()
@@ -272,7 +300,7 @@ def _cmd_bench_suite(args) -> int:
             print(f"unknown experiment {name!r}; try `python -m repro list`",
                   file=sys.stderr)
             return 2
-    print(f"=== bench-suite: orchestrator serial/cold/warm "
+    print(f"=== bench-suite: orchestrator serial/cold/warm/two-tier "
           f"(scale={args.scale}, jobs={args.jobs or 'auto'}) ===")
     report = run_suite_bench(
         args.scale,
@@ -286,9 +314,17 @@ def _cmd_bench_suite(args) -> int:
             f" ({row['speedup_vs_serial']}x vs serial)"
             if "speedup_vs_serial" in row else ""
         )
+        tier = s.get("tier")
+        tier_note = (
+            f"; tier {tier['hits']}h/{tier['stores']}s/{tier['errors']}e"
+            if tier else ""
+        )
         print(f"{mode:>13}: {row['seconds']:.2f}s{extra} — "
               f"{s['computed']} computed, {s['cache_hits']} cached, "
-              f"{s['deduped']} deduped of {s['submitted']}")
+              f"{s['deduped']} deduped of {s['submitted']}{tier_note}")
+    print(f"two-tier federation: {report['two_tier_hits']} cell(s) "
+          f"served by the shared tier, {report['two_tier_computed']} "
+          f"recomputed")
     ser = report["serialize"]
     print(f"serialize overhead: {ser['total_bytes']:,} bytes across "
           f"{ser['cells_measured']} cells in {ser['total_seconds']:.3f}s "
@@ -300,10 +336,24 @@ def _cmd_bench_suite(args) -> int:
     out = write_report(report, args.out)
     print(f"[saved {out} in {report['wall_seconds']}s]")
     ok = report["results_identical"]
+    if report["two_tier_computed"] != 0:
+        print(f"two-tier pass recomputed {report['two_tier_computed']} "
+              f"cell(s) the shared tier should have served",
+              file=sys.stderr)
+        ok = False
     if args.min_warm_speedup and report["warm_speedup"] < args.min_warm_speedup:
         print(f"warm speedup {report['warm_speedup']}x below gate "
               f"{args.min_warm_speedup}x", file=sys.stderr)
         ok = False
+    if args.min_cold_speedup:
+        if not report["parallel_gate_meaningful"]:
+            print(f"[skipping --min-cold-speedup {args.min_cold_speedup}x "
+                  f"gate: only {report['cpus']} cpu(s); parallel-vs-serial "
+                  f"is meaningless without >=2 cores]")
+        elif report["cold_speedup"] < args.min_cold_speedup:
+            print(f"cold speedup {report['cold_speedup']}x below gate "
+                  f"{args.min_cold_speedup}x", file=sys.stderr)
+            ok = False
     return 0 if ok else 1
 
 
@@ -531,6 +581,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-cache", action="store_true",
             help="compute every cell, skip cache reads and writes",
         )
+        p.add_argument(
+            "--cache-url", metavar="URL", default=None,
+            help="shared read-through cache tier: a `repro serve` base "
+                 "URL (e.g. http://127.0.0.1:8377); local misses are "
+                 "fetched by digest before computing, and local stores "
+                 "are pushed back (see docs/scaling.md)",
+        )
         add_chaos_flags(p)
 
     def add_chaos_flags(p) -> None:
@@ -622,6 +679,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-warm-speedup", type=float, default=0.0, metavar="X",
         help="fail unless the warm pass beats serial by at least X times",
     )
+    suite_bench_p.add_argument(
+        "--min-cold-speedup", type=float, default=0.0, metavar="X",
+        help="fail unless the parallel-cold pass beats serial by at "
+             "least X times (skipped with a note on single-CPU boxes, "
+             "where the comparison is meaningless)",
+    )
     suite_bench_p.set_defaults(func=_cmd_bench_suite)
 
     serve_p = sub.add_parser(
@@ -654,7 +717,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_p.add_argument(
         "--no-cache", action="store_true",
-        help="recompute every request, skip the run cache",
+        help="recompute every request, skip the run cache (also "
+             "disables the /v1/cache tier endpoints)",
+    )
+    serve_p.add_argument(
+        "--cache-url", metavar="URL", default=None,
+        help="upstream cache tier this server itself reads through "
+             "(for chained tiers); usually unset — workers point their "
+             "--cache-url at *this* server instead",
     )
     add_chaos_flags(serve_p)
     serve_p.set_defaults(func=_cmd_serve)

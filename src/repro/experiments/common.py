@@ -12,8 +12,11 @@ reuse :func:`run_cell_virt_sim_chain`.
 
 from __future__ import annotations
 
+import hashlib
 import math
-from typing import Iterable, Sequence
+import pickle
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
 
 from repro.sim.config import (
     DEFAULT_SCALE,
@@ -23,6 +26,7 @@ from repro.sim.config import (
     ScaleProfile,
     SystemConfig,
 )
+from repro.sim.jobs import Cell, cell
 from repro.sim.machine import Machine, build_machine
 from repro.sim.runner import RunOptions, run_native, run_virtualized
 from repro.virt.hypervisor import VirtualMachine
@@ -176,6 +180,121 @@ def run_cell_native_sim(
     return sims
 
 
+# -- stage-checkpointed chains ----------------------------------------------
+#
+# An aging-VM chain can also run as a linear DAG of per-workload
+# *stages*: each stage carries its payload plus the serialized VM it
+# left behind, and the next stage resumes from that checkpoint.  The
+# stage cells are content-addressed like any other cell (the key covers
+# the whole chain prefix through the dependency specs), so an
+# interrupted suite resumes from the last completed stage and the
+# executor overlaps independent chains' stages.  VM state pickles
+# faithfully — machines are built from seeded configs and hold no open
+# resources — so the staged chain is byte-identical to the monolithic
+# one (asserted by the differential tests).
+
+
+@dataclass
+class ChainStage:
+    """One chain stage's result: payload + the VM checkpoint after it.
+
+    ``state`` is the pickled VM (the next stage's starting point);
+    ``state_digest`` is its sha256, letting tests assert checkpoint
+    determinism without hauling megabytes around.
+    """
+
+    payload: Any
+    state: bytes
+    state_digest: str
+
+
+def checkpoint_vm(vm: VirtualMachine) -> tuple[bytes, str]:
+    """Serialize a VM into a chain checkpoint (blob, sha256)."""
+    blob = pickle.dumps(vm, protocol=pickle.HIGHEST_PROTOCOL)
+    return blob, hashlib.sha256(blob).hexdigest()
+
+
+def resume_vm(prev: ChainStage) -> VirtualMachine:
+    """Rehydrate the VM a previous stage checkpointed."""
+    return pickle.loads(prev.state)
+
+
+def run_cell_virt_sim_stage(
+    prev: ChainStage | None = None,
+    *,
+    host_policy: str,
+    guest_policy: str,
+    workload: str,
+    scale: ScaleProfile,
+    hw: HardwareConfig,
+    trace_len: int,
+    force_4k: tuple[bool, ...] = (False,),
+) -> ChainStage:
+    """One workload step of :func:`run_cell_virt_sim_chain`.
+
+    The first stage (``prev=None``) builds the VM fresh; later stages
+    resume the checkpoint their dependency carried.  The payload is the
+    same per-workload sim list the monolithic chain appends.
+    """
+    from repro.hw.mmu_sim import MmuSimulator
+    from repro.hw.translation import TranslationView
+
+    vm = resume_vm(prev) if prev is not None else virtual_machine(
+        host_policy, guest_policy, scale
+    )
+    wl = make_workload(workload, scale)
+    trace = wl.trace(trace_len)
+    r = run_virtualized(vm, wl, RunOptions(sample_every=None, exit_after=False))
+    sims = []
+    for force in force_4k:
+        view = TranslationView.virtualized(vm, r.process, force_4k=force)
+        sims.append(
+            MmuSimulator(view, hw).run(trace, r.vma_start_vpns, workload=wl)
+        )
+    vm.guest_exit_process(r.process)
+    vm.guest_kernel.drop_caches()
+    blob, digest = checkpoint_vm(vm)
+    return ChainStage(payload=sims, state=blob, state_digest=digest)
+
+
+def virt_sim_stage_cells(
+    *,
+    host_policy: str,
+    guest_policy: str,
+    workloads: tuple[str, ...],
+    scale: ScaleProfile,
+    hw: HardwareConfig,
+    trace_len: int,
+    force_4k: tuple[bool, ...] = (False,),
+) -> list[Cell]:
+    """The staged form of a virt-sim chain: one cell per workload, each
+    depending on the previous stage.  Experiments that build this chain
+    with identical parameters (fig 13 / fig 14 / Table VII's CA+CA
+    chain) share every stage cell through the run cache."""
+    out: list[Cell] = []
+    prev: tuple[Cell, ...] = ()
+    for name in workloads:
+        c = cell(
+            "repro.experiments.common:run_cell_virt_sim_stage",
+            deps=prev,
+            host_policy=host_policy,
+            guest_policy=guest_policy,
+            workload=name,
+            scale=scale,
+            hw=hw,
+            trace_len=trace_len,
+            force_4k=force_4k,
+        )
+        out.append(c)
+        prev = (c,)
+    return out
+
+
+def stage_payloads(results: Sequence[ChainStage]) -> list[Any]:
+    """Unwrap a staged chain's results into the monolithic chain shape."""
+    return [stage.payload for stage in results]
+
+
 def run_cell_virt_sim_chain(
     *,
     host_policy: str,
@@ -221,16 +340,22 @@ __all__ = [
     "QUICK_SCALE",
     "SUITE",
     "TEST_SCALE",
+    "ChainStage",
     "HardwareConfig",
+    "checkpoint_vm",
     "format_table",
     "geomean",
     "native_machine",
     "pct",
+    "resume_vm",
     "run_cell_native",
     "run_cell_native_sim",
     "run_cell_virt_chain",
     "run_cell_virt_sim_chain",
+    "run_cell_virt_sim_stage",
+    "stage_payloads",
     "system_config",
+    "virt_sim_stage_cells",
     "virtual_machine",
     "workload",
 ]

@@ -79,6 +79,44 @@ class ExtShadowResult:
         )
 
 
+def _shadow_step(vm, pager, name: str, scale: ScaleProfile,
+                 hw: HardwareConfig, trace_len: int) -> ShadowRow:
+    """One workload on an already-attached shadow-paging VM."""
+    costs = WalkLatencyModel().walk_costs()
+    wl = common.workload(name, scale)
+    splinters_before = pager.stats.splintered_leaves
+    r = run_virtualized(vm, wl, RunOptions(sample_every=None, exit_after=False))
+    view = TranslationView.virtualized(vm, r.process)
+    sim = MmuSimulator(view, hw).run(
+        wl.trace(trace_len), r.vma_start_vpns, workload=wl
+    )
+    t_ideal = sim.t_ideal_cycles
+    syncs = r.faults.total_faults  # one shadow sync per guest PTE install
+    nested_cycles = sim.walks * costs.nested_thp
+    shadow_walk_cycles = sim.walks * costs.native_thp
+    spot_exposed = (
+        sim.spot_no_prediction
+        + sim.spot_mispredict
+    )
+    flush = sim.spot_mispredict * costs.mispredict_penalty
+    row = ShadowRow(
+        workload=name,
+        nested_overhead=nested_cycles / t_ideal,
+        shadow_walk_overhead=shadow_walk_cycles / t_ideal,
+        shadow_sync_overhead=syncs * SHADOW_SYNC_CYCLES
+        / (t_ideal * STEADY_WINDOWS),
+        nested_spot_overhead=(spot_exposed * costs.nested_thp + flush)
+        / t_ideal,
+        shadow_spot_overhead=(spot_exposed * costs.native_thp + flush)
+        / t_ideal,
+        splintered_leaves=pager.stats.splintered_leaves
+        - splinters_before,
+    )
+    vm.guest_exit_process(r.process)
+    vm.guest_kernel.drop_caches()
+    return row
+
+
 def run_cell_shadow_chain(
     *,
     workloads: tuple[str, ...],
@@ -88,45 +126,36 @@ def run_cell_shadow_chain(
 ) -> list[ShadowRow]:
     """One shadow-paging VM ages across the whole suite; one row per
     workload."""
-    costs = WalkLatencyModel().walk_costs()
-    rows = []
     vm = common.virtual_machine("ca", "ca", scale)
     pager = attach_shadow_paging(vm)
-    for name in workloads:
-        wl = common.workload(name, scale)
-        splinters_before = pager.stats.splintered_leaves
-        r = run_virtualized(vm, wl, RunOptions(sample_every=None, exit_after=False))
-        view = TranslationView.virtualized(vm, r.process)
-        sim = MmuSimulator(view, hw).run(
-            wl.trace(trace_len), r.vma_start_vpns, workload=wl
-        )
-        t_ideal = sim.t_ideal_cycles
-        syncs = r.faults.total_faults  # one shadow sync per guest PTE install
-        nested_cycles = sim.walks * costs.nested_thp
-        shadow_walk_cycles = sim.walks * costs.native_thp
-        spot_exposed = (
-            sim.spot_no_prediction
-            + sim.spot_mispredict
-        )
-        flush = sim.spot_mispredict * costs.mispredict_penalty
-        rows.append(
-            ShadowRow(
-                workload=name,
-                nested_overhead=nested_cycles / t_ideal,
-                shadow_walk_overhead=shadow_walk_cycles / t_ideal,
-                shadow_sync_overhead=syncs * SHADOW_SYNC_CYCLES
-                / (t_ideal * STEADY_WINDOWS),
-                nested_spot_overhead=(spot_exposed * costs.nested_thp + flush)
-                / t_ideal,
-                shadow_spot_overhead=(spot_exposed * costs.native_thp + flush)
-                / t_ideal,
-                splintered_leaves=pager.stats.splintered_leaves
-                - splinters_before,
-            )
-        )
-        vm.guest_exit_process(r.process)
-        vm.guest_kernel.drop_caches()
-    return rows
+    return [
+        _shadow_step(vm, pager, name, scale, hw, trace_len)
+        for name in workloads
+    ]
+
+
+def run_cell_shadow_stage(
+    prev: common.ChainStage | None = None,
+    *,
+    workload: str,
+    scale: ScaleProfile,
+    hw: HardwareConfig,
+    trace_len: int,
+) -> common.ChainStage:
+    """One checkpointed workload step of the shadow chain.
+
+    The pager (hooks, tables, stats) rides inside the VM pickle, so a
+    resumed stage continues exactly where the checkpoint left off.
+    """
+    if prev is None:
+        vm = common.virtual_machine("ca", "ca", scale)
+        pager = attach_shadow_paging(vm)
+    else:
+        vm = common.resume_vm(prev)
+        pager = vm.shadow_pager
+    row = _shadow_step(vm, pager, workload, scale, hw, trace_len)
+    blob, digest = common.checkpoint_vm(vm)
+    return common.ChainStage(payload=row, state=blob, state_digest=digest)
 
 
 def plan(
@@ -134,28 +163,46 @@ def plan(
     workloads: tuple[str, ...] = common.SUITE,
     hw: HardwareConfig | None = None,
     trace_len: int = TRACE_LEN,
+    staged: bool = True,
 ) -> Plan:
-    """A single chain cell: the shadow pager's state (and the VM's
-    fragmentation) carries across workloads."""
+    """The shadow chain: the pager's state (and the VM's fragmentation)
+    carries across workloads — per-workload checkpointed stages by
+    default, one monolithic cell with ``staged=False``."""
     scale = scale or common.QUICK_SCALE
     hw = hw or HardwareConfig()
-    cells = [
-        cell(
-            "repro.experiments.ext_shadow:run_cell_shadow_chain",
-            workloads=tuple(workloads),
-            scale=scale,
-            hw=hw,
-            trace_len=trace_len,
-        )
-    ]
+    if staged:
+        cells_out = []
+        prev: tuple = ()
+        for name in workloads:
+            c = cell(
+                "repro.experiments.ext_shadow:run_cell_shadow_stage",
+                deps=prev,
+                workload=name,
+                scale=scale,
+                hw=hw,
+                trace_len=trace_len,
+            )
+            cells_out.append(c)
+            prev = (c,)
+    else:
+        cells_out = [
+            cell(
+                "repro.experiments.ext_shadow:run_cell_shadow_chain",
+                workloads=tuple(workloads),
+                scale=scale,
+                hw=hw,
+                trace_len=trace_len,
+            )
+        ]
 
     def assemble(results) -> ExtShadowResult:
+        rows = common.stage_payloads(results) if staged else results[0]
         out = ExtShadowResult()
-        for row in results[0]:
+        for row in rows:
             out.rows[row.workload] = row
         return out
 
-    return Plan(cells, assemble)
+    return Plan(cells_out, assemble)
 
 
 def run(

@@ -66,6 +66,36 @@ class ExtVhcResult:
         )
 
 
+def _vhc_step(vm, name: str, scale: ScaleProfile, hw: HardwareConfig,
+              trace_len: int) -> VhcRow:
+    """One workload on an aging CA+CA VM; costs both organisations."""
+    wl = common.workload(name, scale)
+    r = run_virtualized(vm, wl, RunOptions(sample_every=None, exit_after=False))
+    view = TranslationView.virtualized(vm, r.process)
+    trace = wl.trace(trace_len)
+    baseline = MmuSimulator(view, hw).run(trace, r.vma_start_vpns, workload=wl)
+    resolved = view.resolve(trace, r.vma_start_vpns)
+    distance = anchor_distance_for(
+        [int(x) for x in (view.ends - view.starts)]
+    )
+    # The anchor TLB replaces the L2 STLB: give it the same budget.
+    vhc = simulate_vhc(resolved, distance, entries=hw.l2_entries,
+                       ways=hw.l2_ways)
+    row = VhcRow(
+        workload=name,
+        anchor_distance=distance,
+        baseline_miss_rate=baseline.miss_rate,
+        vhc_miss_rate=vhc.miss_rate,
+        spot_exposed_rate=(
+            baseline.spot_no_prediction + baseline.spot_mispredict
+        ) / max(1, baseline.accesses),
+        avg_pages_per_entry=vhc.avg_pages_per_entry,
+    )
+    vm.guest_exit_process(r.process)
+    vm.guest_kernel.drop_caches()
+    return row
+
+
 def run_cell_vhc_chain(
     *,
     workloads: tuple[str, ...],
@@ -74,36 +104,25 @@ def run_cell_vhc_chain(
     trace_len: int,
 ) -> list[VhcRow]:
     """One aging CA+CA VM; per workload, cost both TLB organisations."""
-    rows = []
     vm = common.virtual_machine("ca", "ca", scale)
-    for name in workloads:
-        wl = common.workload(name, scale)
-        r = run_virtualized(vm, wl, RunOptions(sample_every=None, exit_after=False))
-        view = TranslationView.virtualized(vm, r.process)
-        trace = wl.trace(trace_len)
-        baseline = MmuSimulator(view, hw).run(trace, r.vma_start_vpns, workload=wl)
-        resolved = view.resolve(trace, r.vma_start_vpns)
-        distance = anchor_distance_for(
-            [int(x) for x in (view.ends - view.starts)]
-        )
-        # The anchor TLB replaces the L2 STLB: give it the same budget.
-        vhc = simulate_vhc(resolved, distance, entries=hw.l2_entries,
-                           ways=hw.l2_ways)
-        rows.append(
-            VhcRow(
-                workload=name,
-                anchor_distance=distance,
-                baseline_miss_rate=baseline.miss_rate,
-                vhc_miss_rate=vhc.miss_rate,
-                spot_exposed_rate=(
-                    baseline.spot_no_prediction + baseline.spot_mispredict
-                ) / max(1, baseline.accesses),
-                avg_pages_per_entry=vhc.avg_pages_per_entry,
-            )
-        )
-        vm.guest_exit_process(r.process)
-        vm.guest_kernel.drop_caches()
-    return rows
+    return [_vhc_step(vm, name, scale, hw, trace_len) for name in workloads]
+
+
+def run_cell_vhc_stage(
+    prev: common.ChainStage | None = None,
+    *,
+    workload: str,
+    scale: ScaleProfile,
+    hw: HardwareConfig,
+    trace_len: int,
+) -> common.ChainStage:
+    """One checkpointed workload step of the vHC chain."""
+    vm = common.resume_vm(prev) if prev is not None else (
+        common.virtual_machine("ca", "ca", scale)
+    )
+    row = _vhc_step(vm, workload, scale, hw, trace_len)
+    blob, digest = common.checkpoint_vm(vm)
+    return common.ChainStage(payload=row, state=blob, state_digest=digest)
 
 
 def plan(
@@ -111,27 +130,46 @@ def plan(
     workloads: tuple[str, ...] = common.SUITE,
     hw: HardwareConfig | None = None,
     trace_len: int = TRACE_LEN,
+    staged: bool = True,
 ) -> Plan:
-    """A single chain cell — the VM ages across the suite."""
+    """The vHC chain — the VM ages across the suite; per-workload
+    checkpointed stages by default, one monolithic cell with
+    ``staged=False``."""
     scale = scale or common.QUICK_SCALE
     hw = hw or HardwareConfig()
-    cells = [
-        cell(
-            "repro.experiments.ext_vhc:run_cell_vhc_chain",
-            workloads=tuple(workloads),
-            scale=scale,
-            hw=hw,
-            trace_len=trace_len,
-        )
-    ]
+    if staged:
+        cells_out = []
+        prev: tuple = ()
+        for name in workloads:
+            c = cell(
+                "repro.experiments.ext_vhc:run_cell_vhc_stage",
+                deps=prev,
+                workload=name,
+                scale=scale,
+                hw=hw,
+                trace_len=trace_len,
+            )
+            cells_out.append(c)
+            prev = (c,)
+    else:
+        cells_out = [
+            cell(
+                "repro.experiments.ext_vhc:run_cell_vhc_chain",
+                workloads=tuple(workloads),
+                scale=scale,
+                hw=hw,
+                trace_len=trace_len,
+            )
+        ]
 
     def assemble(results) -> ExtVhcResult:
+        rows = common.stage_payloads(results) if staged else results[0]
         out = ExtVhcResult()
-        for row in results[0]:
+        for row in rows:
             out.rows[row.workload] = row
         return out
 
-    return Plan(cells, assemble)
+    return Plan(cells_out, assemble)
 
 
 def run(

@@ -67,15 +67,17 @@ def plan(
     workloads: tuple[str, ...] = common.SUITE,
     hw: HardwareConfig | None = None,
     trace_len: int = TRACE_LEN,
+    staged: bool = True,
 ) -> Plan:
-    """One CA+CA chain cell — identical to fig 13's scheme chain and
-    Table VII's counter source, so the cache computes it once."""
+    """The CA+CA chain — identical to fig 13's scheme chain and
+    Table VII's counter source, so the cache computes it once.  Staged
+    (the default) it is one checkpointed cell per workload;
+    ``staged=False`` keeps the monolithic single cell."""
     scale = scale or common.DEFAULT_SCALE
     hw = hw or HardwareConfig()
     workloads = tuple(workloads)
-    cells = [
-        cell(
-            "repro.experiments.common:run_cell_virt_sim_chain",
+    if staged:
+        cells = common.virt_sim_stage_cells(
             host_policy="ca",
             guest_policy="ca",
             workloads=workloads,
@@ -83,11 +85,23 @@ def plan(
             hw=hw,
             trace_len=trace_len,
         )
-    ]
+    else:
+        cells = [
+            cell(
+                "repro.experiments.common:run_cell_virt_sim_chain",
+                host_policy="ca",
+                guest_policy="ca",
+                workloads=workloads,
+                scale=scale,
+                hw=hw,
+                trace_len=trace_len,
+            )
+        ]
 
     def assemble(results) -> Fig14Result:
+        chain = common.stage_payloads(results) if staged else results[0]
         out = Fig14Result()
-        for name, (sim,) in zip(workloads, results[0]):
+        for name, (sim,) in zip(workloads, chain):
             out.breakdown[name] = sim.spot_breakdown()
         return out
 

@@ -79,15 +79,16 @@ def plan(
     workloads: tuple[str, ...] = common.SUITE,
     hw: HardwareConfig | None = None,
     trace_len: int = TRACE_LEN,
+    staged: bool = True,
 ) -> Plan:
-    """One CA+CA chain cell (shared with fig 13 / fig 14); the USL
-    equations apply to the simulated counters at assembly time."""
+    """The CA+CA chain (shared with fig 13 / fig 14; staged per
+    workload by default); the USL equations apply to the simulated
+    counters at assembly time."""
     scale = scale or common.DEFAULT_SCALE
     hw = hw or HardwareConfig()
     workloads = tuple(workloads)
-    cells = [
-        cell(
-            "repro.experiments.common:run_cell_virt_sim_chain",
+    if staged:
+        cells = common.virt_sim_stage_cells(
             host_policy="ca",
             guest_policy="ca",
             workloads=workloads,
@@ -95,12 +96,24 @@ def plan(
             hw=hw,
             trace_len=trace_len,
         )
-    ]
+    else:
+        cells = [
+            cell(
+                "repro.experiments.common:run_cell_virt_sim_chain",
+                host_policy="ca",
+                guest_policy="ca",
+                workloads=workloads,
+                scale=scale,
+                hw=hw,
+                trace_len=trace_len,
+            )
+        ]
 
     def assemble(results) -> Table7Result:
+        chain = common.stage_payloads(results) if staged else results[0]
         walk_cycles = WalkLatencyModel().walk_costs().nested_thp
         out = Table7Result()
-        for name, (sim,) in zip(workloads, results[0]):
+        for name, (sim,) in zip(workloads, chain):
             wl = common.workload(name, scale)
             instructions = wl.instruction_count(sim.accesses)
             cycles = instructions * EFFECTIVE_CPI + sim.walks * walk_cycles

@@ -163,6 +163,23 @@ class Histogram:
         """Average observation (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        The serve layer aggregates per-job executor histograms into the
+        registry-held ones this way.  Bounds must match exactly — a
+        merge across different bucket layouts would silently misbin.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.total += other.total
+        self.count += other.count
+
     def as_dict(self) -> dict:
         """JSON-ready summary with common latency percentiles."""
         return {

@@ -36,7 +36,13 @@ from repro.chaos.clock import CLOCK
 from repro.errors import ConfigError
 from repro.serve.metrics import Registry
 from repro.sim.cache import RunCache, code_version_salt, spec_digest
-from repro.sim.jobs import Executor, ExecutorStats, Plan, run_plans
+from repro.sim.jobs import (
+    CELL_SECONDS_BUCKETS,
+    Executor,
+    ExecutorStats,
+    Plan,
+    run_plans,
+)
 
 
 class QueueFull(Exception):
@@ -261,6 +267,26 @@ class Scheduler:
             "Cache stores dropped because the disk write failed.",
             fn=lambda: self.cache.write_failures if self.cache else 0,
         )
+        for name, help_text in (
+            ("tier_hits", "Local misses served by the shared cache tier."),
+            ("tier_misses", "Shared-tier lookups that also missed."),
+            ("tier_stores", "Blobs written through to the shared tier."),
+            ("tier_errors", "Shared-tier operations that failed."),
+        ):
+            registry.gauge(
+                f"repro_cache_{name}", help_text,
+                fn=lambda n=name: getattr(self.cache, n) if self.cache else 0,
+            )
+        self.m_cell_compute = registry.histogram(
+            "repro_cell_compute_seconds",
+            "Per-cell compute time inside executor workers.",
+            buckets=CELL_SECONDS_BUCKETS,
+        )
+        self.m_cell_queue_wait = registry.histogram(
+            "repro_cell_queue_wait_seconds",
+            "Per-cell wait between pool submission and worker start.",
+            buckets=CELL_SECONDS_BUCKETS,
+        )
         if self.injector is not None:
             registry.func_counter(
                 "repro_chaos_faults_total",
@@ -410,6 +436,9 @@ class Scheduler:
             )
             self.m_jobs.inc("failed")
         self.totals.merge(executor.stats)
+        self.m_cell_compute.hist.merge(executor.compute_hist)
+        self.m_cell_queue_wait.hist.merge(executor.queue_wait_hist)
+        executor.close()
         job.outcome.set_result(outcome)
         if outcome.status == "done":
             job.publish({

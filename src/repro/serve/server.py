@@ -7,6 +7,9 @@ Endpoints::
     GET  /metrics            Prometheus text exposition
     POST /v1/run             {"experiment", "scale", "params"} -> result
     POST /v1/run?stream=1    NDJSON progress events, result last
+    GET  /v1/cache/<key>     shared-tier blob fetch (octet-stream | 404)
+    PUT  /v1/cache/<key>     shared-tier blob publish (201 stored |
+                             200 already present: first writer wins)
 
 Design notes.  One connection serves one request (``Connection:
 close``) — parsing stays trivial and a load generator saturates it
@@ -39,7 +42,7 @@ from repro.serve.scheduler import (
 from repro.sim.cache import RunCache
 
 REASONS = {
-    200: "OK", 400: "Bad Request", 404: "Not Found",
+    200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 408: "Request Timeout",
     413: "Payload Too Large", 500: "Internal Server Error",
     503: "Service Unavailable",
@@ -50,6 +53,9 @@ MAX_HEADER_LINE = 8192
 MAX_HEADERS = 64
 MAX_TARGET = 2048
 MAX_BODY = 1 << 20
+#: Cache-tier PUTs carry pickled cell results — chain-stage checkpoints
+#: serialize whole VMs, far past the JSON request cap.
+CACHE_MAX_BODY = 64 << 20
 READ_TIMEOUT = 30.0
 
 JSON_TYPE = "application/json"
@@ -105,6 +111,11 @@ class ReproServer:
         self.m_dropped = self.registry.counter(
             "repro_connections_dropped_total",
             "Connections dropped before reading (injected accept faults).",
+        )
+        self.m_cache_tier = self.registry.counter(
+            "repro_cache_tier_requests_total",
+            "Shared-tier blob operations served, by outcome.",
+            label="outcome",
         )
         self.scheduler = Scheduler(
             queue_depth=queue_depth, workers=workers, sim_jobs=sim_jobs,
@@ -245,9 +256,15 @@ class ReproServer:
                 raise _HttpError(400, "bad Content-Length") from None
             if length < 0:
                 raise _HttpError(400, "bad Content-Length")
-            if length > self.max_body:
+            # Blob PUTs on the cache tier get their own (much larger)
+            # cap; everything else keeps the tight JSON-body limit.
+            body_cap = (
+                CACHE_MAX_BODY if target.startswith("/v1/cache/")
+                else self.max_body
+            )
+            if length > body_cap:
                 raise _HttpError(
-                    413, f"body exceeds {self.max_body} bytes"
+                    413, f"body exceeds {body_cap} bytes"
                 )
             if self.injector is not None:
                 record = self.injector.fire("serve.body", f"conn{conn_id}")
@@ -265,7 +282,12 @@ class ReproServer:
                         headers: dict, body: bytes) -> None:
         url = urlsplit(target)
         path = url.path
-        self.m_requests.inc(path)
+        # Per-key cache paths collapse to one label value — a fleet
+        # syncing thousands of digests must not explode the cardinality
+        # of the requests counter.
+        self.m_requests.inc(
+            "/v1/cache" if path.startswith("/v1/cache/") else path
+        )
         if path == "/healthz" and method == "GET":
             await self._respond_json(writer, 200, {
                 "status": "ok",
@@ -296,6 +318,10 @@ class ReproServer:
                 "0", "", "false"
             )
             await self._handle_run(writer, body, stream)
+        elif path.startswith("/v1/cache/"):
+            await self._handle_cache(
+                writer, method, path[len("/v1/cache/"):], body
+            )
         else:
             await self._respond_json(
                 writer, 404, {"error": f"no route for {method} {path}"}
@@ -340,6 +366,63 @@ class ReproServer:
         else:
             outcome = await asyncio.shield(job.outcome)
             await self._respond_outcome(writer, job, outcome, coalesced)
+
+    async def _handle_cache(self, writer, method: str, key: str,
+                            body: bytes) -> None:
+        """The shared blob tier: GET/PUT pickled cell results by digest.
+
+        The server never unpickles blobs — it stores and serves bytes;
+        deserialization (and corruption quarantine) stays on the client
+        side.  PUT is first-writer-wins (single-writer promotion): a
+        digest already present answers 200 without touching disk, so a
+        fleet racing to publish the same result writes it once.
+        """
+        cache = self.scheduler.cache
+        if cache is None:
+            await self._respond_json(
+                writer, 404, {"error": "cache tier disabled (--no-cache)"}
+            )
+            return
+        if len(key) != 64 or any(c not in "0123456789abcdef" for c in key):
+            await self._respond_json(
+                writer, 400,
+                {"error": "key must be a 64-char lowercase hex digest"},
+            )
+            return
+        loop = asyncio.get_running_loop()
+        if method == "GET":
+            blob = await loop.run_in_executor(None, cache.read_blob, key)
+            if blob is None:
+                self.m_cache_tier.inc("get_miss")
+                await self._respond_json(
+                    writer, 404, {"error": f"no blob for {key[:12]}"}
+                )
+            else:
+                self.m_cache_tier.inc("get_hit")
+                await self._respond(
+                    writer, 200, blob,
+                    content_type="application/octet-stream",
+                )
+        elif method == "PUT":
+            outcome = await loop.run_in_executor(
+                None, lambda: cache.write_blob(key, body, overwrite=False)
+            )
+            if outcome == "stored":
+                self.m_cache_tier.inc("put_stored")
+                await self._respond_json(writer, 201, {"stored": key})
+            elif outcome == "exists":
+                self.m_cache_tier.inc("put_exists")
+                await self._respond_json(writer, 200, {"exists": key})
+            else:
+                self.m_cache_tier.inc("put_failed")
+                await self._respond_json(
+                    writer, 500, {"error": "blob store failed"}
+                )
+        else:
+            await self._respond_json(
+                writer, 405, {"error": "GET or PUT required"},
+                extra=[("Allow", "GET, PUT")],
+            )
 
     async def _respond_outcome(self, writer, job: Job, outcome: JobOutcome,
                                coalesced: bool) -> None:
@@ -419,8 +502,14 @@ def build_server(args) -> ReproServer:
         ))
     cache = None
     if not getattr(args, "no_cache", False):
+        tier = None
+        cache_url = getattr(args, "cache_url", None)
+        if cache_url:
+            from repro.sim.cache import HttpCacheTier
+
+            tier = HttpCacheTier(cache_url)
         cache = RunCache(getattr(args, "cache_dir", None),
-                         injector=injector)
+                         injector=injector, tier=tier)
     return ReproServer(
         host=args.host, port=args.port,
         queue_depth=args.queue_depth, workers=args.workers,

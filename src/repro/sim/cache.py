@@ -31,6 +31,16 @@ counted in ``write_failures`` instead of failing the run.  Both paths
 double as chaos injection sites (``cache.read`` corrupts the entry on
 disk before the read so the real quarantine machinery runs;
 ``cache.write`` drops the store) — see :mod:`repro.chaos`.
+
+A cache can additionally **federate** through a shared HTTP tier
+(:class:`HttpCacheTier`, served by ``repro serve`` at
+``/v1/cache/<key>``): local misses read through the tier and fill the
+local disk (L1), local stores write through, and the tier's
+single-writer promotion (``PUT`` of an existing key is a no-op)
+guarantees each spec digest is published exactly once fleet-wide.  The
+tier is strictly best-effort: any network or protocol failure counts in
+``tier_errors`` and degrades to a plain local miss/store, never an
+error in the run.
 """
 
 from __future__ import annotations
@@ -38,10 +48,12 @@ from __future__ import annotations
 import dataclasses
 import functools
 import hashlib
+import http.client
 import json
 import os
 import pickle
 import tempfile
+import urllib.parse
 from pathlib import Path
 from typing import Any
 
@@ -123,6 +135,76 @@ def spec_digest(spec: Any, salt: str) -> str:
     return hashlib.sha256((salt + "\0" + canonical).encode()).hexdigest()
 
 
+class HttpCacheTier:
+    """Client for the shared blob tier exposed by ``repro serve``.
+
+    Speaks plain HTTP/1.1 over :mod:`http.client` (one connection per
+    operation — the server closes after each response anyway):
+
+    - ``GET /v1/cache/<key>`` → 200 + pickled blob, or 404;
+    - ``PUT /v1/cache/<key>`` → 201 (stored) or 200 (already present —
+      the tier keeps the first writer's copy, so a digest is published
+      once globally).
+
+    Every failure mode — connection refused, timeout, protocol garbage,
+    unexpected status — increments ``errors`` and returns ``None``; the
+    owning :class:`RunCache` then behaves as if no tier existed.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 10.0):
+        parts = urllib.parse.urlsplit(base_url)
+        if parts.scheme not in ("http", ""):
+            raise ValueError(f"cache tier URL must be http://, got {base_url!r}")
+        netloc = parts.netloc or parts.path
+        if not netloc:
+            raise ValueError(f"cache tier URL needs a host, got {base_url!r}")
+        self.host = netloc.rpartition(":")[0] if ":" in netloc else netloc
+        self.port = int(netloc.rpartition(":")[2]) if ":" in netloc else 80
+        self.base_path = (parts.path if parts.netloc else "").rstrip("/")
+        self.timeout = timeout
+        self.gets = 0
+        self.puts = 0
+        self.errors = 0
+
+    def _request(self, method: str, key: str, body: bytes | None = None):
+        """One request/response; returns ``(status, body)`` or ``None``."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request(method, f"{self.base_path}/v1/cache/{key}",
+                         body=body)
+            resp = conn.getresponse()
+            return resp.status, resp.read()
+        except (OSError, http.client.HTTPException):
+            self.errors += 1
+            return None
+        finally:
+            conn.close()
+
+    def get(self, key: str) -> bytes | None:
+        """Fetch a blob from the tier; ``None`` on miss or failure."""
+        self.gets += 1
+        out = self._request("GET", key)
+        if out is None:
+            return None
+        status, data = out
+        return data if status == 200 else None
+
+    def put(self, key: str, blob: bytes) -> str | None:
+        """Publish a blob; ``"stored"``, ``"exists"`` or ``None``."""
+        self.puts += 1
+        out = self._request("PUT", key, body=blob)
+        if out is None:
+            return None
+        status, _ = out
+        if status == 201:
+            return "stored"
+        if status == 200:
+            return "exists"
+        self.errors += 1
+        return None
+
+
 class RunCache:
     """On-disk content-addressed store of cell results.
 
@@ -138,6 +220,11 @@ class RunCache:
         Optional :class:`~repro.chaos.FaultInjector` driving the
         ``cache.read`` / ``cache.write`` fault sites; ``None`` (the
         default) leaves the hot path untouched.
+    tier:
+        Optional shared tier (:class:`HttpCacheTier` or anything with
+        its ``get``/``put`` shape).  Local misses read through it and
+        fill the local disk; local stores write through.  Best-effort
+        only — tier failures never fail the run.
     """
 
     #: Errors that mean "the entry exists but cannot be deserialized".
@@ -148,15 +235,20 @@ class RunCache:
     )
 
     def __init__(self, root: str | Path | None = None, salt: str | None = None,
-                 injector=None):
+                 injector=None, tier=None):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.salt = code_version_salt() if salt is None else salt
         self.injector = injector
+        self.tier = tier
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.corrupt_evictions = 0
         self.write_failures = 0
+        self.tier_hits = 0
+        self.tier_misses = 0
+        self.tier_stores = 0
+        self.tier_errors = 0
 
     def path_for(self, key: str) -> Path:
         """Where a key's entry lives (two-level fan-out like git)."""
@@ -206,8 +298,7 @@ class RunCache:
         try:
             fh = path.open("rb")
         except FileNotFoundError:
-            self.misses += 1
-            return MISS
+            return self._tier_get(key, path)
         except OSError:
             self._quarantine(key, path)
             self.misses += 1
@@ -226,30 +317,74 @@ class RunCache:
         self.hits += 1
         return value
 
-    def put(self, key: str, value: Any) -> None:
-        """Store a result under ``key`` (atomic; last writer wins).
+    def _tier_get(self, key: str, path: Path) -> Any:
+        """Local miss: read through the shared tier, fill the L1.
 
-        A failed disk write (full disk, permissions, injected
-        ``cache.write`` fault) degrades to "not cached" — counted in
-        ``write_failures`` — because a cache must never turn a
-        computed result into an error.
+        A tier blob that will not unpickle counts as a ``tier_error``
+        and stays out of the local store; a clean fetch fills the local
+        disk (so the next read is local) and counts as a hit.
         """
-        if self.injector is not None:
-            record = self.injector.fire("cache.write", key)
-            if record is not None:
-                self.write_failures += 1
-                self.injector.recover(record, "dropped_write")
-                return
+        if self.tier is None:
+            self.misses += 1
+            return MISS
+        blob = self.tier.get(key)
+        if blob is None:
+            self.tier_misses += 1
+            self.misses += 1
+            return MISS
+        try:
+            value = pickle.loads(blob)
+        except self.CORRUPTION_ERRORS:
+            self.tier_errors += 1
+            self.misses += 1
+            return MISS
+        self.tier_hits += 1
+        self.write_blob(key, blob)
+        self.hits += 1
+        return value
+
+    def read_blob(self, key: str) -> bytes | None:
+        """Raw bytes of a local entry (the serve-side GET route).
+
+        Refreshes the entry's mtime like :meth:`get` so tier reads keep
+        hot blobs out of :meth:`prune`'s way, but never deserializes —
+        the server moves blobs, only clients unpickle them.
+        """
         path = self.path_for(key)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            self._quarantine(key, path)
+            return None
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - entry raced away
+            pass
+        return blob
+
+    def write_blob(self, key: str, blob: bytes,
+                   overwrite: bool = True) -> str:
+        """Store raw bytes under ``key`` (atomic rename).
+
+        Returns ``"stored"``, ``"exists"`` (only with
+        ``overwrite=False`` — the serve-side single-writer promotion:
+        the first PUT of a digest wins and later ones are no-ops) or
+        ``"failed"`` (counted in ``write_failures``).
+        """
+        path = self.path_for(key)
+        if not overwrite and path.exists():
+            return "exists"
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         except OSError:
             self.write_failures += 1
-            return
+            return "failed"
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(blob)
             os.replace(tmp, path)
         except OSError:
             self.write_failures += 1
@@ -257,7 +392,7 @@ class RunCache:
                 os.unlink(tmp)
             except OSError:
                 pass
-            return
+            return "failed"
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -265,6 +400,31 @@ class RunCache:
                 pass
             raise
         self.stores += 1
+        return "stored"
+
+    def put(self, key: str, value: Any) -> None:
+        """Store a result under ``key`` (atomic; last writer wins).
+
+        A failed disk write (full disk, permissions, injected
+        ``cache.write`` fault) degrades to "not cached" — counted in
+        ``write_failures`` — because a cache must never turn a
+        computed result into an error.  With a tier attached the blob
+        also writes through (best effort; the tier keeps the first
+        writer's copy).
+        """
+        if self.injector is not None:
+            record = self.injector.fire("cache.write", key)
+            if record is not None:
+                self.write_failures += 1
+                self.injector.recover(record, "dropped_write")
+                return
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        self.write_blob(key, blob)
+        if self.tier is not None:
+            if self.tier.put(key, blob) is None:
+                self.tier_errors += 1
+            else:
+                self.tier_stores += 1
 
     def _entries(self) -> list[tuple[Path, float, int]]:
         """``(path, mtime, size_bytes)`` per entry, oldest first.
@@ -340,6 +500,10 @@ class RunCache:
             "write_failures": self.write_failures,
             "quarantined": quarantined,
             "quarantined_bytes": quarantined_bytes,
+            "tier_hits": self.tier_hits,
+            "tier_misses": self.tier_misses,
+            "tier_stores": self.tier_stores,
+            "tier_errors": self.tier_errors,
         }
 
     def prune(self, max_bytes: int) -> dict:
@@ -349,6 +513,13 @@ class RunCache:
         :meth:`get`), so a long-lived server keeps its hot working set
         while the cold tail is reclaimed.  Returns a JSON-ready summary
         of what was removed and what remains.
+
+        The walk races against concurrent readers and pruners by
+        design: each candidate is re-``stat``-ed immediately before the
+        unlink, so an entry a concurrent :meth:`get` just refreshed is
+        recognized as hot and skipped rather than evicted on its stale
+        scan-time mtime, and an entry that vanished (another pruner, a
+        :meth:`clear`) is skipped rather than raising.
         """
         if max_bytes < 0:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
@@ -356,9 +527,18 @@ class RunCache:
         total = sum(size for _, _, size in entries)
         removed = 0
         freed = 0
-        for path, _, size in entries:
+        for path, mtime, size in entries:
             if total - freed <= max_bytes:
                 break
+            try:
+                st = path.stat()
+            except OSError:
+                # Vanished since the scan — already freed by someone
+                # else; its bytes no longer count against the budget.
+                freed += size
+                continue
+            if st.st_mtime > mtime:
+                continue  # refreshed by a concurrent get(): hot, keep it
             try:
                 path.unlink()
             except OSError:

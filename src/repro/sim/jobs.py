@@ -1,44 +1,66 @@
-"""Job-graph execution for experiments: run cells, fan-out, memoize.
+"""Job-graph execution for experiments: run cells, DAG fan-out, memoize.
 
-Every experiment decomposes into **run cells** — independent, hashable
-units of simulation work such as "run ``svm`` under ``ca`` at quick
-scale" or "replay the suite through one aging CA+CA VM".  A cell names
-a module-level function plus keyword arguments that are all simple
-values (primitives, tuples, dataclasses), which makes it:
+Every experiment decomposes into **run cells** — hashable units of
+simulation work such as "run ``svm`` under ``ca`` at quick scale" or
+"advance the aging CA+CA VM by one workload stage".  A cell names a
+module-level function plus keyword arguments that are all simple
+values (primitives, tuples, dataclasses), optionally **depending on
+other cells** whose results are passed as leading positional
+arguments.  That makes a cell:
 
 - *executable anywhere* — a worker process imports the function and
-  calls it;
+  calls it with the dependency results plus the kwargs;
 - *content-addressable* — the spec digests to a stable key (see
-  :mod:`repro.sim.cache`), so identical cells from sibling experiments
-  (fig 11 / table V / table VI sweep the same native grid; fig 13 / 14
-  / table VII share the CA+CA virtualized chain) are computed once;
+  :mod:`repro.sim.cache`) covering the whole dependency prefix, so
+  identical cells from sibling experiments (fig 11 / table V / table
+  VI sweep the same native grid; fig 13 / 14 / table VII share the
+  CA+CA virtualized chain stages) are computed once;
 - *deterministic* — cells build their machines from seeded configs and
   must not read process-global mutable state, so a cell's result is a
   pure function of its spec and results collect in input order
   regardless of scheduling.
 
 The :class:`Executor` runs a batch of cells serially (``jobs=1``,
-in-process) or through a ``ProcessPoolExecutor`` fan-out, consulting an
-optional :class:`~repro.sim.cache.RunCache` before computing and
-storing every fresh result after.  Worker crashes — real
-``BrokenProcessPool`` breakage or faults injected through
-:mod:`repro.chaos` — are absorbed by bounded retry-with-backoff;
-because cells are pure, the retried results are byte-identical to an
-undisturbed run.
+in-process) or through a **persistent** ``ProcessPoolExecutor``,
+consulting an optional :class:`~repro.sim.cache.RunCache` before
+computing and storing every fresh result the moment it lands (so an
+interrupted run resumes from its last completed stage).  Scheduling is
+dependency-aware: a topological ready-queue dispatches
+critical-path-first (longest remaining chain wins), chain stages go
+out solo so their successors unblock as early as possible, and
+independent leaf cells are batched per submission to amortize
+pickle/spawn overhead.  Worker crashes — real ``BrokenProcessPool``
+breakage or faults injected through :mod:`repro.chaos` — are absorbed
+by bounded retry-with-backoff; because cells are pure, the retried
+results are byte-identical to an undisturbed run.
 """
 
 from __future__ import annotations
 
 import hashlib
+import heapq
 import importlib
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.chaos.clock import CLOCK
 from repro.errors import ConfigError
+from repro.metrics.profiling import Histogram
 from repro.sim.cache import MISS, RunCache, spec_digest
+
+#: Compute-time / queue-wait buckets (seconds).  Cheap native cells sit
+#: in the head, aging-VM chain stages in the 1–60 s tail.
+CELL_SECONDS_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+#: Most leaf cells one pool submission carries (amortizes pickle/spawn
+#: without starving other workers).
+MAX_BATCH = 8
 
 
 class WorkerCrashLoop(RuntimeError):
@@ -50,12 +72,15 @@ class Cell:
     """One hashable unit of experiment work.
 
     ``fn`` is a ``"module.path:function"`` reference to a module-level
-    callable; ``kwargs`` is a sorted tuple of keyword arguments.  Build
-    cells with :func:`cell` rather than directly.
+    callable; ``kwargs`` is a sorted tuple of keyword arguments;
+    ``deps`` names cells whose results are passed as leading positional
+    arguments (the stage-checkpoint chains).  Build cells with
+    :func:`cell` rather than directly.
     """
 
     fn: str
     kwargs: tuple[tuple[str, Any], ...] = ()
+    deps: tuple["Cell", ...] = ()
 
     def resolve(self) -> Callable[..., Any]:
         """Import and return the cell function."""
@@ -65,8 +90,16 @@ class Cell:
         return getattr(importlib.import_module(module_name), attr)
 
     def spec(self) -> dict:
-        """The cell as plain data (input of the cache key)."""
-        return {"fn": self.fn, "kwargs": dict(self.kwargs)}
+        """The cell as plain data (input of the cache key).
+
+        Dependencies encode recursively, so a stage's content address
+        covers its whole chain prefix — any change to an earlier stage
+        (or its kwargs) shifts every address downstream of it.
+        """
+        out: dict = {"fn": self.fn, "kwargs": dict(self.kwargs)}
+        if self.deps:
+            out["deps"] = [d.spec() for d in self.deps]
+        return out
 
     def key(self, salt: str) -> str:
         """Content address of this cell under a code salt."""
@@ -78,14 +111,30 @@ class Cell:
         return f"{self.fn.rpartition(':')[2]}({args})"
 
 
-def cell(fn: str, **kwargs) -> Cell:
+def cell(fn: str, deps: Sequence[Cell] = (), **kwargs) -> Cell:
     """Build a :class:`Cell` with canonically ordered kwargs."""
-    return Cell(fn=fn, kwargs=tuple(sorted(kwargs.items())))
+    return Cell(fn=fn, kwargs=tuple(sorted(kwargs.items())), deps=tuple(deps))
 
 
-def execute_cell(c: Cell) -> Any:
+def execute_cell(c: Cell, dep_values: Sequence[Any] = ()) -> Any:
     """Run one cell in the current process (also the worker entry)."""
-    return c.resolve()(**dict(c.kwargs))
+    return c.resolve()(*dep_values, **dict(c.kwargs))
+
+
+def _pool_run_batch(items: list[tuple[Cell, tuple]]) -> list[tuple[float, float, Any]]:
+    """Worker entry: run a batch of (cell, dep_values) sequentially.
+
+    Returns ``(started_wall, compute_seconds, value)`` per item so the
+    submitting side can attribute queue wait (submit → start, wall
+    clocks are comparable across processes) and compute time.
+    """
+    out = []
+    for c, dep_values in items:
+        started_wall = time.time()
+        t0 = time.perf_counter()
+        value = execute_cell(c, dep_values)
+        out.append((started_wall, time.perf_counter() - t0, value))
+    return out
 
 
 @dataclass
@@ -135,13 +184,13 @@ class ExecutorStats:
 
 
 class Executor:
-    """Runs batches of cells with optional parallelism and memoization.
+    """Runs cell DAGs with optional parallelism and memoization.
 
     Parameters
     ----------
     jobs:
         Worker processes.  ``1`` (the default) runs cells inline in
-        submission order — byte-identical behaviour, no fork cost.
+        topological order — byte-identical behaviour, no fork cost.
     cache:
         A :class:`RunCache` consulted per cell; ``None`` disables
         memoization (the default, so library callers and tests are
@@ -166,12 +215,22 @@ class Executor:
         Retry budget per cell for worker crashes (first try included).
     backoff_base:
         First retry delay in seconds; doubles per further attempt.
+    batch:
+        Leaf cells per pool submission (``None`` sizes automatically
+        from the ready-queue depth, capped at :data:`MAX_BATCH`).
+
+    The worker pool is created lazily and **persists across**
+    :meth:`run` calls, so repeated batches reuse warm workers; call
+    :meth:`close` (or use the executor as a context manager) to shut
+    it down.  ``compute_hist`` / ``queue_wait_hist`` collect per-cell
+    compute seconds and submit-to-start queue wait, exported by the
+    serve layer through ``/metrics``.
     """
 
     def __init__(self, jobs: int = 1, cache: RunCache | None = None,
                  progress: Callable[[str, Cell], None] | None = None,
                  injector=None, clock=None, max_attempts: int = 4,
-                 backoff_base: float = 0.05):
+                 backoff_base: float = 0.05, batch: int | None = None):
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.progress = progress
@@ -179,55 +238,167 @@ class Executor:
         self.clock = clock if clock is not None else CLOCK
         self.max_attempts = max(1, int(max_attempts))
         self.backoff_base = backoff_base
+        self.batch = batch
         self.stats = ExecutorStats()
+        self.compute_hist = Histogram(CELL_SECONDS_BUCKETS)
+        self.queue_wait_hist = Histogram(CELL_SECONDS_BUCKETS)
         self._salt = cache.salt if cache is not None else ""
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- lifecycle ----------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        """Drop a broken pool; the next parallel run builds a fresh one."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
 
     def _notify(self, event: str, c: Cell) -> None:
         if self.progress is not None:
             self.progress(event, c)
 
+    # -- the run -------------------------------------------------------
+
     def run(self, cells: Sequence[Cell]) -> list[Any]:
-        """Execute ``cells``; results return in input order.
+        """Execute ``cells`` (and their dependencies); results return in
+        input order.
 
         Duplicate cells (same content address) are computed once per
-        batch; cache hits skip computation entirely.
+        batch; cache hits skip computation entirely — including the
+        dependencies of a hit, which are never even looked up unless
+        some other pending cell needs them.  Every fresh result is
+        cached the moment it lands, so an interrupted run resumes from
+        its last completed stage.
         """
         cells = list(cells)
         self.stats.submitted += len(cells)
-        keys = [c.key(self._salt) for c in cells]
+        key_memo: dict[int, str] = {}
 
+        def key_of(c: Cell) -> str:
+            k = key_memo.get(id(c))
+            if k is None:
+                k = c.key(self._salt)
+                key_memo[id(c)] = k
+            return k
+
+        requested = [(key_of(c), c) for c in cells]
         results: dict[str, Any] = {}
-        pending: list[tuple[str, Cell]] = []
-        queued: set[str] = set()
-        for key, c in zip(keys, cells):
-            if key in results or key in queued:
+        seen: set[str] = set()
+        frontier: list[tuple[str, Cell]] = []
+        for k, c in requested:
+            if k in seen:
                 self.stats.deduped += 1
                 continue
-            if self.cache is not None:
-                hit = self.cache.get(key)
-                if hit is not MISS:
-                    results[key] = hit
-                    self.stats.cache_hits += 1
-                    self._notify("cache_hit", c)
+            seen.add(k)
+            if not self._from_cache(k, c, results):
+                frontier.append((k, c))
+
+        # Expand the misses into the cell DAG they actually need: a
+        # pending cell pulls in each dependency unless that dependency
+        # is itself served from the cache (the resume path recomputes
+        # only unfinished stages).  ``topo`` lists dependencies before
+        # their dependents.
+        univ: dict[str, Cell] = {}
+        topo: list[str] = []
+
+        def expand(k: str, c: Cell) -> None:
+            if k in univ or k in results:
+                return
+            univ[k] = c
+            for d in c.deps:
+                dk = key_of(d)
+                if dk in univ or dk in results:
                     continue
-            pending.append((key, c))
-            queued.add(key)
+                if not self._from_cache(dk, d, results):
+                    expand(dk, d)
+            topo.append(k)
 
-        if pending:
-            if self.jobs == 1 or len(pending) == 1:
-                computed = []
-                for key, c in pending:
-                    computed.append((key, self._attempt_cell(key, c)))
-                    self._notify("computed", c)
+        for k, c in frontier:
+            expand(k, c)
+
+        if topo:
+            dependents: dict[str, list[str]] = {k: [] for k in topo}
+            waiting: dict[str, int] = {}
+            for k in topo:
+                n = 0
+                for d in univ[k].deps:
+                    dk = key_of(d)
+                    if dk in dependents:
+                        dependents[dk].append(k)
+                        n += 1
+                waiting[k] = n
+            # Critical-path priority: longest remaining chain below a
+            # cell (itself included).  Chains dispatch head-first.
+            depth: dict[str, int] = {}
+            for k in reversed(topo):
+                depth[k] = 1 + max(
+                    (depth[m] for m in dependents[k]), default=0
+                )
+            if self.jobs == 1 or len(topo) == 1:
+                self._run_serial(topo, univ, results, key_of)
             else:
-                computed = self._run_pool(pending)
-            for key, value in computed:
-                results[key] = value
-                self.stats.computed += 1
-                if self.cache is not None:
-                    self.cache.put(key, value)
+                self._run_pool(
+                    topo, univ, dependents, waiting, depth, results, key_of
+                )
 
-        return [results[key] for key in keys]
+        return [results[k] for k, _ in requested]
+
+    def _from_cache(self, key: str, c: Cell, results: dict[str, Any]) -> bool:
+        if self.cache is None:
+            return False
+        hit = self.cache.get(key)
+        if hit is MISS:
+            return False
+        results[key] = hit
+        self.stats.cache_hits += 1
+        self._notify("cache_hit", c)
+        return True
+
+    def _dep_values(self, c: Cell, results: dict[str, Any],
+                    key_of: Callable[[Cell], str]) -> tuple:
+        return tuple(results[key_of(d)] for d in c.deps)
+
+    def _store(self, key: str, c: Cell, value: Any,
+               results: dict[str, Any]) -> None:
+        """Land one computed result: memoize immediately, then notify."""
+        results[key] = value
+        self.stats.computed += 1
+        if self.cache is not None:
+            self.cache.put(key, value)
+        self._notify("computed", c)
+
+    def _run_serial(self, topo: list[str], univ: dict[str, Cell],
+                    results: dict[str, Any],
+                    key_of: Callable[[Cell], str],
+                    count_retries: bool = False) -> None:
+        for k in topo:
+            if k in results:
+                continue
+            c = univ[k]
+            deps = self._dep_values(c, results, key_of)
+            t0 = time.perf_counter()
+            value = self._attempt_cell(k, c, dep_values=deps)
+            self.compute_hist.observe(time.perf_counter() - t0)
+            self._store(k, c, value, results)
+            if count_retries:
+                self.stats.retried_serial += 1
 
     # -- crash recovery -----------------------------------------------
 
@@ -246,7 +417,8 @@ class Executor:
                 return
         self.clock.sleep_sync(delay)
 
-    def _attempt_cell(self, key: str, c: Cell, value: Any = MISS) -> Any:
+    def _attempt_cell(self, key: str, c: Cell, value: Any = MISS,
+                      dep_values: Sequence[Any] = ()) -> Any:
         """Obtain one cell's result, surviving (injected) worker crashes.
 
         ``value`` carries an already-computed result from the pool path;
@@ -261,7 +433,7 @@ class Executor:
             record = (self.injector.fire("pool.worker", f"{key}#a{attempt}")
                       if self.injector is not None else None)
             if record is None:
-                return execute_cell(c) if value is MISS else value
+                return execute_cell(c, dep_values) if value is MISS else value
             value = MISS  # the crashed worker's result is lost
             self.stats.worker_crashes += 1
             if attempt + 1 >= self.max_attempts:
@@ -274,51 +446,100 @@ class Executor:
             self._backoff(attempt + 1, f"{key}#b{attempt}")
         raise AssertionError("unreachable")  # pragma: no cover
 
-    def _run_pool(self, pending: list[tuple[str, Cell]]) -> list[tuple[str, Any]]:
-        """Fan ``pending`` out over worker processes; survive crashes.
+    # -- the pool path ------------------------------------------------
 
-        A worker dying hard (OOM kill, segfault) raises
-        ``BrokenProcessPool`` for every undelivered future; those cells
-        are retried serially in-process so the batch still completes.
-        An injected ``pool.submit`` fault breaks the whole pool the
-        same way; injected ``pool.worker`` faults lose single cells at
-        harvest time and go through the bounded backoff retry.  Cell
-        exceptions (the function itself raising) propagate unchanged,
-        as before.
+    def _take_batch(self, ready: list[tuple[int, int, str]]) -> list[str]:
+        """Pop one submission's worth of ready cells (priority order).
+
+        A chain stage — any cell something else is waiting on — goes
+        out alone so its successor unblocks as early as possible.
+        Leaves (nothing downstream) batch together to amortize the
+        per-submission pickle/dispatch cost.
+        """
+        neg_depth, _, first = heapq.heappop(ready)
+        if -neg_depth > 1:
+            return [first]
+        limit = self.batch or max(
+            1, min(MAX_BATCH, (len(ready) + 1) // (self.jobs * 2))
+        )
+        batch = [first]
+        while ready and len(batch) < limit and ready[0][0] == -1:
+            batch.append(heapq.heappop(ready)[2])
+        return batch
+
+    def _run_pool(self, topo: list[str], univ: dict[str, Cell],
+                  dependents: dict[str, list[str]],
+                  waiting: dict[str, int], depth: dict[str, int],
+                  results: dict[str, Any],
+                  key_of: Callable[[Cell], str]) -> None:
+        """Dependency-aware fan-out over the persistent worker pool.
+
+        Ready cells dispatch longest-remaining-chain-first; workers
+        that free up steal whatever is highest-priority next, so short
+        cells fill the gaps while chains pipeline.  A worker dying hard
+        (OOM kill, segfault) raises ``BrokenProcessPool`` for every
+        undelivered future; unfinished cells are then retried serially
+        in-process so the batch still completes.  An injected
+        ``pool.submit`` fault breaks the whole dispatch the same way;
+        injected ``pool.worker`` faults lose single cells at harvest
+        time and go through the bounded backoff retry.  Cell exceptions
+        (the function itself raising) propagate unchanged.
         """
         if self.injector is not None:
             batch_token = hashlib.sha256(
-                "|".join(key for key, _ in pending).encode()
+                "|".join(topo).encode()
             ).hexdigest()[:16]
             record = self.injector.fire("pool.submit", batch_token)
             if record is not None:
                 self.stats.pool_failures += 1
-                computed = []
-                for key, c in pending:
-                    computed.append((key, self._attempt_cell(key, c)))
-                    self.stats.retried_serial += 1
-                    self._notify("computed", c)
+                self._run_serial(topo, univ, results, key_of,
+                                 count_retries=True)
                 self.injector.recover(record, "serial_retry")
-                return computed
-        workers = min(self.jobs, len(pending))
-        harvested: dict[str, Any] = {}
+                return
+        seq = {k: i for i, k in enumerate(topo)}
+        ready: list[tuple[int, int, str]] = []
+        for k in topo:
+            if waiting[k] == 0:
+                heapq.heappush(ready, (-depth[k], seq[k], k))
+        inflight: dict = {}
+        max_inflight = self.jobs * 2
         try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(execute_cell, c): (key, c) for key, c in pending
-                }
-                for fut in as_completed(futures):
-                    key, c = futures[fut]
-                    harvested[key] = self._attempt_cell(key, c, fut.result())
-                    self._notify("computed", c)
+            pool = self._ensure_pool()
+            while ready or inflight:
+                while ready and len(inflight) < max_inflight:
+                    batch_keys = self._take_batch(ready)
+                    items = [
+                        (univ[k], self._dep_values(univ[k], results, key_of))
+                        for k in batch_keys
+                    ]
+                    fut = pool.submit(_pool_run_batch, items)
+                    inflight[fut] = (batch_keys, time.time())
+                done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    batch_keys, submitted_wall = inflight.pop(fut)
+                    for k, (started_wall, seconds, value) in zip(
+                        batch_keys, fut.result()
+                    ):
+                        self.queue_wait_hist.observe(
+                            started_wall - submitted_wall
+                        )
+                        self.compute_hist.observe(seconds)
+                        c = univ[k]
+                        value = self._attempt_cell(
+                            k, c, value,
+                            dep_values=self._dep_values(c, results, key_of),
+                        )
+                        self._store(k, c, value, results)
+                        for m in dependents[k]:
+                            waiting[m] -= 1
+                            if waiting[m] == 0:
+                                heapq.heappush(
+                                    ready, (-depth[m], seq[m], m)
+                                )
         except BrokenProcessPool:
             self.stats.pool_failures += 1
-            for key, c in pending:
-                if key not in harvested:
-                    harvested[key] = self._attempt_cell(key, c)
-                    self.stats.retried_serial += 1
-                    self._notify("computed", c)
-        return [(key, harvested[key]) for key, c in pending]
+            self._discard_pool()
+            self._run_serial(topo, univ, results, key_of, count_retries=True)
 
 
 def execute(cells: Sequence[Cell], executor: Executor | None = None) -> list[Any]:

@@ -123,6 +123,9 @@ class VirtualMachine:
         #: fault that installed a mapping (once its gPA range is
         #: nested-backed) — the shadow pager syncs from here.
         self.fault_hooks: list = []
+        #: Set by :func:`repro.virt.shadow.attach_shadow_paging`; when
+        #: present, guest process exits drop their shadow tables too.
+        self.shadow_pager = None
 
     # -- address plumbing -----------------------------------------------------
 
@@ -273,8 +276,11 @@ class VirtualMachine:
 
         Guest frames return to the guest buddy allocator, but nested
         (gPA→hPA) mappings persist — the host does not reclaim VM
-        memory, matching §III-C's aging behaviour.
+        memory, matching §III-C's aging behaviour.  Under shadow paging
+        the process's shadow table drops with it.
         """
+        if self.shadow_pager is not None:
+            self.shadow_pager.drop(process)
         self.guest_kernel.exit_process(process)
 
     def _back_mapped_range(self, process: Process, start_vpn: int, n_pages: int) -> None:

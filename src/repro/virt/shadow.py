@@ -138,25 +138,32 @@ class ShadowPager:
         return True
 
 
+class ShadowSyncHook:
+    """Fault hook mirroring guest mapping installs into the shadow.
+
+    A module-level class (not a closure) so a shadow-paging VM stays
+    picklable: chain-stage checkpoints serialize the whole VM — pager,
+    hook and tables — and the unpickled hook still points at the same
+    pager object.
+    """
+
+    def __init__(self, pager: ShadowPager):
+        self.pager = pager
+
+    def __call__(self, process, result) -> None:
+        self.pager.sync_fault(process, result.vpn, result.pfn, result.order)
+
+
 def attach_shadow_paging(vm: VirtualMachine) -> ShadowPager:
     """Switch a VM to shadow paging.
 
     Registers a fault hook so every guest mapping install (single
     faults and batched ``guest_touch_range`` spans alike) also syncs
-    the shadow table, and wraps ``guest_exit_process`` so tables drop
-    with their process.  Returns the pager (stats + tables).
+    the shadow table; ``vm.shadow_pager`` makes ``guest_exit_process``
+    drop each table with its process.  Returns the pager (stats +
+    tables).
     """
     pager = ShadowPager(vm)
-    original_exit = vm.guest_exit_process
-
-    def shadow_sync(process, result):
-        pager.sync_fault(process, result.vpn, result.pfn, result.order)
-
-    def shadow_exit(process):
-        pager.drop(process)
-        original_exit(process)
-
-    vm.fault_hooks.append(shadow_sync)
-    vm.guest_exit_process = shadow_exit
+    vm.fault_hooks.append(ShadowSyncHook(pager))
     vm.shadow_pager = pager
     return pager

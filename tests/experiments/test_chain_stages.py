@@ -1,0 +1,131 @@
+"""Stage-checkpointed chains must be indistinguishable from monolithic.
+
+Every aging-VM chain experiment now splits into per-workload stages
+whose VM state is pickled, digested and cached between cells
+(:mod:`repro.experiments.common`).  These tests pin the contract:
+
+- *determinism* — the staged plan's assembled result serializes
+  byte-identically to the monolithic single-cell chain, for every
+  chain experiment;
+- *checkpoint stability* — re-running a stage reproduces the same
+  state digest bit for bit (the cache key of every downstream stage
+  depends on it transitively);
+- *resume* — executing a chain prefix, then the full chain against the
+  same cache, recomputes only the unfinished suffix;
+- *picklability* — a shadow-paging VM survives the checkpoint
+  round-trip with its pager hooks intact.
+
+Two-workload chains at the smoke scale keep this fast while still
+crossing a checkpoint boundary.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.experiments import common
+from repro.experiments.serialize import to_jsonable
+from repro.sim.cache import RunCache
+from repro.sim.config import ScaleProfile
+from repro.sim.jobs import Executor
+
+SMOKE = ScaleProfile(
+    name="smoke", bytes_per_paper_gb=1 << 20, machine_paper_gb=(128, 128)
+)
+WORKLOADS = ("svm", "pagerank")
+TRACE_LEN = 5_000
+
+#: (module name, plan kwargs) for every chain experiment.
+CHAIN_EXPERIMENTS = (
+    "fig13",
+    "fig14",
+    "table7",
+    "ext_shadow",
+    "ext_vhc",
+)
+
+
+def _blob(result) -> str:
+    return json.dumps(to_jsonable(result), sort_keys=True)
+
+
+def _plan(name: str, staged: bool):
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{name}")
+    return module.plan(
+        scale=SMOKE, workloads=WORKLOADS, trace_len=TRACE_LEN, staged=staged
+    )
+
+
+class TestStagedMatchesMonolithic:
+    @pytest.mark.parametrize("name", CHAIN_EXPERIMENTS)
+    def test_byte_identical(self, name):
+        staged = _plan(name, staged=True).run(Executor())
+        monolithic = _plan(name, staged=False).run(Executor())
+        assert _blob(staged) == _blob(monolithic)
+
+
+class TestCheckpoints:
+    def test_state_digest_is_reproducible(self):
+        plan = _plan("fig14", staged=True)
+        first = Executor().run(plan.cells)
+        again = Executor().run(plan.cells)
+        assert [s.state_digest for s in first] == [
+            s.state_digest for s in again
+        ]
+        assert all(s.state == t.state for s, t in zip(first, again))
+
+    def test_checkpoint_round_trips_a_shadow_vm(self):
+        from repro.virt.shadow import attach_shadow_paging
+
+        vm = common.virtual_machine("ca", "ca", SMOKE)
+        pager = attach_shadow_paging(vm)
+        blob, digest = common.checkpoint_vm(vm)
+        assert digest == common.checkpoint_vm(vm)[1]
+        revived = pickle.loads(blob)
+        # The pager rode along, hooks and all.
+        assert revived.shadow_pager is not None
+        assert (revived.shadow_pager.stats.splintered_leaves
+                == pager.stats.splintered_leaves)
+
+    def test_stage_payloads_unwrap_in_order(self):
+        stages = [
+            common.ChainStage(payload=i, state=b"", state_digest="")
+            for i in range(3)
+        ]
+        assert common.stage_payloads(stages) == [0, 1, 2]
+
+
+class TestResume:
+    def test_killed_chain_recomputes_only_the_suffix(self, tmp_path):
+        plan = _plan("ext_vhc", staged=True)
+        assert len(plan.cells) == len(WORKLOADS)
+        # The "crash": only the first stage completed before the kill.
+        interrupted = Executor(cache=RunCache(tmp_path))
+        interrupted.run(plan.cells[:1])
+        assert interrupted.stats.computed == 1
+        # The rerun resumes from its checkpoint.
+        resumed = Executor(cache=RunCache(tmp_path))
+        result = plan.assemble(resumed.run(plan.cells))
+        assert resumed.stats.cache_hits == 1
+        assert resumed.stats.computed == len(WORKLOADS) - 1
+        # And the resumed result is the monolithic result, bit for bit.
+        assert _blob(result) == _blob(_plan("ext_vhc", staged=False).run(
+            Executor()
+        ))
+
+    def test_fig13_fig14_table7_share_the_ca_chain(self, tmp_path):
+        # The three CA+CA consumers build identical stage cells, so a
+        # suite run computes that chain once.
+        cache = RunCache(tmp_path)
+        Executor(cache=cache).run(_plan("fig14", staged=True).cells)
+        for name in ("fig13", "table7"):
+            ex = Executor(cache=RunCache(tmp_path))
+            plan = _plan(name, staged=True)
+            plan.assemble(ex.run(plan.cells))
+            # Every CA+CA stage is a hit; only other cells compute.
+            assert ex.stats.cache_hits >= len(WORKLOADS)

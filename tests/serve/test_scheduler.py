@@ -220,3 +220,30 @@ class TestDefaultPlansFor:
             assert ka == ka2
 
         asyncio.run(main())
+
+
+class TestCellMetrics:
+    def test_compute_and_queue_histograms_populate(self):
+        async def main():
+            sched = make(queue_depth=4)
+            job, _ = sched.submit("toy", "quick", {"xs": [6, 7, 8]})
+            await sched.start()
+            await job.outcome
+            await sched.stop()
+            # Three cells computed inline (jobs=1): three compute-time
+            # observations, none queued through a worker pool.
+            assert sched.m_cell_compute.hist.count == 3
+            assert sched.m_cell_queue_wait.hist.count == 0
+            text = sched.registry.render()
+            assert "repro_cell_compute_seconds_count 3" in text
+            assert "repro_cell_compute_seconds_bucket" in text
+            assert "repro_cell_queue_wait_seconds_count 0" in text
+
+        asyncio.run(main())
+
+    def test_tier_gauges_render_zero_without_a_tier(self):
+        sched = make(queue_depth=4)
+        text = sched.registry.render()
+        for name in ("repro_cache_tier_hits", "repro_cache_tier_misses",
+                     "repro_cache_tier_stores", "repro_cache_tier_errors"):
+            assert f"{name} 0" in text

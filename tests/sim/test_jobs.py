@@ -36,9 +36,31 @@ def _die_in_worker(*, x):
     return x + 100
 
 
+def _stage(prev=None, *, inc):
+    """Chain-stage toy: dep values arrive positionally, state accumulates."""
+    return (prev or 0) + inc
+
+
+def _join(*parts, sep):
+    return sep.join(str(p) for p in parts)
+
+
 SQ = "tests.sim.test_jobs:_square"
 CAT = "tests.sim.test_jobs:_concat"
 DIE = "tests.sim.test_jobs:_die_in_worker"
+STAGE = "tests.sim.test_jobs:_stage"
+JOIN = "tests.sim.test_jobs:_join"
+
+
+def _chain(incs) -> list:
+    """A linear chain of ``_stage`` cells, one per increment."""
+    cells = []
+    prev: tuple = ()
+    for inc in incs:
+        c = cell(STAGE, deps=prev, inc=inc)
+        cells.append(c)
+        prev = (c,)
+    return cells
 
 
 class TestSpecEncoding:
@@ -177,6 +199,94 @@ class TestExecutor:
         ]
 
 
+class TestDagExecutor:
+    """Dependency-aware scheduling: chains, diamonds, resume."""
+
+    def test_chain_deps_feed_positionally(self):
+        chain = _chain([1, 2, 4])
+        ex = Executor()
+        # Only the tail is requested; the prefix is computed implicitly.
+        assert ex.run([chain[-1]]) == [7]
+        assert ex.stats.computed == 3
+        assert ex.stats.submitted == 1
+
+    def test_chain_prefix_is_part_of_the_key(self):
+        tail_a = cell(STAGE, deps=(cell(STAGE, inc=1),), inc=9)
+        tail_b = cell(STAGE, deps=(cell(STAGE, inc=2),), inc=9)
+        assert tail_a.kwargs == tail_b.kwargs
+        assert tail_a.key("s") != tail_b.key("s")
+
+    def test_diamond_shared_dep_computes_once(self):
+        base = cell(STAGE, inc=5)
+        left = cell(STAGE, deps=(base,), inc=1)
+        right = cell(STAGE, deps=(base,), inc=2)
+        top = cell(JOIN, deps=(left, right), sep="-")
+        ex = Executor()
+        assert ex.run([top]) == ["6-7"]
+        assert ex.stats.computed == 4
+
+    def test_requested_dep_and_dependent_both_returned(self):
+        s1 = cell(STAGE, inc=3)
+        s2 = cell(STAGE, deps=(s1,), inc=4)
+        ex = Executor()
+        assert ex.run([s1, s2]) == [3, 7]
+        assert ex.stats.computed == 2
+
+    def test_final_stage_hit_never_consults_the_chain(self, tmp_path):
+        chain = _chain([1, 2])
+        Executor(cache=RunCache(tmp_path)).run([chain[-1]])
+        warm = Executor(cache=RunCache(tmp_path))
+        assert warm.run([chain[-1]]) == [3]
+        assert warm.stats.cache_hits == 1
+        assert warm.stats.computed == 0  # stage 1 never even loaded
+
+    def test_interrupted_chain_resumes_from_checkpoint(self, tmp_path):
+        chain = _chain([1, 2, 4, 8])
+        # "Killed" after two stages...
+        first = Executor(cache=RunCache(tmp_path))
+        first.run([chain[1]])
+        assert first.stats.computed == 2
+        # ...the rerun recomputes only the unfinished suffix.
+        resumed = Executor(cache=RunCache(tmp_path))
+        assert resumed.run([chain[-1]]) == [15]
+        assert resumed.stats.cache_hits == 1  # stage 2's checkpoint
+        assert resumed.stats.computed == 2    # stages 3 and 4 only
+
+    def test_parallel_dag_matches_serial(self, tmp_path):
+        cells = []
+        for i in range(3):
+            s1 = cell(STAGE, inc=i)
+            s2 = cell(STAGE, deps=(s1,), inc=10)
+            cells.extend([s1, s2])
+        serial = Executor().run(cells)
+        with Executor(jobs=2, cache=RunCache(tmp_path)) as ex:
+            parallel = ex.run(cells)
+        assert serial == parallel == [0, 10, 1, 11, 2, 12]
+
+    def test_pool_persists_across_runs_until_close(self, tmp_path):
+        ex = Executor(jobs=2, cache=RunCache(tmp_path))
+        with ex:
+            ex.run([cell(SQ, x=2), cell(SQ, x=3)])
+            pool = ex._pool
+            assert pool is not None
+            ex.run([cell(SQ, x=4), cell(SQ, x=5)])
+            assert ex._pool is pool  # warm workers reused
+        assert ex._pool is None
+
+    def test_histograms_observe_compute_and_queue(self, tmp_path):
+        with Executor(jobs=2, cache=RunCache(tmp_path)) as ex:
+            ex.run([cell(SQ, x=i) for i in range(4)])
+        assert ex.compute_hist.count == 4
+        assert ex.queue_wait_hist.count == 4
+        assert ex.queue_wait_hist.total >= 0.0
+
+    def test_serial_observes_compute_only(self):
+        ex = Executor()
+        ex.run([cell(SQ, x=9)])
+        assert ex.compute_hist.count == 1
+        assert ex.queue_wait_hist.count == 0
+
+
 class TestBrokenPoolFallback:
     def test_crashed_workers_fall_back_to_serial(self, tmp_path):
         # Every pooled cell kills its worker; the executor must survive,
@@ -236,7 +346,8 @@ class TestCacheLifecycle:
             "root": str(tmp_path / "nothing-here"), "entries": 0,
             "total_bytes": 0, "oldest_mtime": None, "newest_mtime": None,
             "corrupt_evictions": 0, "write_failures": 0, "quarantined": 0,
-            "quarantined_bytes": 0,
+            "quarantined_bytes": 0, "tier_hits": 0, "tier_misses": 0,
+            "tier_stores": 0, "tier_errors": 0,
         }
 
     def test_prune_evicts_oldest_first(self, tmp_path):
@@ -278,6 +389,37 @@ class TestCacheLifecycle:
     def test_negative_budget_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             RunCache(tmp_path).prune(max_bytes=-1)
+
+    def test_prune_tolerates_concurrent_reader_and_pruner(
+        self, tmp_path, monkeypatch
+    ):
+        # Regression: prune() used to unlink straight off its scan-time
+        # listing, so a file removed by a concurrent pruner raised and
+        # a file a concurrent get() had just refreshed was evicted on
+        # its stale mtime.  Race both between the scan and the walk.
+        import os
+        import time as _time
+
+        cache = self._fill(tmp_path, n=4)
+        real_entries = cache._entries
+
+        def racy_entries():
+            entries = real_entries()
+            # Another pruner removes the oldest after our scan...
+            cache.path_for("00" * 32).unlink()
+            # ...and a concurrent get() refreshes the second-oldest.
+            now = _time.time()
+            os.utime(cache.path_for("01" * 32), (now, now))
+            return entries
+
+        monkeypatch.setattr(cache, "_entries", racy_entries)
+        summary = cache.prune(max_bytes=0)
+        # No crash; the vanished entry's bytes counted as freed, the
+        # hot (just-read) entry survived, the cold tail was evicted.
+        assert summary["removed"] == 2
+        assert cache.get("01" * 32) == "v" * 1000
+        assert cache.get("02" * 32) is MISS
+        assert cache.get("03" * 32) is MISS
 
 
 class TestPlans:
