@@ -26,7 +26,10 @@ guarantee:
 
 With ``serve=True`` it additionally boots the HTTP server with
 ``serve.accept``/``serve.body`` faults active and checks that a
-retrying client still obtains byte-identical, clean-matching bodies.
+retrying client still obtains byte-identical, clean-matching bodies —
+for plain runs *and* for ``POST /v1/sweep``: a mid-sweep worker crash
+or cache fault must still yield the byte-identical frontier a clean
+local sweep of the same grid produces.
 """
 
 from __future__ import annotations
@@ -46,6 +49,14 @@ QUICK_EXPERIMENTS = ("fig9", "table1")
 
 #: Default (non-quick) soak grid.
 DEFAULT_EXPERIMENTS = ("fig1", "fig7", "fig9", "table1")
+
+#: Sweep posted during the serve phase (small but multi-cell: 8 grid
+#: points over 2 shared native+sim cell pairs).
+SOAK_SWEEP_SPEC = {
+    "policies": ["thp", "ca"],
+    "workloads": ["svm"],
+    "trace_len": 10_000,
+}
 
 
 def _canonical_trace(injector: FaultInjector) -> list[tuple]:
@@ -86,6 +97,23 @@ def _run_grid(experiments: Sequence[str], scale_name: str, jobs: int,
     return body, stats
 
 
+def _clean_sweep(scale_name: str, jobs: int, cache_dir: Path) -> bytes:
+    """The fault-free canonical bytes of the soak sweep grid."""
+    from repro.sim.cache import RunCache
+    from repro.sim.jobs import Executor
+    from repro.sweep.grid import SweepSpec
+    from repro.sweep.runner import run_sweep
+
+    spec = SweepSpec.from_request(dict(SOAK_SWEEP_SPEC, scale=scale_name))
+    executor = Executor(jobs=jobs, cache=RunCache(cache_dir))
+    try:
+        outcome, _stats, _run = run_sweep(spec, executor)
+    finally:
+        executor.close()
+    return json.dumps(outcome, sort_keys=True,
+                      separators=(",", ":")).encode()
+
+
 def _serve_phase(experiment: str, scale_name: str, cache_dir: Path,
                  injector: FaultInjector, attempts: int = 8) -> dict:
     """Boot the HTTP server under serve faults; drive it with a
@@ -124,8 +152,19 @@ def _serve_phase(experiment: str, scale_name: str, cache_dir: Path,
         out["statuses"] = [r.status for r in responses]
         out["bodies_identical"] = responses[0].body == responses[1].body
         out["body"] = responses[0].body
-        out["ok"] = (all(r.status == 200 for r in responses)
-                     and out["bodies_identical"])
+        # Sweep endpoint under the same faults: a mid-sweep worker
+        # crash or cache fault must not change a byte of the frontier.
+        sweep_spec = dict(SOAK_SWEEP_SPEC, scale=scale_name)
+        sweeps = [
+            client.sweep_with_retries(sweep_spec, attempts=attempts)
+            for _ in range(2)
+        ]
+        out["sweep_statuses"] = [r.status for r in sweeps]
+        out["sweep_bodies_identical"] = sweeps[0].body == sweeps[1].body
+        out["sweep_body"] = sweeps[0].body
+        out["ok"] = (all(r.status == 200 for r in responses + sweeps)
+                     and out["bodies_identical"]
+                     and out["sweep_bodies_identical"])
     except ServeError as exc:
         out["ok"] = False
         out["error"] = str(exc)
@@ -204,6 +243,9 @@ def run_soak(scale: str = "quick",
         serve_report: dict = {"enabled": bool(serve)}
         injector_serve = None
         if serve:
+            # Clean reference frontier: the same sweep, no faults, run
+            # locally against the shared soak cache.
+            clean_sweep_bytes = _clean_sweep(scale, jobs, grid_dir)
             injector_serve = FaultInjector(FaultPlan.parse(plan_spec,
                                                            seed=seed))
             serve_report.update(_serve_phase(
@@ -219,6 +261,13 @@ def run_soak(scale: str = "quick",
                 )
                 serve_report["ok"] = (serve_report["ok"]
                                       and serve_report["results_match_clean"])
+            sweep_body = serve_report.pop("sweep_body", None)
+            if sweep_body is not None:
+                serve_report["sweep_matches_clean"] = (
+                    sweep_body == clean_sweep_bytes
+                )
+                serve_report["ok"] = (serve_report["ok"]
+                                      and serve_report["sweep_matches_clean"])
         report["serve"] = serve_report
 
         injectors = {"grid_a": injector_a, "grid_b": injector_b}

@@ -11,6 +11,8 @@ Usage::
     python -m repro serve --port 8377 --workers 2
     python -m repro submit fig11 --scale quick
     python -m repro bench-serve --clients 8 --out BENCH_serve.json
+    python -m repro sweep --policies thp,ca --workloads svm,pagerank
+    python -m repro sweep --submit --stream --port 8377
     python -m repro cache stats
     python -m repro cache prune --max-bytes 500M
     python -m repro run fig9 --chaos-plan 0.2 --chaos-seed 7
@@ -462,14 +464,22 @@ def _cmd_bench_serve(args) -> int:
     print(f" warm: p50 {warm['p50_ms']:.1f}ms p95 {warm['p95_ms']:.1f}ms "
           f"p99 {warm['p99_ms']:.1f}ms — {warm['throughput_rps']} req/s "
           f"over {warm['requests']} requests")
+    sweep = report["sweep"]
+    print(f" sweep: stream p50 {sweep['p50_ms']:.0f}ms "
+          f"p95 {sweep['p95_ms']:.0f}ms over {sweep['requests']} "
+          f"overlapping grids — {sweep['points_total']} points, "
+          f"{sweep['cells_computed']:.0f} computed of "
+          f"{sweep['cell_refs']} cell refs "
+          f"(dedup ratio {sweep['dedup_ratio']})")
     print(f" coalescing_ok={report['coalescing_ok']} "
           f"bodies_identical={report['bodies_identical']} "
+          f"sweep_ok={report['sweep_ok']} "
           f"failed={report['failed_requests']} "
           f"warm_over_cold={report['warm_over_cold']}x")
     out = write_report(report, args.out)
     print(f"[saved {out} in {report['wall_seconds']}s]")
     ok = (report["failed_requests"] == 0 and report["coalescing_ok"]
-          and report["bodies_identical"])
+          and report["bodies_identical"] and report["sweep_ok"])
     if args.min_warm_speedup and report["warm_over_cold"] < args.min_warm_speedup:
         print(f"warm-over-cold {report['warm_over_cold']}x below gate "
               f"{args.min_warm_speedup}x", file=sys.stderr)
@@ -512,19 +522,27 @@ def _cmd_chaos_soak(args) -> int:
             print(f" serve: statuses={serve.get('statuses')} "
                   f"bodies_identical={serve.get('bodies_identical')} "
                   f"results_match_clean={serve.get('results_match_clean')}")
+            print(f" sweep: statuses={serve.get('sweep_statuses')} "
+                  f"bodies_identical={serve.get('sweep_bodies_identical')} "
+                  f"matches_clean={serve.get('sweep_matches_clean')}")
     print(f"[saved {out} in {report['wall_seconds']}s]")
     print(f"chaos-soak: {'OK' if report['ok'] else 'FAILED'}")
     return 0 if report["ok"] else 1
 
 
 def _make_cache(args):
-    from repro.sim.cache import RunCache
+    from repro.sim.cache import HttpCacheTier, RunCache
 
-    return RunCache(getattr(args, "cache_dir", None))
+    tier = None
+    cache_url = getattr(args, "cache_url", None)
+    if cache_url:
+        tier = HttpCacheTier(cache_url)
+    return RunCache(getattr(args, "cache_dir", None), tier=tier)
 
 
 def _cmd_cache_stats(args) -> int:
-    stats = _make_cache(args).stats()
+    cache = _make_cache(args)
+    stats = cache.stats()
     print(f"cache root:  {stats['root']}")
     print(f"entries:     {stats['entries']}")
     print(f"total bytes: {stats['total_bytes']:,}")
@@ -534,7 +552,138 @@ def _cmd_cache_stats(args) -> int:
     if stats["entries"]:
         age = time.time() - stats["oldest_mtime"]
         print(f"oldest entry age: {age / 3600:.1f}h")
+    # Federation counters were collected by stats() all along but never
+    # printed, so tier traffic was invisible from the CLI.
+    if cache.tier is not None or any(
+        stats[k] for k in ("tier_hits", "tier_misses",
+                           "tier_stores", "tier_errors")
+    ):
+        print(f"tier hits:       {stats['tier_hits']}")
+        print(f"tier misses:     {stats['tier_misses']}")
+        print(f"tier promotions: {stats['tier_stores']}")
+        print(f"tier errors:     {stats['tier_errors']}")
     return 0
+
+
+def _sweep_spec_from_args(args) -> dict:
+    """The JSON-shaped request the sweep flags describe."""
+    request: dict = {
+        "policies": args.policies,
+        "schemes": args.schemes,
+        "workloads": args.workloads,
+        "scale": args.scale,
+        "trace_len": args.trace_len,
+        "seed": args.seed,
+        "hog": args.hog,
+    }
+    if args.exclude:
+        clauses = []
+        for text in args.exclude:
+            clause = {}
+            for pair in text.split(","):
+                axis, _, value = pair.partition("=")
+                clause[axis.strip()] = value.strip()
+            clauses.append(clause)
+        request["exclude"] = clauses
+    return request
+
+
+def _print_sweep_outcome(data: dict) -> None:
+    print(f"grid: {data['points']} point(s) over "
+          f"{data['unique_cells']} unique cell(s)")
+    print(f"frontier ({data['frontier_size']} point(s), minimizing "
+          f"overhead x bloat):")
+    width = max((len(f["label"]) for f in data["frontier"]), default=5)
+    for f in data["frontier"]:
+        print(f"  {f['label'].ljust(width)}  overhead={f['overhead']:.4f}  "
+              f"bloat={f['bloat_fraction']:.4f}  "
+              f"99%-mappings={f['mappings_99']}")
+
+
+def _sweep_gates(args, frontier_size: int, computed: int) -> int:
+    ok = True
+    if args.max_computed is not None and computed > args.max_computed:
+        print(f"computed {computed} cell(s), above the "
+              f"--max-computed {args.max_computed} gate", file=sys.stderr)
+        ok = False
+    if args.min_frontier is not None and frontier_size < args.min_frontier:
+        print(f"frontier has {frontier_size} point(s), below the "
+              f"--min-frontier {args.min_frontier} gate", file=sys.stderr)
+        ok = False
+    return 0 if ok else 1
+
+
+def _cmd_sweep(args) -> int:
+    import json as _json
+
+    from repro.sweep.grid import SweepSpec, SweepValidationError
+
+    request = _sweep_spec_from_args(args)
+    try:
+        spec = SweepSpec.from_request(request)
+    except SweepValidationError as exc:
+        print(f"bad sweep: {exc}", file=sys.stderr)
+        return 2
+
+    if args.submit:
+        from repro.serve.client import ServeClient, ServeError
+
+        client = ServeClient(host=args.host, port=args.port)
+        try:
+            if args.stream:
+                data = None
+                computed = 0
+                for event in client.iter_sweep_stream(request):
+                    if event.get("event") == "result":
+                        data = event["data"]
+                    else:
+                        if event.get("event") == "finished":
+                            computed = event.get("computed", 0)
+                        print(_json.dumps(event, sort_keys=True))
+                if data is None:
+                    print("stream ended without a result", file=sys.stderr)
+                    return 1
+            else:
+                resp = client.sweep(request)
+                if not resp.ok:
+                    print(f"HTTP {resp.status}: "
+                          f"{resp.body.decode(errors='replace')}",
+                          file=sys.stderr)
+                    return 1
+                data = resp.json
+                computed = resp.cells_computed
+                print(f"[sweep {resp.sweep_id} "
+                      f"coalesced={int(resp.coalesced)} "
+                      f"elapsed={resp.elapsed_ms:.1f}ms "
+                      f"computed={computed} cached={resp.cells_cached}]",
+                      file=sys.stderr)
+        except (ServeError, ConnectionError, OSError) as exc:
+            print(f"cannot reach server at {args.host}:{args.port}: {exc}",
+                  file=sys.stderr)
+            return 1
+    else:
+        from repro.sweep.runner import run_sweep
+
+        injector = make_injector(args)
+        executor = make_executor(args, injector=injector)
+        try:
+            data, stats, _run = run_sweep(spec, executor)
+        finally:
+            executor.close()
+        computed = stats.computed
+        print(f"[{stats.seconds:.1f}s: {computed} computed, "
+              f"{stats.cache_hits} cached, {stats.deduped} deduped "
+              f"of {stats.submitted} cell(s); jobs={executor.jobs}]",
+              file=sys.stderr)
+
+    _print_sweep_outcome(data)
+    if args.json:
+        from pathlib import Path
+
+        out = Path(args.json)
+        out.write_text(_json.dumps(data, indent=2, sort_keys=True))
+        print(f"[saved {out}]", file=sys.stderr)
+    return _sweep_gates(args, data["frontier_size"], computed)
 
 
 def _cmd_cache_prune(args) -> int:
@@ -833,6 +982,91 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_bench_p.set_defaults(func=_cmd_bench_serve)
 
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="expand a policy x scheme x workload grid and report its "
+             "Pareto frontier (locally or via a running server)",
+    )
+    sweep_p.add_argument(
+        "--policies", default="thp,ca", metavar="LIST",
+        help="comma-separated policy axis (default: thp,ca)",
+    )
+    sweep_p.add_argument(
+        "--schemes", default="paging,spot,vrmm,ds", metavar="LIST",
+        help="comma-separated scheme axis (default: paging,spot,vrmm,ds)",
+    )
+    sweep_p.add_argument(
+        "--workloads", default="svm,pagerank,hashjoin", metavar="LIST",
+        help="comma-separated workload axis (default: svm,pagerank,hashjoin)",
+    )
+    sweep_p.add_argument(
+        "--scale", choices=sorted(SCALES), default="quick",
+        help="scale profile (default: quick)",
+    )
+    sweep_p.add_argument(
+        "--trace-len", type=int, default=50_000, metavar="N",
+        help="simulated accesses per grid point (default: 50000)",
+    )
+    sweep_p.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="placement-run seed (default: 0)",
+    )
+    sweep_p.add_argument(
+        "--hog", type=float, default=0.0, metavar="F",
+        help="memory-hog pressure fraction in [0,1) (default: 0)",
+    )
+    sweep_p.add_argument(
+        "--exclude", action="append", default=None, metavar="CLAUSE",
+        help="drop grid points matching an axis=value[,axis=value] "
+             "conjunction (repeatable)",
+    )
+    sweep_p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for local cell fan-out (default: 1)",
+    )
+    sweep_p.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="run cache location (default: $REPRO_CACHE_DIR or "
+             ".repro-cache)",
+    )
+    sweep_p.add_argument(
+        "--no-cache", action="store_true",
+        help="compute every cell, skip cache reads and writes",
+    )
+    sweep_p.add_argument(
+        "--cache-url", metavar="URL", default=None,
+        help="shared read-through cache tier (a `repro serve` base URL)",
+    )
+    sweep_p.add_argument(
+        "--submit", action="store_true",
+        help="POST the sweep to a running server instead of running "
+             "locally",
+    )
+    sweep_p.add_argument("--host", default="127.0.0.1",
+                         help="server address for --submit")
+    sweep_p.add_argument("--port", type=int, default=8377,
+                         help="server port for --submit")
+    sweep_p.add_argument(
+        "--stream", action="store_true",
+        help="with --submit: stream per-cell NDJSON events",
+    )
+    sweep_p.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also save the full sweep payload as JSON",
+    )
+    sweep_p.add_argument(
+        "--max-computed", type=int, default=None, metavar="N",
+        help="fail if more than N cells were computed (CI gate; 0 "
+             "asserts a fully-warm repeat)",
+    )
+    sweep_p.add_argument(
+        "--min-frontier", type=int, default=None, metavar="N",
+        help="fail unless the Pareto frontier has at least N points "
+             "(CI gate)",
+    )
+    add_chaos_flags(sweep_p)
+    sweep_p.set_defaults(func=_cmd_sweep)
+
     cache_p = sub.add_parser(
         "cache", help="inspect or prune the on-disk run cache"
     )
@@ -841,6 +1075,10 @@ def build_parser() -> argparse.ArgumentParser:
     stats_p.add_argument(
         "--cache-dir", metavar="DIR", default=None,
         help="cache location (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    stats_p.add_argument(
+        "--cache-url", metavar="URL", default=None,
+        help="shared cache tier whose session counters to surface",
     )
     stats_p.set_defaults(func=_cmd_cache_stats)
     prune_p = cache_sub.add_parser(

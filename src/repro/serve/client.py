@@ -58,6 +58,18 @@ class RunResponse:
     def cells_cached(self) -> int:
         return int(self.headers.get("x-repro-cells-cached", "0"))
 
+    @property
+    def sweep_id(self) -> str:
+        return self.headers.get("x-repro-sweep", "")
+
+    @property
+    def sweep_points(self) -> int:
+        return int(self.headers.get("x-repro-sweep-points", "0"))
+
+    @property
+    def sweep_cells(self) -> int:
+        return int(self.headers.get("x-repro-sweep-cells", "0"))
+
 
 class ServeClient:
     """Talks to one ``repro serve`` instance."""
@@ -175,6 +187,81 @@ class ServeClient:
         raise ServeError(
             0, f"gave up after {attempts} attempt(s): {last_error}"
         )
+
+    def sweep(self, spec: dict) -> RunResponse:
+        """Submit one grid sweep and wait for the frontier result."""
+        return self._request("POST", "/v1/sweep", spec)
+
+    def sweep_with_retries(self, spec: dict, attempts: int = 5,
+                           backoff: float = 0.05,
+                           retry_statuses: tuple[int, ...] = (408, 503),
+                           ) -> RunResponse:
+        """:meth:`sweep` with the same retry discipline as runs."""
+        last_error: str = "no attempts made"
+        for attempt in range(attempts):
+            try:
+                resp = self.sweep(spec)
+            except (ConnectionError, OSError,
+                    http.client.HTTPException) as exc:
+                last_error = f"{type(exc).__name__}: {exc}"
+            else:
+                if resp.status not in retry_statuses:
+                    return resp
+                last_error = f"HTTP {resp.status}"
+            if attempt + 1 < attempts:
+                time.sleep(backoff * (2 ** attempt))
+        raise ServeError(
+            0, f"gave up after {attempts} attempt(s): {last_error}"
+        )
+
+    def sweep_status(self, sweep_id: str) -> dict:
+        resp = self._request("GET", f"/v1/sweep/{sweep_id}")
+        if not resp.ok:
+            raise ServeError(resp.status, resp.body.decode(errors="replace"))
+        return resp.json
+
+    def sweep_cancel(self, sweep_id: str) -> dict:
+        resp = self._request("POST", f"/v1/sweep/{sweep_id}/cancel")
+        if not resp.ok:
+            raise ServeError(resp.status, resp.body.decode(errors="replace"))
+        return resp.json
+
+    def iter_sweep_stream(self, spec: dict,
+                          on_event: Callable[[dict], None] | None = None
+                          ) -> Iterator[dict]:
+        """``POST /v1/sweep?stream=1``: yields NDJSON events in order.
+
+        The per-cell events carry ``event: "sweep-cell"`` with each
+        point's metrics; the final ``result`` event carries the full
+        frontier payload under ``"data"``.
+        """
+        conn = self._connect()
+        try:
+            conn.request(
+                "POST", "/v1/sweep?stream=1",
+                body=json.dumps(spec).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            if resp.status != 200:
+                body = resp.read().decode(errors="replace")
+                raise ServeError(
+                    resp.status, body,
+                    retry_after=_retry_after(resp.getheader("Retry-After")),
+                )
+            while True:
+                line = resp.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                event = json.loads(line.decode())
+                if on_event is not None:
+                    on_event(event)
+                yield event
+        finally:
+            conn.close()
 
     def run_stream(self, experiment: str, scale: str = "quick",
                    params: dict | None = None,

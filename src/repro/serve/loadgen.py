@@ -11,10 +11,16 @@ phases:
 2. *warm* — the same request repeated for several rounds against the
    now-populated cache, measuring per-request latency (p50/p95/p99)
    and throughput.
+3. *sweep* — every client streams an **overlapping** grid through
+   ``POST /v1/sweep?stream=1``: all grids share a core (policy,
+   workload) block and differ in one rotating extra policy, so most
+   of the fleet's point-cell references must be served by dedup +
+   coalescing + cache rather than computed.  The phase reports the
+   dedup ratio and the stream-completion p50/p95.
 
 The report (``BENCH_serve.json``) carries the headline numbers CI
-gates on: zero failed requests, coalescing effectiveness, and
-warm-over-cold speedup.
+gates on: zero failed requests, coalescing effectiveness,
+warm-over-cold speedup, and sweep dedup.
 """
 
 from __future__ import annotations
@@ -122,6 +128,50 @@ def _fire(client: ServeClient, experiment: str, scale: str) -> dict:
     }
 
 
+#: Extra policies rotated across sweep-phase clients: every grid
+#: shares the (thp, ca) core, so overlap — not luck — drives dedup.
+SWEEP_EXTRA_POLICIES = ("eager", "ingens")
+SWEEP_TRACE_LEN = 10_000
+
+
+def _sweep_spec_for(i: int, scale_name: str) -> dict:
+    return {
+        "policies": ["thp", "ca",
+                     SWEEP_EXTRA_POLICIES[i % len(SWEEP_EXTRA_POLICIES)]],
+        "workloads": ["svm"],
+        "scale": scale_name,
+        "trace_len": SWEEP_TRACE_LEN,
+    }
+
+
+def _fire_sweep(client: ServeClient, spec: dict) -> dict:
+    """Stream one sweep; returns latency + stream shape + result body."""
+    started = time.perf_counter()
+    cells = 0
+    result = None
+    error = None
+    try:
+        for event in client.iter_sweep_stream(spec):
+            if event.get("event") == "sweep-cell":
+                cells += 1
+            elif event.get("event") == "result":
+                result = event["data"]
+    except Exception as exc:  # noqa: BLE001 - report, don't abort the bench
+        error = f"{type(exc).__name__}: {exc}"
+    import json as _json
+
+    return {
+        "latency_s": time.perf_counter() - started,
+        "cell_events": cells,
+        "points": result["points"] if result else 0,
+        "frontier_size": result["frontier_size"] if result else 0,
+        "body": _json.dumps(
+            result, sort_keys=True, separators=(",", ":")
+        ).encode() if result else b"",
+        "error": error,
+    }
+
+
 def run_serve_bench(
     scale_name: str = "quick",
     experiment: str = DEFAULT_EXPERIMENT,
@@ -177,6 +227,30 @@ def run_serve_bench(
             warm_failed = sum(1 for r in warm if r["status"] != 200)
             warm_bodies = {r["body"] for r in warm}
 
+            # Phase 3: overlapping sweep grids from every client.
+            sweep_started = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=clients) as pool:
+                sweeps = list(pool.map(
+                    lambda i: _fire_sweep(
+                        client, _sweep_spec_for(i, scale_name)
+                    ),
+                    range(clients),
+                ))
+            sweep_wall = time.perf_counter() - sweep_started
+            sweep_failed = sum(1 for r in sweeps if r["error"] or not r["body"])
+            sweep_points = client.metric("repro_sweep_points_total")
+            sweep_computed = client.metric(
+                "repro_sweep_cells_computed_total"
+            )
+            # Distinct specs coalesce and repeat via the cache, so the
+            # denominator is every point-cell reference the fleet
+            # *would* have cost without sharing (2 cells per point).
+            sweep_refs = 2 * sum(r["points"] for r in sweeps)
+            sweep_bodies_by_spec: dict[str, set] = {}
+            for i, r in enumerate(sweeps):
+                spec_key = str(sorted(_sweep_spec_for(i, scale_name).items()))
+                sweep_bodies_by_spec.setdefault(spec_key, set()).add(r["body"])
+
             metrics_snapshot = {
                 "jobs_done": client.metric(
                     "repro_jobs_total", label='status="done"'
@@ -193,6 +267,10 @@ def run_serve_bench(
                 "cells_computed": client.metric("repro_cells_computed"),
                 "cells_cached": client.metric("repro_cells_cached"),
                 "cache_hit_ratio": client.metric("repro_cache_hit_ratio"),
+                "sweeps_done": client.metric(
+                    "repro_sweeps_total", label='status="done"'
+                ),
+                "sweep_coalesced_or_cached": sweep_refs - sweep_computed,
             }
     finally:
         if own_tmp:
@@ -200,8 +278,15 @@ def run_serve_bench(
 
     cold_lat = [r["latency_s"] for r in cold]
     warm_lat = [r["latency_s"] for r in warm]
+    sweep_lat = [r["latency_s"] for r in sweeps]
     cold_p50 = percentile(cold_lat, 0.50)
     warm_p50 = percentile(warm_lat, 0.50)
+    sweep_dedup_ratio = (
+        round(1.0 - sweep_computed / sweep_refs, 4) if sweep_refs else 0.0
+    )
+    sweep_bodies_identical = all(
+        len(bodies) == 1 for bodies in sweep_bodies_by_spec.values()
+    )
     coalescing_ok = (
         cold_failed == 0
         and jobs_done == 1
@@ -233,11 +318,37 @@ def run_serve_bench(
             "throughput_rps": round(len(warm) / warm_wall, 1)
             if warm_wall > 0 else 0.0,
         },
+        "sweep": {
+            **_latency_summary(sweep_lat),
+            "wall_s": round(sweep_wall, 3),
+            "failed": sweep_failed,
+            "distinct_specs": len(sweep_bodies_by_spec),
+            "points_total": sum(r["points"] for r in sweeps),
+            "cell_refs": sweep_refs,
+            "cells_computed": sweep_computed,
+            "dedup_ratio": sweep_dedup_ratio,
+            "bodies_identical_per_spec": sweep_bodies_identical,
+            "frontier_nonempty": all(
+                r["frontier_size"] > 0 for r in sweeps if r["body"]
+            ),
+            "metrics_points_total": sweep_points,
+        },
         "metrics": metrics_snapshot,
         # Headline numbers the CI smoke gates on.
         "coalescing_ok": coalescing_ok,
         "bodies_identical": len(cold_bodies | warm_bodies) == 1,
-        "failed_requests": cold_failed + warm_failed,
+        "sweep_ok": (
+            sweep_failed == 0 and sweep_bodies_identical
+            and sweep_dedup_ratio > 0.5
+        ),
+        "sweep_dedup_ratio": sweep_dedup_ratio,
+        "sweep_stream_p50_ms": round(
+            percentile(sweep_lat, 0.50) * 1000, 3
+        ),
+        "sweep_stream_p95_ms": round(
+            percentile(sweep_lat, 0.95) * 1000, 3
+        ),
+        "failed_requests": cold_failed + warm_failed + sweep_failed,
         "warm_p50_ms": round(warm_p50 * 1000, 3),
         "warm_over_cold": round(cold_p50 / warm_p50, 2)
         if warm_p50 > 0 else 0.0,

@@ -115,6 +115,8 @@ class JobOutcome:
 class Job:
     """One admitted unit of work plus everyone waiting on it."""
 
+    kind = "run"
+
     def __init__(self, key: str, experiment: str, scale_name: str,
                  params: dict | None, entries: list[tuple[str, Plan]]):
         self.key = key
@@ -158,6 +160,28 @@ class Job:
                 q.put_nowait(None)
         if final:
             self._subscribers.clear()
+
+
+class SweepJob(Job):
+    """A grid sweep admitted through the same queue as run jobs.
+
+    Shares the coalescing map and admission control with ``/v1/run``:
+    the key is the sweep digest (axes + the expanded cell specs), so
+    two clients posting the same grid — however spelled — attach to
+    one job and read identical bytes.
+    """
+
+    kind = "sweep"
+
+    def __init__(self, key: str, spec):
+        super().__init__(key, experiment="sweep", scale_name=spec.scale,
+                         params=spec.as_dict(), entries=[])
+        self.spec = spec
+        points, cells, _refs = spec.expand()
+        self.total_points = len(points)
+        self.total_cells = len(cells)
+        self.run = None             # SweepRun, set when execution starts
+        self.result_data: dict | None = None   # parsed outcome when done
 
 
 class Scheduler:
@@ -216,6 +240,12 @@ class Scheduler:
         self._inflight: dict[str, Job] = {}
         self._tasks: list[asyncio.Task] = []
         self.totals = ExecutorStats()
+        #: Sweep registry for /v1/sweep/<id> and /explorer — insertion
+        #: ordered, bounded so long-lived servers don't hoard outcomes.
+        self._sweeps: dict[str, SweepJob] = {}
+        self.sweeps_keep = 32
+        self.sweep_stream_clients = 0
+        self.last_frontier_size = 0
 
         registry = registry if registry is not None else Registry()
         self.registry = registry
@@ -277,6 +307,37 @@ class Scheduler:
                 f"repro_cache_{name}", help_text,
                 fn=lambda n=name: getattr(self.cache, n) if self.cache else 0,
             )
+        self.m_sweeps = registry.counter(
+            "repro_sweeps_total", "Sweep jobs by terminal status.",
+            label="status",
+        )
+        self.m_sweep_points = registry.counter(
+            "repro_sweep_points_total",
+            "Grid points evaluated across finished sweeps.",
+        )
+        self.m_sweep_cells = registry.counter(
+            "repro_sweep_cells_total",
+            "Unique cells sweep grids mapped to (after dedup).",
+        )
+        self.m_sweep_cells_deduped = registry.counter(
+            "repro_sweep_cells_deduped_total",
+            "Point-cell references collapsed by grid dedup (scheme "
+            "fan-out sharing one simulation).",
+        )
+        self.m_sweep_cells_computed = registry.counter(
+            "repro_sweep_cells_computed_total",
+            "Sweep cells actually computed (misses everywhere).",
+        )
+        registry.gauge(
+            "repro_sweep_frontier_size",
+            "Pareto frontier size of the most recently finished sweep.",
+            fn=lambda: self.last_frontier_size,
+        )
+        registry.gauge(
+            "repro_sweep_stream_clients",
+            "NDJSON sweep streams currently attached.",
+            fn=lambda: self.sweep_stream_clients,
+        )
         self.m_cell_compute = registry.histogram(
             "repro_cell_compute_seconds",
             "Per-cell compute time inside executor workers.",
@@ -383,6 +444,81 @@ class Scheduler:
         })
         return job, False
 
+    def submit_sweep(self, data: Any) -> tuple[SweepJob, bool]:
+        """Admit (or coalesce) one sweep request.
+
+        Validation errors surface as
+        :class:`~repro.sweep.grid.SweepValidationError` (a
+        :class:`~repro.errors.ConfigError`, answered 400); a full queue
+        raises :class:`QueueFull` exactly like ``/v1/run``.
+        """
+        from repro.sweep.grid import SweepSpec
+
+        spec = SweepSpec.from_request(data)
+        key = spec.digest(self._salt)
+        existing = self._inflight.get(key)
+        if isinstance(existing, SweepJob):
+            existing.joiners += 1
+            self.m_coalesced.inc()
+            return existing, True
+        job = SweepJob(key, spec)
+        try:
+            self._queue.put_nowait(job)
+        except asyncio.QueueFull:
+            self.m_rejected.inc()
+            raise QueueFull(
+                f"queue full ({self.queue_depth} waiting jobs)"
+            ) from None
+        self._inflight[key] = job
+        self._sweeps[job.job_id] = job
+        while len(self._sweeps) > self.sweeps_keep:
+            self._sweeps.pop(next(iter(self._sweeps)))
+        job.publish({
+            "event": "queued", "kind": "sweep", "scale": spec.scale,
+            "points": job.total_points, "unique_cells": job.total_cells,
+            "queue_depth": self._queue.qsize(),
+        })
+        return job, False
+
+    def get_sweep(self, sweep_id: str) -> SweepJob | None:
+        return self._sweeps.get(sweep_id)
+
+    def sweep_entries(self, limit: int = 8) -> list[dict]:
+        """Newest-first explorer entries for the registered sweeps."""
+        entries = []
+        for job in reversed(list(self._sweeps.values())):
+            if len(entries) >= limit:
+                break
+            if job.outcome.done():
+                outcome = job.outcome.result()
+                state = outcome.status
+            else:
+                state = "running" if job.run is not None else "queued"
+            entries.append({
+                "id": job.job_id,
+                "state": state,
+                "status": job.run.status() if job.run is not None else {},
+                "outcome": job.result_data,
+            })
+        return entries
+
+    def cancel_sweep(self, sweep_id: str) -> SweepJob | None:
+        """Flag a sweep to stop at its next wave boundary.
+
+        Returns the job (``None`` when unknown).  Already-finished
+        sweeps are returned unchanged — cancel is idempotent.
+        """
+        job = self._sweeps.get(sweep_id)
+        if job is None:
+            return None
+        if job.run is not None:
+            job.run.cancel()
+        else:
+            # Not started yet: pre-cancel by attaching a flag the
+            # runner checks the moment it builds the SweepRun.
+            job.cancel_requested = True
+        return job
+
     # -- execution ----------------------------------------------------
 
     async def _worker(self) -> None:
@@ -395,6 +531,9 @@ class Scheduler:
                 self._queue.task_done()
 
     async def _run(self, job: Job) -> None:
+        if isinstance(job, SweepJob):
+            await self._run_sweep(job)
+            return
         loop = asyncio.get_running_loop()
         job.publish({"event": "started", "experiment": job.experiment,
                      "scale": job.scale_name})
@@ -451,6 +590,92 @@ class Scheduler:
             }, final=True)
         else:
             job.publish({"event": "failed", "error": outcome.error,
+                         "elapsed_ms": round(elapsed_ms, 3)}, final=True)
+
+    async def _run_sweep(self, job: SweepJob) -> None:
+        """Drive one sweep job; same outcome/event contract as runs.
+
+        The sweep gets its own fresh :class:`Executor` over the shared
+        cache (like every run job), so its stats are exact per-sweep
+        deltas; per-point progress marshals from the runner thread onto
+        the loop and fans out to NDJSON subscribers.
+        """
+        from repro.sweep.runner import SweepCancelled, SweepRun
+
+        loop = asyncio.get_running_loop()
+        job.publish({"event": "started", "kind": "sweep",
+                     "scale": job.scale_name, "points": job.total_points,
+                     "unique_cells": job.total_cells})
+
+        def on_event(event: dict) -> None:
+            # Fires in the runner thread; marshal onto the loop.
+            loop.call_soon_threadsafe(job.publish, event)
+
+        executor = Executor(jobs=self.sim_jobs, cache=self.cache,
+                            injector=self.injector, clock=self.clock)
+        run = SweepRun(spec=job.spec, executor=executor, on_event=on_event)
+        job.run = run
+        if getattr(job, "cancel_requested", False):
+            run.cancel()
+        started = self.clock.monotonic()
+        try:
+            data = await loop.run_in_executor(None, run.run)
+            elapsed_ms = (self.clock.monotonic() - started) * 1000.0
+            body = json.dumps(
+                data, sort_keys=True, separators=(",", ":")
+            ).encode()
+            job.result_data = data
+            outcome = JobOutcome(
+                status="done", body=body, elapsed_ms=elapsed_ms,
+                stats=_stats_dict(executor.stats),
+            )
+            self.m_jobs.inc("done")
+            self.m_sweeps.inc("done")
+            self.m_sweep_points.inc(n=job.total_points)
+            self.m_sweep_cells.inc(n=job.total_cells)
+            self.m_sweep_cells_deduped.inc(
+                n=2 * job.total_points - job.total_cells
+            )
+            self.m_sweep_cells_computed.inc(n=executor.stats.computed)
+            self.last_frontier_size = data["frontier_size"]
+        except SweepCancelled as exc:
+            elapsed_ms = (self.clock.monotonic() - started) * 1000.0
+            message = str(exc)
+            outcome = JobOutcome(
+                status="cancelled", body=error_body(message),
+                elapsed_ms=elapsed_ms, stats=_stats_dict(executor.stats),
+                error=message,
+            )
+            self.m_jobs.inc("cancelled")
+            self.m_sweeps.inc("cancelled")
+        except Exception as exc:  # noqa: BLE001 - jobs must not kill workers
+            elapsed_ms = (self.clock.monotonic() - started) * 1000.0
+            message = f"{type(exc).__name__}: {exc}"
+            outcome = JobOutcome(
+                status="failed", body=error_body(message),
+                elapsed_ms=elapsed_ms, stats=_stats_dict(executor.stats),
+                error=message,
+            )
+            self.m_jobs.inc("failed")
+            self.m_sweeps.inc("failed")
+        self.totals.merge(executor.stats)
+        self.m_cell_compute.hist.merge(executor.compute_hist)
+        self.m_cell_queue_wait.hist.merge(executor.queue_wait_hist)
+        executor.close()
+        job.outcome.set_result(outcome)
+        if outcome.status == "done":
+            job.publish({
+                "event": "finished", "kind": "sweep",
+                "elapsed_ms": round(elapsed_ms, 3),
+                "coalesced_joins": job.joiners, **outcome.stats,
+            })
+            job.publish({
+                "event": "result",
+                "data": json.loads(outcome.body.decode()),
+            }, final=True)
+        else:
+            job.publish({"event": outcome.status, "kind": "sweep",
+                         "error": outcome.error,
                          "elapsed_ms": round(elapsed_ms, 3)}, final=True)
 
     def _compute(self, job: Job, executor: Executor) -> bytes:

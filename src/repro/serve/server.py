@@ -10,6 +10,12 @@ Endpoints::
     GET  /v1/cache/<key>     shared-tier blob fetch (octet-stream | 404)
     PUT  /v1/cache/<key>     shared-tier blob publish (201 stored |
                              200 already present: first writer wins)
+    POST /v1/sweep           {"policies", "schemes", "workloads", ...}
+                             -> grid sweep result (Pareto frontier)
+    POST /v1/sweep?stream=1  NDJSON per-cell events, result last
+    GET  /v1/sweep/<id>      per-cell sweep state snapshot
+    POST /v1/sweep/<id>/cancel  stop at the next wave boundary
+    GET  /explorer           self-contained HTML frontier explorer
 
 Design notes.  One connection serves one request (``Connection:
 close``) — parsing stays trivial and a load generator saturates it
@@ -282,12 +288,16 @@ class ReproServer:
                         headers: dict, body: bytes) -> None:
         url = urlsplit(target)
         path = url.path
-        # Per-key cache paths collapse to one label value — a fleet
-        # syncing thousands of digests must not explode the cardinality
-        # of the requests counter.
-        self.m_requests.inc(
-            "/v1/cache" if path.startswith("/v1/cache/") else path
-        )
+        # Per-key cache and per-id sweep paths collapse to one label
+        # value each — a fleet syncing thousands of digests must not
+        # explode the cardinality of the requests counter.
+        if path.startswith("/v1/cache/"):
+            label = "/v1/cache"
+        elif path.startswith("/v1/sweep/"):
+            label = "/v1/sweep/id"
+        else:
+            label = path
+        self.m_requests.inc(label)
         if path == "/healthz" and method == "GET":
             await self._respond_json(writer, 200, {
                 "status": "ok",
@@ -321,6 +331,29 @@ class ReproServer:
         elif path.startswith("/v1/cache/"):
             await self._handle_cache(
                 writer, method, path[len("/v1/cache/"):], body
+            )
+        elif path == "/v1/sweep":
+            if method != "POST":
+                await self._respond_json(
+                    writer, 405, {"error": "POST required"},
+                    extra=[("Allow", "POST")],
+                )
+                return
+            stream = parse_qs(url.query).get("stream", ["0"])[0] not in (
+                "0", "", "false"
+            )
+            await self._handle_sweep(writer, body, stream)
+        elif path.startswith("/v1/sweep/"):
+            await self._handle_sweep_status(
+                writer, method, path[len("/v1/sweep/"):]
+            )
+        elif path == "/explorer" and method == "GET":
+            from repro.sweep.explorer import render_explorer
+
+            page = render_explorer(self.scheduler.sweep_entries())
+            await self._respond(
+                writer, 200, page.encode(),
+                content_type="text/html; charset=utf-8",
             )
         else:
             await self._respond_json(
@@ -366,6 +399,89 @@ class ReproServer:
         else:
             outcome = await asyncio.shield(job.outcome)
             await self._respond_outcome(writer, job, outcome, coalesced)
+
+    async def _handle_sweep(self, writer, body: bytes, stream: bool) -> None:
+        from repro.sweep.grid import SweepValidationError
+
+        try:
+            request = json.loads(body.decode() or "{}")
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            await self._respond_json(writer, 400, {"error": "body is not JSON"})
+            return
+        try:
+            job, coalesced = self.scheduler.submit_sweep(request)
+        except SweepValidationError as exc:
+            await self._respond_json(writer, 400, {"error": str(exc)})
+            return
+        except QueueFull as exc:
+            await self._respond_json(
+                writer, 503, {"error": str(exc)},
+                extra=[("Retry-After", f"{self.scheduler.retry_after:g}")],
+            )
+            return
+        if stream:
+            self.scheduler.sweep_stream_clients += 1
+            try:
+                await self._stream_job(writer, job, coalesced)
+            finally:
+                self.scheduler.sweep_stream_clients -= 1
+        else:
+            outcome = await asyncio.shield(job.outcome)
+            stats = outcome.stats or {}
+            extra = [
+                ("X-Repro-Sweep", job.job_id),
+                ("X-Repro-Sweep-Points", str(job.total_points)),
+                ("X-Repro-Sweep-Cells", str(job.total_cells)),
+                ("X-Repro-Coalesced", "1" if coalesced else "0"),
+                ("X-Repro-Elapsed-Ms", f"{outcome.elapsed_ms:.3f}"),
+                ("X-Repro-Cells-Computed", str(stats.get("computed", 0))),
+                ("X-Repro-Cells-Cached", str(stats.get("cache_hits", 0))),
+            ]
+            status = 200 if outcome.status == "done" else 500
+            await self._respond(writer, status, outcome.body,
+                                content_type=JSON_TYPE, extra=extra)
+
+    async def _handle_sweep_status(self, writer, method: str,
+                                   rest: str) -> None:
+        """``GET /v1/sweep/<id>`` and ``POST /v1/sweep/<id>/cancel``."""
+        sweep_id, _, action = rest.partition("/")
+        job = self.scheduler.get_sweep(sweep_id)
+        if job is None:
+            await self._respond_json(
+                writer, 404, {"error": f"no sweep {sweep_id!r}"}
+            )
+            return
+        if action == "" and method == "GET":
+            if job.outcome.done():
+                state = job.outcome.result().status
+            else:
+                state = "running" if job.run is not None else "queued"
+            payload = {
+                "sweep": job.job_id,
+                "state": state,
+                "points": job.total_points,
+                "unique_cells": job.total_cells,
+                "coalesced_joins": job.joiners,
+            }
+            if job.run is not None:
+                payload.update(job.run.status())
+            if job.result_data is not None:
+                payload["frontier_labels"] = (
+                    job.result_data["frontier_labels"]
+                )
+                payload["frontier_size"] = job.result_data["frontier_size"]
+            await self._respond_json(writer, 200, payload)
+        elif action == "cancel" and method == "POST":
+            self.scheduler.cancel_sweep(sweep_id)
+            await self._respond_json(writer, 200, {
+                "sweep": job.job_id,
+                "cancelled": not job.outcome.done(),
+            })
+        else:
+            await self._respond_json(
+                writer, 404,
+                {"error": f"no route for {method} /v1/sweep/{rest}"},
+            )
 
     async def _handle_cache(self, writer, method: str, key: str,
                             body: bytes) -> None:

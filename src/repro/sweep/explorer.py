@@ -1,0 +1,203 @@
+"""Dependency-free HTML/SVG rendering for the sweep explorer page.
+
+``GET /explorer`` serves the output of :func:`render_explorer`: one
+self-contained HTML document (no external scripts, stylesheets, fonts
+or images — everything inline, nothing third-party) showing each known
+sweep's state and, for finished sweeps, the overhead-vs-bloat scatter
+with the Pareto frontier drawn as a step line.  The page is static
+per render; refreshing re-reads the server's sweep registry.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Sequence
+
+WIDTH = 640
+HEIGHT = 400
+MARGIN = 52
+
+#: Scheme → plot color (SVG named colors only; no palette dependency).
+SCHEME_COLORS = {
+    "paging": "#888888",
+    "spot": "#1f77b4",
+    "vrmm": "#2ca02c",
+    "ds": "#d62728",
+}
+
+_STYLE = """
+body { font-family: system-ui, sans-serif; margin: 2rem auto;
+       max-width: 60rem; color: #1a1a2e; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; font-size: 0.85rem; }
+td, th { border: 1px solid #ccd; padding: 0.25rem 0.6rem; text-align: left; }
+code { background: #f0f0f5; padding: 0 0.25rem; }
+.meta { color: #667; font-size: 0.85rem; }
+svg { background: #fcfcff; border: 1px solid #dde; }
+"""
+
+
+def _fmt(value: float) -> str:
+    """Tick/tooltip number format: short, locale-free."""
+    return f"{value:.4g}"
+
+
+def _scale(value: float, lo: float, hi: float, out_lo: float,
+           out_hi: float) -> float:
+    span = hi - lo
+    if span <= 0:
+        return (out_lo + out_hi) / 2.0
+    return out_lo + (value - lo) / span * (out_hi - out_lo)
+
+
+def svg_scatter(cells: Sequence[dict], frontier: Sequence[dict],
+                x: str = "overhead", y: str = "bloat_fraction",
+                width: int = WIDTH, height: int = HEIGHT) -> str:
+    """Overhead-vs-bloat scatter with the frontier step line, as SVG.
+
+    Every cell is a dot colored by scheme; frontier members get a ring
+    and the frontier itself a staircase polyline (the set of points no
+    configuration dominates).  Axes carry min/mid/max ticks.
+    """
+    if not cells:
+        return ("<svg width='320' height='60'><text x='10' y='35'>"
+                "no cells</text></svg>")
+    xs = [c[x] for c in cells]
+    ys = [c[y] for c in cells]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_pad = (x_hi - x_lo) * 0.06 or max(abs(x_hi), 1e-6) * 0.06
+    y_pad = (y_hi - y_lo) * 0.06 or max(abs(y_hi), 1e-6) * 0.06
+    x_lo, x_hi = x_lo - x_pad, x_hi + x_pad
+    y_lo, y_hi = y_lo - y_pad, y_hi + y_pad
+
+    def px(v: float) -> float:
+        return _scale(v, x_lo, x_hi, MARGIN, width - 16)
+
+    def py(v: float) -> float:
+        return _scale(v, y_lo, y_hi, height - MARGIN, 16)
+
+    parts = [
+        f"<svg width='{width}' height='{height}' "
+        f"viewBox='0 0 {width} {height}' role='img' "
+        f"aria-label='overhead vs bloat Pareto scatter'>",
+        f"<line x1='{MARGIN}' y1='{height - MARGIN}' x2='{width - 16}' "
+        f"y2='{height - MARGIN}' stroke='#99a'/>",
+        f"<line x1='{MARGIN}' y1='16' x2='{MARGIN}' "
+        f"y2='{height - MARGIN}' stroke='#99a'/>",
+    ]
+    for frac in (0.0, 0.5, 1.0):
+        xv = x_lo + (x_hi - x_lo) * frac
+        yv = y_lo + (y_hi - y_lo) * frac
+        parts.append(
+            f"<text x='{px(xv):.1f}' y='{height - MARGIN + 16}' "
+            f"font-size='11' text-anchor='middle'>{_fmt(xv)}</text>"
+        )
+        parts.append(
+            f"<text x='{MARGIN - 6}' y='{py(yv):.1f}' font-size='11' "
+            f"text-anchor='end' dominant-baseline='middle'>{_fmt(yv)}</text>"
+        )
+    parts.append(
+        f"<text x='{(MARGIN + width) / 2:.0f}' y='{height - 8}' "
+        f"font-size='12' text-anchor='middle'>{html.escape(x)}</text>"
+    )
+    parts.append(
+        f"<text x='14' y='{(height - MARGIN) / 2:.0f}' font-size='12' "
+        f"text-anchor='middle' transform='rotate(-90 14 "
+        f"{(height - MARGIN) / 2:.0f})'>{html.escape(y)}</text>"
+    )
+
+    if frontier:
+        # Staircase through the frontier: vertical-then-horizontal so
+        # the line bounds the dominated region from below-left.
+        pts = sorted(((f[x], f[y]) for f in frontier))
+        d = [f"M {px(pts[0][0]):.1f} {py(pts[0][1]):.1f}"]
+        for (x0, y0), (x1, y1) in zip(pts, pts[1:]):
+            d.append(f"L {px(x1):.1f} {py(y0):.1f}")
+            d.append(f"L {px(x1):.1f} {py(y1):.1f}")
+        parts.append(
+            f"<path d='{' '.join(d)}' fill='none' stroke='#d62728' "
+            f"stroke-width='1.5' stroke-dasharray='4 3'/>"
+        )
+
+    frontier_labels = {f["label"] for f in frontier}
+    for c in sorted(cells, key=lambda m: m["label"]):
+        color = SCHEME_COLORS.get(c["point"]["scheme"], "#555")
+        cx, cy = px(c[x]), py(c[y])
+        title = (f"{c['label']}: {x}={_fmt(c[x])} {y}={_fmt(c[y])}")
+        on_front = c["label"] in frontier_labels
+        if on_front:
+            parts.append(
+                f"<circle cx='{cx:.1f}' cy='{cy:.1f}' r='7' fill='none' "
+                f"stroke='#d62728' stroke-width='1.5'/>"
+            )
+        parts.append(
+            f"<circle cx='{cx:.1f}' cy='{cy:.1f}' r='3.5' fill='{color}'>"
+            f"<title>{html.escape(title)}</title></circle>"
+        )
+    legend_y = 24
+    for scheme, color in SCHEME_COLORS.items():
+        parts.append(
+            f"<circle cx='{width - 120}' cy='{legend_y}' r='4' "
+            f"fill='{color}'/>"
+            f"<text x='{width - 110}' y='{legend_y + 4}' font-size='11'>"
+            f"{scheme}</text>"
+        )
+        legend_y += 16
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _sweep_section(entry: dict) -> str:
+    """One sweep's block: header, state table, scatter + frontier list."""
+    sid = html.escape(str(entry.get("id", "?")))
+    state = html.escape(str(entry.get("state", "?")))
+    out = [f"<h2>sweep <code>{sid}</code> <span class='meta'>"
+           f"[{state}]</span></h2>"]
+    status = entry.get("status") or {}
+    if status:
+        counts = ", ".join(
+            f"{k}={v}" for k, v in sorted(status.get("states", {}).items())
+        )
+        out.append(
+            f"<p class='meta'>{status.get('points', '?')} points over "
+            f"{status.get('unique_cells', '?')} unique cells "
+            f"({html.escape(counts)})</p>"
+        )
+    outcome = entry.get("outcome")
+    if not outcome:
+        out.append("<p class='meta'>no results yet — refresh to update."
+                   "</p>")
+        return "".join(out)
+    out.append(svg_scatter(outcome["cells"], outcome["frontier"]))
+    out.append("<table><tr><th>frontier point</th><th>overhead</th>"
+               "<th>bloat fraction</th><th>99% mappings</th></tr>")
+    for f in outcome["frontier"]:
+        out.append(
+            f"<tr><td><code>{html.escape(f['label'])}</code></td>"
+            f"<td>{_fmt(f['overhead'])}</td>"
+            f"<td>{_fmt(f['bloat_fraction'])}</td>"
+            f"<td>{f['mappings_99']}</td></tr>"
+        )
+    out.append("</table>")
+    return "".join(out)
+
+
+def render_explorer(sweeps: Sequence[dict]) -> str:
+    """The full ``GET /explorer`` document (self-contained HTML)."""
+    body = ["<h1>sweep explorer</h1>"]
+    if not sweeps:
+        body.append(
+            "<p>No sweeps yet. Submit one:</p>"
+            "<pre>curl -sS -X POST http://HOST/v1/sweep -d '"
+            '{"policies": ["thp", "ca"], "workloads": ["svm"]}'
+            "'</pre>"
+        )
+    for entry in sweeps:
+        body.append(_sweep_section(entry))
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        "<title>sweep explorer</title>"
+        f"<style>{_STYLE}</style></head><body>"
+        + "".join(body) + "</body></html>"
+    )

@@ -1,0 +1,196 @@
+"""The sweep endpoints end to end: POST /v1/sweep (plain + NDJSON
+stream), the status/cancel routes, /explorer, coalescing, and the
+repro_sweep_* metric families.
+
+One tiny real grid (one policy, one workload, 2000-access traces: four
+points over two shared cells) keeps the cells cheap while still
+exercising the scheme fan-out and the dedup accounting.  Scheduler-only
+tests drive submit_sweep directly, the same way test_scheduler.py does
+for runs.
+"""
+
+import asyncio
+import json
+import tempfile
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.scheduler import QueueFull, Scheduler, SweepJob
+from repro.serve.server import ReproServer
+from repro.sim.cache import RunCache
+
+#: 4 grid points (one policy x four schemes), 2 unique cells.
+TINY = {"policies": ["thp"], "workloads": ["svm"], "scale": "quick",
+        "trace_len": 2000}
+
+
+async def _with_server(body, **kwargs):
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-test-") as td:
+        kwargs.setdefault("workers", 1)
+        kwargs.setdefault("cache", RunCache(td))
+        server = ReproServer(port=0, **kwargs)
+        await server.start()
+        try:
+            await body(server, ServeClient(port=server.port, timeout=120))
+        finally:
+            await server.stop()
+
+
+def run(body, **kwargs):
+    asyncio.run(_with_server(body, **kwargs))
+
+
+def canonical(data: dict) -> bytes:
+    return json.dumps(data, sort_keys=True,
+                      separators=(",", ":")).encode()
+
+
+class TestSweepEndpoint:
+    def test_cold_then_warm_round_trip(self):
+        async def body(server, client):
+            cold = await asyncio.to_thread(client.sweep, TINY)
+            assert cold.status == 200
+            assert cold.sweep_points == 4
+            assert cold.sweep_cells == 2
+            assert int(cold.headers["x-repro-cells-computed"]) == 2
+            data = cold.json
+            assert data["points"] == 4
+            assert data["unique_cells"] == 2
+            assert data["frontier_size"] >= 1
+            assert data["frontier_labels"]
+
+            # The identical sweep again: zero new cells, same bytes.
+            warm = await asyncio.to_thread(client.sweep, TINY)
+            assert warm.status == 200
+            assert int(warm.headers["x-repro-cells-computed"]) == 0
+            assert warm.body == cold.body
+
+            # Status route: the registered sweep reports every point
+            # done, and cancel of a finished sweep is a no-op.
+            status = await asyncio.to_thread(
+                client.sweep_status, cold.sweep_id
+            )
+            assert status["state"] == "done"
+            assert status["states"] == {"done": 4}
+            assert status["frontier_size"] == data["frontier_size"]
+            cancelled = await asyncio.to_thread(
+                client.sweep_cancel, cold.sweep_id
+            )
+            assert cancelled["cancelled"] is False
+
+            # Explorer: self-contained HTML with the frontier SVG.
+            page = await asyncio.to_thread(
+                client._request, "GET", "/explorer"
+            )
+            assert page.status == 200
+            html = page.body.decode()
+            assert "<svg" in html and cold.sweep_id in html
+
+            # Metric families: all sweep counters/gauges exposed.
+            metrics = await asyncio.to_thread(client.metrics_text)
+            for family in (
+                'repro_sweeps_total{status="done"} 2',
+                "repro_sweep_points_total 8",
+                "repro_sweep_cells_total 4",
+                "repro_sweep_cells_deduped_total 12",
+                "repro_sweep_cells_computed_total 2",
+                "repro_sweep_frontier_size",
+                "repro_sweep_stream_clients 0",
+            ):
+                assert family in metrics, family
+
+        run(body)
+
+    def test_stream_replays_cells_and_result(self):
+        async def body(server, client):
+            plain = await asyncio.to_thread(client.sweep, TINY)
+            events = await asyncio.to_thread(
+                lambda: list(client.iter_sweep_stream(TINY))
+            )
+            kinds = [e["event"] for e in events]
+            assert kinds[0] == "queued"
+            assert kinds.count("sweep-cell") == 4
+            assert kinds[-2:] == ["finished", "result"]
+            cells = [e for e in events if e["event"] == "sweep-cell"]
+            assert [e["done"] for e in cells] == [1, 2, 3, 4]
+            assert {e["scheme"] for e in cells} == {
+                "paging", "spot", "vrmm", "ds"
+            }
+            # The streamed result is the same canonical payload the
+            # plain response carried.
+            assert canonical(events[-1]["data"]) == plain.body
+
+        run(body)
+
+    def test_validation_and_unknown_routes(self):
+        async def body(server, client):
+            bad = await asyncio.to_thread(
+                client.sweep, {"policies": ["nope"]}
+            )
+            assert bad.status == 400
+            assert "unknown policy" in bad.json["error"]
+
+            with pytest.raises(ServeError) as err:
+                await asyncio.to_thread(client.sweep_status, "no-such")
+            assert err.value.status == 404
+
+            get = await asyncio.to_thread(
+                client._request, "GET", "/v1/sweep"
+            )
+            assert get.status == 405
+
+        run(body)
+
+
+class TestSweepScheduler:
+    def test_identical_sweeps_coalesce(self):
+        async def main():
+            sched = Scheduler(workers=1)
+            job1, c1 = sched.submit_sweep(TINY)
+            job2, c2 = sched.submit_sweep(dict(TINY, policies="thp"))
+            assert isinstance(job1, SweepJob)
+            assert job1 is job2  # same digest despite the spelling
+            assert (c1, c2) == (False, True)
+            assert sched.m_coalesced.total() == 1
+            await sched.start()
+            out1 = await job1.outcome
+            await sched.stop()
+            assert out1.status == "done"
+            assert sched.m_jobs.get("done") == 1
+
+        asyncio.run(main())
+
+    def test_full_queue_rejects_sweeps(self):
+        async def main():
+            sched = Scheduler(queue_depth=1, workers=1)
+            sched.submit_sweep(TINY)  # workers not started: queue holds
+            with pytest.raises(QueueFull):
+                sched.submit_sweep(dict(TINY, seed=1))
+            assert sched.m_rejected.total() == 1
+
+        asyncio.run(main())
+
+    def test_registry_bounded(self):
+        async def main():
+            sched = Scheduler(queue_depth=64, workers=1)
+            sched.sweeps_keep = 2
+            for seed in range(3):
+                sched.submit_sweep(dict(TINY, seed=seed))
+            assert len(sched._sweeps) == 2
+
+        asyncio.run(main())
+
+    def test_pre_start_cancel_lands(self):
+        async def main():
+            sched = Scheduler(workers=1)
+            job, _ = sched.submit_sweep(TINY)
+            assert sched.cancel_sweep(job.job_id) is job
+            assert job.cancel_requested
+            await sched.start()
+            outcome = await job.outcome
+            await sched.stop()
+            assert outcome.status == "cancelled"
+            assert sched.m_jobs.get("cancelled") == 1
+
+        asyncio.run(main())
