@@ -544,6 +544,8 @@ def _serialize_overhead(cells, results, salt: str) -> dict:
     """
     import pickle
 
+    from repro.sim import transport
+
     per_cell: dict[str, dict] = {}
     for c, result in zip(cells, results):
         key = c.key(salt)
@@ -555,12 +557,16 @@ def _serialize_overhead(cells, results, salt: str) -> dict:
         per_cell[key] = {
             "cell": c.label(),
             "bytes": len(blob),
+            # What the RPT1-framed path actually stores and ships for
+            # the same result (the cache/tier/pool wire format).
+            "framed_bytes": len(transport.dumps(result)),
             "seconds": round(seconds, 6),
         }
     ranked = sorted(per_cell.values(), key=lambda e: e["bytes"], reverse=True)
     return {
         "cells_measured": len(ranked),
         "total_bytes": sum(e["bytes"] for e in ranked),
+        "total_framed_bytes": sum(e["framed_bytes"] for e in ranked),
         "total_seconds": round(sum(e["seconds"] for e in ranked), 6),
         "top_cells": ranked[:10],
     }

@@ -1,0 +1,398 @@
+"""Transport benchmark: ``python -m repro bench-transport``.
+
+Measures the RPT1 framed transport (:mod:`repro.sim.transport`) against
+the raw ``pickle.dumps(..., HIGHEST_PROTOCOL)`` path it replaced, on
+the three byte-moving layers of the repo:
+
+1. *checkpoint* — an aging CA+CA VM is carried through a workload
+   chain; at every stage the VM state is serialized three ways (raw
+   pickle, full framing, delta framing against the previous stage) and
+   both directions are timed best-of-N.  The headline numbers —
+   ``size_reduction`` (raw bytes over delta bytes) and
+   ``throughput_ratio`` (raw dumps+loads seconds over framed delta
+   dumps+loads seconds) — are the CI-gated perf contract of this
+   bench.  Every delta is asserted to carry the same logical digest as
+   the full framing of the same state before any timing is reported.
+2. *chain* — a staged chain experiment runs cold then warm against a
+   scratch :class:`~repro.sim.cache.RunCache`, the warm replay must be
+   byte-identical, and then every cached entry is rewritten as a raw
+   legacy pickle and replayed once more: the format migration must
+   still be hit-for-hit byte-identical (old caches keep working).
+3. *tier* — a live :class:`~repro.serve.loadgen.ServerThread` plays
+   the shared tier; a checkpoint blob is PUT/GET through
+   :class:`~repro.sim.cache.HttpCacheTier` and the bytes on the wire
+   are compared with what the raw pickle would have shipped.  An
+   Accept-less GET (an old peer) must receive a transcoded raw pickle
+   that plain ``pickle.loads`` accepts.
+
+The JSON written to ``BENCH_transport.json`` is the perf-tracking
+artifact CI archives per commit.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import platform
+import time
+from pathlib import Path
+
+from repro.bench import BENCH_SCALES
+from repro.sim import transport
+from repro.sim.config import ScaleProfile
+
+#: Workloads the checkpoint phase ages the VM through, in order.  Two
+#: stages cross a delta boundary twice: stage 1 deltas against the
+#: fresh-boot checkpoint, stage 2 against an already-aged one.
+CHECKPOINT_WORKLOADS = ("svm", "pagerank")
+
+#: Serialization timings are repeated this many times, best kept.
+REPEATS = 3
+
+#: The staged chain experiment the chain phase replays.
+CHAIN_EXPERIMENT = "ext_vhc"
+
+#: CI-smoke profile: the unit-test page budget per paper GB on a
+#: machine big enough to virtualize the chain workloads (the plain
+#: test machine OOMs backing a CA+CA guest under svm).
+TRANSPORT_TEST_SCALE = ScaleProfile(
+    name="transport-test", bytes_per_paper_gb=1 << 20,
+    machine_paper_gb=(128, 128),
+)
+
+#: Chain-stage trace length per tier (the ``test`` tier mirrors the
+#: chain-stage unit tests; larger tiers keep the experiment default).
+TEST_TRACE_LEN = 5_000
+DEFAULT_TRACE_LEN = 50_000
+
+
+def _resolve_scale(scale_name: str) -> tuple[ScaleProfile, int]:
+    if scale_name == "test":
+        return TRANSPORT_TEST_SCALE, TEST_TRACE_LEN
+    return BENCH_SCALES[scale_name], DEFAULT_TRACE_LEN
+
+
+def _best_of(fn, repeats: int = REPEATS) -> tuple[object, float]:
+    """Run ``fn`` ``repeats`` times; return (last result, best seconds)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return result, best
+
+
+def _aged_vms(scale: ScaleProfile, workloads):
+    """Yield (stage name, VM) along one aging chain: fresh boot first,
+    then after each workload ran and exited (the chain-checkpoint
+    states the experiments actually serialize)."""
+    from repro.experiments import common
+    from repro.sim.runner import RunOptions, run_virtualized
+    from repro.workloads import make_workload
+
+    vm = common.virtual_machine("ca", "ca", scale)
+    yield "boot", vm
+    options = RunOptions(sample_every=None, exit_after=False)
+    for name in workloads:
+        r = run_virtualized(vm, make_workload(name, scale), options)
+        vm.guest_exit_process(r.process)
+        vm.guest_kernel.drop_caches()
+        yield name, vm
+
+
+def bench_checkpoint(scale: ScaleProfile,
+                     workloads=CHECKPOINT_WORKLOADS,
+                     repeats: int = REPEATS) -> dict:
+    """Raw pickle vs framed full vs framed delta, per chain stage.
+
+    The headline ``throughput_ratio`` times the *production* round
+    trip: a checkpoint is a cache entry, so storing one is dumps plus
+    the bytes hitting storage, and resuming is the bytes coming back
+    plus loads.  Raw pickle ships the whole VM every stage; the framed
+    delta ships kilobytes.  The pure in-memory dumps/loads timings are
+    reported per stage as well (both paths are dominated there by
+    pickling the VM's Python object graph, which the transport cannot
+    and does not try to beat).
+    """
+    import tempfile
+
+    from repro.experiments import common
+
+    stages: list[dict] = []
+    prev: list[common.ChainStage] = []
+    totals = {
+        "raw_bytes": 0, "full_bytes": 0, "delta_bytes": 0,
+        "raw_seconds": 0.0, "framed_seconds": 0.0,
+    }
+    with tempfile.TemporaryDirectory(
+        prefix="repro-ckpt-bench-"
+    ) as scratch:
+        scratch = Path(scratch)
+        for stage_name, vm in _aged_vms(scale, workloads):
+            raw_path = scratch / f"{stage_name}.raw"
+            framed_path = scratch / f"{stage_name}.rpt1"
+
+            def raw_store():
+                blob = pickle.dumps(
+                    vm, protocol=pickle.HIGHEST_PROTOCOL
+                )
+                raw_path.write_bytes(blob)
+                return blob
+
+            raw_blob, raw_store_s = _best_of(raw_store, repeats)
+            _, raw_resume_s = _best_of(
+                lambda: pickle.loads(raw_path.read_bytes()), repeats
+            )
+            _, raw_dumps_s = _best_of(
+                lambda: pickle.dumps(
+                    vm, protocol=pickle.HIGHEST_PROTOCOL
+                ),
+                repeats,
+            )
+            _, raw_loads_s = _best_of(
+                lambda: pickle.loads(raw_blob), repeats
+            )
+
+            full_blob, full_dumps_s = _best_of(
+                lambda: transport.dumps(vm), repeats
+            )
+
+            # The store is built once, outside the timed region: a
+            # resuming executor already holds the parsed prior stages.
+            store = transport.BufferStore()
+            for s in prev:
+                store.add_blob(s.state)
+            base = prev[-1].state_digest if prev else None
+
+            def framed_store():
+                blob = transport.dumps(vm, store=store, base=base)
+                framed_path.write_bytes(blob)
+                return blob
+
+            delta_blob, framed_store_s = _best_of(framed_store, repeats)
+            store.add_blob(delta_blob)
+            _, framed_resume_s = _best_of(
+                lambda: transport.loads(
+                    framed_path.read_bytes(), store=store
+                ),
+                repeats,
+            )
+            _, delta_dumps_s = _best_of(
+                lambda: transport.dumps(vm, store=store, base=base),
+                repeats,
+            )
+            _, delta_loads_s = _best_of(
+                lambda: transport.loads(delta_blob, store=store),
+                repeats,
+            )
+
+            digest = transport.blob_digest(delta_blob)
+            if digest != transport.blob_digest(full_blob):
+                raise AssertionError(
+                    f"stage {stage_name}: delta digest diverged from full"
+                )
+            info = transport.blob_info(delta_blob)
+            stages.append({
+                "stage": stage_name,
+                "raw_bytes": len(raw_blob),
+                "full_bytes": len(full_blob),
+                "delta_bytes": len(delta_blob),
+                "ref_frames": info["ref_frames"],
+                "raw_store_ms": round(raw_store_s * 1e3, 3),
+                "raw_resume_ms": round(raw_resume_s * 1e3, 3),
+                "framed_store_ms": round(framed_store_s * 1e3, 3),
+                "framed_resume_ms": round(framed_resume_s * 1e3, 3),
+                "raw_dumps_ms": round(raw_dumps_s * 1e3, 3),
+                "raw_loads_ms": round(raw_loads_s * 1e3, 3),
+                "full_dumps_ms": round(full_dumps_s * 1e3, 3),
+                "delta_dumps_ms": round(delta_dumps_s * 1e3, 3),
+                "delta_loads_ms": round(delta_loads_s * 1e3, 3),
+            })
+            totals["raw_bytes"] += len(raw_blob)
+            totals["full_bytes"] += len(full_blob)
+            totals["delta_bytes"] += len(delta_blob)
+            totals["raw_seconds"] += raw_store_s + raw_resume_s
+            totals["framed_seconds"] += framed_store_s + framed_resume_s
+            prev.append(common.ChainStage(
+                payload=None, state=delta_blob, state_digest=digest,
+                base_digest=prev[-1].state_digest if prev else None,
+            ))
+    return {
+        "workloads": list(workloads),
+        "stages": stages,
+        "raw_bytes": totals["raw_bytes"],
+        "full_bytes": totals["full_bytes"],
+        "delta_bytes": totals["delta_bytes"],
+        "raw_seconds": round(totals["raw_seconds"], 4),
+        "framed_seconds": round(totals["framed_seconds"], 4),
+        "size_reduction": round(
+            totals["raw_bytes"] / max(totals["delta_bytes"], 1), 2
+        ),
+        "full_size_reduction": round(
+            totals["raw_bytes"] / max(totals["full_bytes"], 1), 2
+        ),
+        "throughput_ratio": round(
+            totals["raw_seconds"] / max(totals["framed_seconds"], 1e-9), 2
+        ),
+        "digests_identical": True,  # asserted above, per stage
+    }
+
+
+def _chain_pass(scale: ScaleProfile, cache,
+                trace_len: int) -> tuple[str, float, dict]:
+    """One staged chain run; returns (canonical JSON, seconds, stats)."""
+    import importlib
+    from dataclasses import asdict
+
+    from repro.experiments.serialize import to_jsonable
+    from repro.sim.jobs import Executor
+
+    module = importlib.import_module(
+        f"repro.experiments.{CHAIN_EXPERIMENT}"
+    )
+    plan = module.plan(scale=scale, workloads=CHECKPOINT_WORKLOADS,
+                       trace_len=trace_len, staged=True)
+    executor = Executor(cache=cache)
+    try:
+        started = time.perf_counter()
+        result = plan.assemble(executor.run(plan.cells))
+        seconds = time.perf_counter() - started
+    finally:
+        executor.close()
+    blob = json.dumps(to_jsonable(result), sort_keys=True,
+                      separators=(",", ":"))
+    return blob, seconds, asdict(executor.stats)
+
+
+def bench_chain(scale: ScaleProfile, cache_root: Path,
+                trace_len: int) -> dict:
+    """Cold/warm staged chain + raw-legacy cache-format migration."""
+    from repro.sim.cache import RunCache
+
+    RunCache(cache_root).clear()
+    cold_blob, cold_s, cold_stats = _chain_pass(
+        scale, RunCache(cache_root), trace_len
+    )
+    warm_blob, warm_s, warm_stats = _chain_pass(
+        scale, RunCache(cache_root), trace_len
+    )
+
+    # Migration: rewrite every cached entry as a raw legacy pickle and
+    # replay once more — the decoder must keep serving old caches.
+    cache = RunCache(cache_root)
+    migrated = 0
+    for path in cache.root.glob("*/*.pkl"):
+        value = cache.decode_blob(path.read_bytes())
+        path.write_bytes(
+            pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        migrated += 1
+    legacy_blob, legacy_s, legacy_stats = _chain_pass(
+        scale, RunCache(cache_root), trace_len
+    )
+    return {
+        "experiment": CHAIN_EXPERIMENT,
+        "cold_seconds": round(cold_s, 3),
+        "warm_seconds": round(warm_s, 3),
+        "legacy_warm_seconds": round(legacy_s, 3),
+        "cold_stats": cold_stats,
+        "warm_stats": warm_stats,
+        "legacy_stats": legacy_stats,
+        "entries_migrated_to_raw": migrated,
+        "warm_identical": cold_blob == warm_blob,
+        "legacy_identical": cold_blob == legacy_blob,
+        "warm_all_hits": warm_stats["computed"] == 0,
+        "legacy_all_hits": legacy_stats["computed"] == 0,
+    }
+
+
+def bench_tier(blob: bytes, value_raw_bytes: int) -> dict:
+    """Bytes on the wire: framed tier traffic vs the raw equivalent."""
+    import http.client
+
+    from repro.serve.loadgen import ServerThread
+    from repro.sim.cache import HttpCacheTier, RunCache
+
+    import tempfile
+
+    key = "ab" * 32
+    with tempfile.TemporaryDirectory(prefix="repro-tier-bench-") as root:
+        with ServerThread(cache=RunCache(root)) as server:
+            tier = HttpCacheTier(f"http://127.0.0.1:{server.port}")
+            assert tier.put(key, blob) == "stored"
+            got = tier.get(key)
+            assert got == blob, "tier did not return the framed bytes"
+
+            # An Accept-less old peer must get a loadable raw pickle.
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=30
+            )
+            try:
+                conn.request("GET", f"/v1/cache/{key}")
+                resp = conn.getresponse()
+                body = resp.read()
+                old_peer_format = resp.getheader("X-Repro-Blob-Format")
+            finally:
+                conn.close()
+            pickle.loads(body)  # must not raise
+    return {
+        "wire_bytes_framed": len(blob),
+        "wire_bytes_raw_equivalent": value_raw_bytes,
+        "wire_reduction": round(value_raw_bytes / max(len(blob), 1), 2),
+        "old_peer_transcoded_bytes": len(body),
+        "old_peer_format": old_peer_format,
+        "old_peer_loads_ok": True,  # asserted above
+        "client_bytes_sent": tier.bytes_sent,
+        "client_bytes_received": tier.bytes_received,
+    }
+
+
+def run_transport_bench(scale_name: str = "default",
+                        cache_root: str | Path | None = None) -> dict:
+    """Run all phases; returns the JSON-ready report."""
+    import shutil
+    import tempfile
+
+    scale, trace_len = _resolve_scale(scale_name)
+    started = time.time()
+    checkpoint = bench_checkpoint(scale)
+
+    own_tmp = cache_root is None
+    root = (
+        Path(tempfile.mkdtemp(prefix="repro-transport-bench-"))
+        if own_tmp else Path(cache_root)
+    )
+    try:
+        chain = bench_chain(scale, root, trace_len)
+    finally:
+        if own_tmp:
+            shutil.rmtree(root, ignore_errors=True)
+
+    # The tier phase ships the chain's final checkpoint state — the
+    # exact blob a federated worker would pull to resume the chain.
+    from repro.experiments import common
+
+    vm = None
+    for _, vm in _aged_vms(scale, CHECKPOINT_WORKLOADS[:1]):
+        pass
+    blob, _ = common.checkpoint_vm(vm)
+    raw_bytes = len(pickle.dumps(vm, protocol=pickle.HIGHEST_PROTOCOL))
+    tier = bench_tier(blob, raw_bytes)
+
+    return {
+        "bench": "transport",
+        "scale": scale_name,
+        "python": platform.python_version(),
+        "checkpoint": checkpoint,
+        "chain": chain,
+        "tier": tier,
+        # Headline numbers perf tracking plots per commit.
+        "size_reduction": checkpoint["size_reduction"],
+        "throughput_ratio": checkpoint["throughput_ratio"],
+        "wire_reduction": tier["wire_reduction"],
+        "replay_identical": (
+            chain["warm_identical"] and chain["legacy_identical"]
+        ),
+        "wall_seconds": round(time.time() - started, 1),
+    }

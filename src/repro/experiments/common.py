@@ -12,11 +12,11 @@ reuse :func:`run_cell_virt_sim_chain`.
 
 from __future__ import annotations
 
-import hashlib
 import math
-import pickle
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
+
+from repro.sim import transport
 
 from repro.sim.config import (
     DEFAULT_SCALE,
@@ -188,40 +188,72 @@ def run_cell_native_sim(
 # stage cells are content-addressed like any other cell (the key covers
 # the whole chain prefix through the dependency specs), so an
 # interrupted suite resumes from the last completed stage and the
-# executor overlaps independent chains' stages.  VM state pickles
+# executor overlaps independent chains' stages.  VM state serializes
 # faithfully — machines are built from seeded configs and hold no open
 # resources — so the staged chain is byte-identical to the monolithic
 # one (asserted by the differential tests).
+#
+# Checkpoints ride the RPT1 transport (:mod:`repro.sim.transport`):
+# the VM's numpy columns move out-of-band and RLE/zlib-compress per
+# frame, and stage k stores a *delta* against stage k-1 — unchanged
+# columns become 20-byte ref frames instead of being re-written five
+# times along the suite chain.  That is why stage cells depend on the
+# *whole prefix* rather than just the previous stage: resuming stage k
+# needs every earlier blob registered in a :class:`~repro.sim.transport.
+# BufferStore` so ref frames can resolve.
 
 
 @dataclass
 class ChainStage:
     """One chain stage's result: payload + the VM checkpoint after it.
 
-    ``state`` is the pickled VM (the next stage's starting point);
-    ``state_digest`` is its sha256, letting tests assert checkpoint
-    determinism without hauling megabytes around.
+    ``state`` is the framed (possibly delta) VM blob — the next stage's
+    starting point; ``state_digest`` is the transport's *logical* state
+    digest, which is identical whether the blob was written full or as
+    a delta, so tests can assert checkpoint determinism without caring
+    how the bytes were framed.  ``base_digest`` names the checkpoint
+    this one is a delta against (``None`` for a full blob).
     """
 
     payload: Any
     state: bytes
     state_digest: str
+    base_digest: str | None = None
 
 
-def checkpoint_vm(vm: VirtualMachine) -> tuple[bytes, str]:
-    """Serialize a VM into a chain checkpoint (blob, sha256)."""
-    blob = pickle.dumps(vm, protocol=pickle.HIGHEST_PROTOCOL)
-    return blob, hashlib.sha256(blob).hexdigest()
+def checkpoint_vm(
+    vm: VirtualMachine, prev: Sequence[ChainStage] = ()
+) -> tuple[bytes, str]:
+    """Serialize a VM into a chain checkpoint ``(blob, logical digest)``.
+
+    With ``prev`` (the chain prefix, oldest first) the blob is a delta
+    against the last stage's checkpoint: columns whose canonical
+    encoding is unchanged become ref frames into the prefix blobs.
+    """
+    if prev:
+        store = transport.BufferStore()
+        for stage in prev:
+            store.add_blob(stage.state)
+        blob = transport.dumps(vm, store=store, base=prev[-1].state_digest)
+    else:
+        blob = transport.dumps(vm)
+    return blob, transport.blob_digest(blob)
 
 
-def resume_vm(prev: ChainStage) -> VirtualMachine:
-    """Rehydrate the VM a previous stage checkpointed."""
-    return pickle.loads(prev.state)
+def resume_vm(*prev: ChainStage) -> VirtualMachine:
+    """Rehydrate the VM the last of ``prev`` checkpointed.
+
+    Every stage of the prefix must be supplied (oldest first): a delta
+    blob's ref frames may point into any earlier stage's checkpoint.
+    """
+    store = transport.BufferStore()
+    for stage in prev:
+        store.add_blob(stage.state)
+    return transport.loads(prev[-1].state, store=store)
 
 
 def run_cell_virt_sim_stage(
-    prev: ChainStage | None = None,
-    *,
+    *prev: ChainStage,
     host_policy: str,
     guest_policy: str,
     workload: str,
@@ -232,14 +264,15 @@ def run_cell_virt_sim_stage(
 ) -> ChainStage:
     """One workload step of :func:`run_cell_virt_sim_chain`.
 
-    The first stage (``prev=None``) builds the VM fresh; later stages
-    resume the checkpoint their dependency carried.  The payload is the
-    same per-workload sim list the monolithic chain appends.
+    The first stage (no ``prev``) builds the VM fresh; later stages
+    receive the whole chain prefix and resume the last checkpoint.  The
+    payload is the same per-workload sim list the monolithic chain
+    appends.
     """
     from repro.hw.mmu_sim import MmuSimulator
     from repro.hw.translation import TranslationView
 
-    vm = resume_vm(prev) if prev is not None else virtual_machine(
+    vm = resume_vm(*prev) if prev else virtual_machine(
         host_policy, guest_policy, scale
     )
     wl = make_workload(workload, scale)
@@ -253,8 +286,13 @@ def run_cell_virt_sim_stage(
         )
     vm.guest_exit_process(r.process)
     vm.guest_kernel.drop_caches()
-    blob, digest = checkpoint_vm(vm)
-    return ChainStage(payload=sims, state=blob, state_digest=digest)
+    blob, digest = checkpoint_vm(vm, prev)
+    return ChainStage(
+        payload=sims,
+        state=blob,
+        state_digest=digest,
+        base_digest=prev[-1].state_digest if prev else None,
+    )
 
 
 def virt_sim_stage_cells(
@@ -270,13 +308,18 @@ def virt_sim_stage_cells(
     """The staged form of a virt-sim chain: one cell per workload, each
     depending on the previous stage.  Experiments that build this chain
     with identical parameters (fig 13 / fig 14 / Table VII's CA+CA
-    chain) share every stage cell through the run cache."""
+    chain) share every stage cell through the run cache.
+
+    Each stage depends on its *entire* prefix (not just the previous
+    stage): delta checkpoints hold ref frames that may resolve into any
+    earlier stage's blob, so a resumed stage needs all of them.  The
+    content key already covered the full prefix recursively, so keys
+    and cache sharing are unaffected."""
     out: list[Cell] = []
-    prev: tuple[Cell, ...] = ()
     for name in workloads:
         c = cell(
             "repro.experiments.common:run_cell_virt_sim_stage",
-            deps=prev,
+            deps=tuple(out),
             host_policy=host_policy,
             guest_policy=guest_policy,
             workload=name,
@@ -286,7 +329,6 @@ def virt_sim_stage_cells(
             force_4k=force_4k,
         )
         out.append(c)
-        prev = (c,)
     return out
 
 

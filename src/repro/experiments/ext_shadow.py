@@ -135,8 +135,7 @@ def run_cell_shadow_chain(
 
 
 def run_cell_shadow_stage(
-    prev: common.ChainStage | None = None,
-    *,
+    *prev: common.ChainStage,
     workload: str,
     scale: ScaleProfile,
     hw: HardwareConfig,
@@ -144,18 +143,25 @@ def run_cell_shadow_stage(
 ) -> common.ChainStage:
     """One checkpointed workload step of the shadow chain.
 
-    The pager (hooks, tables, stats) rides inside the VM pickle, so a
-    resumed stage continues exactly where the checkpoint left off.
+    The pager (hooks, tables, stats) rides inside the VM checkpoint, so
+    a resumed stage continues exactly where the checkpoint left off.
+    Receives the whole chain prefix so delta checkpoints can resolve
+    ref frames into any earlier stage's blob.
     """
-    if prev is None:
+    if not prev:
         vm = common.virtual_machine("ca", "ca", scale)
         pager = attach_shadow_paging(vm)
     else:
-        vm = common.resume_vm(prev)
+        vm = common.resume_vm(*prev)
         pager = vm.shadow_pager
     row = _shadow_step(vm, pager, workload, scale, hw, trace_len)
-    blob, digest = common.checkpoint_vm(vm)
-    return common.ChainStage(payload=row, state=blob, state_digest=digest)
+    blob, digest = common.checkpoint_vm(vm, prev)
+    return common.ChainStage(
+        payload=row,
+        state=blob,
+        state_digest=digest,
+        base_digest=prev[-1].state_digest if prev else None,
+    )
 
 
 def plan(
@@ -172,18 +178,16 @@ def plan(
     hw = hw or HardwareConfig()
     if staged:
         cells_out = []
-        prev: tuple = ()
         for name in workloads:
             c = cell(
                 "repro.experiments.ext_shadow:run_cell_shadow_stage",
-                deps=prev,
+                deps=tuple(cells_out),
                 workload=name,
                 scale=scale,
                 hw=hw,
                 trace_len=trace_len,
             )
             cells_out.append(c)
-            prev = (c,)
     else:
         cells_out = [
             cell(

@@ -109,20 +109,27 @@ def run_cell_vhc_chain(
 
 
 def run_cell_vhc_stage(
-    prev: common.ChainStage | None = None,
-    *,
+    *prev: common.ChainStage,
     workload: str,
     scale: ScaleProfile,
     hw: HardwareConfig,
     trace_len: int,
 ) -> common.ChainStage:
-    """One checkpointed workload step of the vHC chain."""
-    vm = common.resume_vm(prev) if prev is not None else (
+    """One checkpointed workload step of the vHC chain.
+
+    Receives the whole chain prefix so delta checkpoints can resolve
+    ref frames into any earlier stage's blob."""
+    vm = common.resume_vm(*prev) if prev else (
         common.virtual_machine("ca", "ca", scale)
     )
     row = _vhc_step(vm, workload, scale, hw, trace_len)
-    blob, digest = common.checkpoint_vm(vm)
-    return common.ChainStage(payload=row, state=blob, state_digest=digest)
+    blob, digest = common.checkpoint_vm(vm, prev)
+    return common.ChainStage(
+        payload=row,
+        state=blob,
+        state_digest=digest,
+        base_digest=prev[-1].state_digest if prev else None,
+    )
 
 
 def plan(
@@ -139,18 +146,16 @@ def plan(
     hw = hw or HardwareConfig()
     if staged:
         cells_out = []
-        prev: tuple = ()
         for name in workloads:
             c = cell(
                 "repro.experiments.ext_vhc:run_cell_vhc_stage",
-                deps=prev,
+                deps=tuple(cells_out),
                 workload=name,
                 scale=scale,
                 hw=hw,
                 trace_len=trace_len,
             )
             cells_out.append(c)
-            prev = (c,)
     else:
         cells_out = [
             cell(

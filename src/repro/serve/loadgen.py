@@ -17,6 +17,11 @@ phases:
    of the fleet's point-cell references must be served by dedup +
    coalescing + cache rather than computed.  The phase reports the
    dedup ratio and the stream-completion p50/p95.
+4. *tier* — the largest entry the earlier phases cached is pulled
+   back through the ``/v1/cache`` federation endpoints as a new peer
+   (framed RPT1 verbatim) and as an Accept-less old peer (transparent
+   raw-pickle transcode), recording the bytes each format put on the
+   wire against the entry's raw-pickle equivalent.
 
 The report (``BENCH_serve.json``) carries the headline numbers CI
 gates on: zero failed requests, coalescing effectiveness,
@@ -144,6 +149,55 @@ def _sweep_spec_for(i: int, scale_name: str) -> dict:
     }
 
 
+def _tier_phase(server, cache_root: Path) -> dict:
+    """Pull the largest cached entry over the ``/v1/cache`` tier both
+    ways; returns the bytes-on-wire comparison."""
+    import http.client
+    import pickle
+
+    from repro.sim import transport
+    from repro.sim.cache import HttpCacheTier, RunCache
+
+    entries = sorted(
+        cache_root.glob("*/*.pkl"),
+        key=lambda p: p.stat().st_size, reverse=True,
+    )
+    if not entries:
+        return {"entries": 0}
+    key = entries[0].stem
+
+    tier = HttpCacheTier(f"http://127.0.0.1:{server.port}")
+    blob = tier.get(key)
+    if blob is None:
+        return {"entries": len(entries), "error": "tier get missed"}
+    value = RunCache.decode_blob(blob)
+    raw_equiv = len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+
+    # An Accept-less GET: what an old peer would pull for the same key.
+    conn = http.client.HTTPConnection(
+        "127.0.0.1", server.port, timeout=30
+    )
+    try:
+        conn.request("GET", f"/v1/cache/{key}")
+        resp = conn.getresponse()
+        old_body = resp.read()
+        old_format = resp.getheader("X-Repro-Blob-Format")
+    finally:
+        conn.close()
+
+    return {
+        "entries": len(entries),
+        "key": key,
+        "blob_format": "rpt1" if transport.is_framed(blob) else "raw",
+        "bytes_on_wire": len(blob),
+        "raw_equivalent_bytes": raw_equiv,
+        "wire_reduction": round(raw_equiv / max(len(blob), 1), 2),
+        "old_peer_bytes": len(old_body),
+        "old_peer_format": old_format,
+        "client_bytes_received": tier.bytes_received,
+    }
+
+
 def _fire_sweep(client: ServeClient, spec: dict) -> dict:
     """Stream one sweep; returns latency + stream shape + result body."""
     started = time.perf_counter()
@@ -251,9 +305,20 @@ def run_serve_bench(
                 spec_key = str(sorted(_sweep_spec_for(i, scale_name).items()))
                 sweep_bodies_by_spec.setdefault(spec_key, set()).add(r["body"])
 
+            # Phase 4: federation-tier bytes on the wire.
+            tier = _tier_phase(server, root)
+
             metrics_snapshot = {
                 "jobs_done": client.metric(
                     "repro_jobs_total", label='status="done"'
+                ),
+                "tier_bytes_get": client.metric(
+                    "repro_cache_tier_bytes_total",
+                    label='direction="get"',
+                ),
+                "tier_bytes_put": client.metric(
+                    "repro_cache_tier_bytes_total",
+                    label='direction="put"',
                 ),
                 "jobs_failed": client.metric(
                     "repro_jobs_total", label='status="failed"'
@@ -333,6 +398,7 @@ def run_serve_bench(
             ),
             "metrics_points_total": sweep_points,
         },
+        "tier": tier,
         "metrics": metrics_snapshot,
         # Headline numbers the CI smoke gates on.
         "coalescing_ok": coalescing_ok,

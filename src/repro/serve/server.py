@@ -35,6 +35,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.chaos.clock import CLOCK
 from repro.serve.metrics import Registry
+from repro.sim import transport
 from repro.serve.scheduler import (
     BadRequest,
     Job,
@@ -122,6 +123,11 @@ class ReproServer:
             "repro_cache_tier_requests_total",
             "Shared-tier blob operations served, by outcome.",
             label="outcome",
+        )
+        self.m_cache_tier_bytes = self.registry.counter(
+            "repro_cache_tier_bytes_total",
+            "Shared-tier blob body bytes on the wire, by direction.",
+            label="direction",
         )
         self.scheduler = Scheduler(
             queue_depth=queue_depth, workers=workers, sim_jobs=sim_jobs,
@@ -330,7 +336,7 @@ class ReproServer:
             await self._handle_run(writer, body, stream)
         elif path.startswith("/v1/cache/"):
             await self._handle_cache(
-                writer, method, path[len("/v1/cache/"):], body
+                writer, method, path[len("/v1/cache/"):], headers, body
             )
         elif path == "/v1/sweep":
             if method != "POST":
@@ -484,14 +490,23 @@ class ReproServer:
             )
 
     async def _handle_cache(self, writer, method: str, key: str,
-                            body: bytes) -> None:
-        """The shared blob tier: GET/PUT pickled cell results by digest.
+                            headers: dict, body: bytes) -> None:
+        """The shared blob tier: GET/PUT cell-result blobs by digest.
 
-        The server never unpickles blobs — it stores and serves bytes;
-        deserialization (and corruption quarantine) stays on the client
-        side.  PUT is first-writer-wins (single-writer promotion): a
-        digest already present answers 200 without touching disk, so a
-        fleet racing to publish the same result writes it once.
+        The server stores and serves bytes; deserialization (and
+        corruption quarantine) stays on the client side.  PUT is
+        first-writer-wins (single-writer promotion): a digest already
+        present answers 200 without touching disk, so a fleet racing to
+        publish the same result writes it once.
+
+        Blob format negotiation: a GET carrying ``X-Repro-Blob-Accept``
+        listing ``rpt1`` receives framed entries verbatim, labelled
+        ``X-Repro-Blob-Format: rpt1``.  A GET from an old peer (no
+        Accept header) gets framed entries transcoded to a raw pickle —
+        the one place the server touches blob contents, and only for
+        backward compatibility; a framed entry that will not decode
+        answers 404 rather than shipping bytes the old client cannot
+        read.  Raw legacy entries are served verbatim either way.
         """
         cache = self.scheduler.cache
         if cache is None:
@@ -513,18 +528,38 @@ class ReproServer:
                 await self._respond_json(
                     writer, 404, {"error": f"no blob for {key[:12]}"}
                 )
+                return
+            fmt = "rpt1" if transport.is_framed(blob) else "raw"
+            accepts = headers.get("x-repro-blob-accept", "")
+            if fmt == "rpt1" and "rpt1" not in accepts:
+                blob = await loop.run_in_executor(
+                    None, _transcode_to_raw, blob
+                )
+                if blob is None:
+                    self.m_cache_tier.inc("get_transcode_failed")
+                    await self._respond_json(
+                        writer, 404,
+                        {"error": f"blob for {key[:12]} cannot be "
+                                  "transcoded for a raw-only peer"},
+                    )
+                    return
+                self.m_cache_tier.inc("get_transcoded")
+                fmt = "raw"
             else:
                 self.m_cache_tier.inc("get_hit")
-                await self._respond(
-                    writer, 200, blob,
-                    content_type="application/octet-stream",
-                )
+            self.m_cache_tier_bytes.inc("get", len(blob))
+            await self._respond(
+                writer, 200, blob,
+                content_type="application/octet-stream",
+                extra=[("X-Repro-Blob-Format", fmt)],
+            )
         elif method == "PUT":
             outcome = await loop.run_in_executor(
                 None, lambda: cache.write_blob(key, body, overwrite=False)
             )
             if outcome == "stored":
                 self.m_cache_tier.inc("put_stored")
+                self.m_cache_tier_bytes.inc("put", len(body))
                 await self._respond_json(writer, 201, {"stored": key})
             elif outcome == "exists":
                 self.m_cache_tier.inc("put_exists")
@@ -597,6 +632,24 @@ class ReproServer:
         self.m_responses.inc(str(status))
         writer.write(_head(status, headers) + body)
         await writer.drain()
+
+
+def _transcode_to_raw(blob: bytes) -> bytes | None:
+    """Re-pickle a framed blob for a peer that predates RPT1.
+
+    Runs on the executor thread pool (decode + re-pickle can be
+    milliseconds on VM checkpoints).  ``None`` means the framed entry
+    is corrupt or self-referential (a delta needing its base) — the old
+    peer gets a 404 and recomputes locally, which is the transparent-
+    fallback contract.
+    """
+    import pickle
+
+    try:
+        value = transport.loads(blob)
+        return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return None
 
 
 def _head(status: int, headers: list[tuple[str, str]]) -> bytes:

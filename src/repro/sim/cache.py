@@ -52,10 +52,14 @@ import http.client
 import json
 import os
 import pickle
+import struct
 import tempfile
 import urllib.parse
+import zlib
 from pathlib import Path
 from typing import Any
+
+from repro.sim import transport
 
 #: Sentinel distinguishing "no entry" from a cached ``None``.
 MISS = object()
@@ -141,15 +145,28 @@ class HttpCacheTier:
     Speaks plain HTTP/1.1 over :mod:`http.client` (one connection per
     operation — the server closes after each response anyway):
 
-    - ``GET /v1/cache/<key>`` → 200 + pickled blob, or 404;
+    - ``GET /v1/cache/<key>`` → 200 + blob, or 404;
     - ``PUT /v1/cache/<key>`` → 201 (stored) or 200 (already present —
       the tier keeps the first writer's copy, so a digest is published
       once globally).
+
+    Blob format negotiation rides Content-Encoding-style headers: GETs
+    advertise ``X-Repro-Blob-Accept: rpt1, raw`` so the server can hand
+    back framed RPT1 blobs verbatim; a server answering an Accept-less
+    peer transcodes framed entries to raw pickle instead, so old
+    clients keep working against a new tier (and this client sniffs the
+    body's magic rather than trusting the response header, so it works
+    against old servers that send no header at all).  PUTs label the
+    body via ``X-Repro-Blob-Format``.  ``bytes_sent``/``bytes_received``
+    count body bytes on the wire for the bench-serve tier phase.
 
     Every failure mode — connection refused, timeout, protocol garbage,
     unexpected status — increments ``errors`` and returns ``None``; the
     owning :class:`RunCache` then behaves as if no tier existed.
     """
+
+    ACCEPT_HEADER = "X-Repro-Blob-Accept"
+    FORMAT_HEADER = "X-Repro-Blob-Format"
 
     def __init__(self, base_url: str, timeout: float = 10.0):
         parts = urllib.parse.urlsplit(base_url)
@@ -165,14 +182,17 @@ class HttpCacheTier:
         self.gets = 0
         self.puts = 0
         self.errors = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
 
-    def _request(self, method: str, key: str, body: bytes | None = None):
+    def _request(self, method: str, key: str, body: bytes | None = None,
+                 headers: dict[str, str] | None = None):
         """One request/response; returns ``(status, body)`` or ``None``."""
         conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=self.timeout)
         try:
             conn.request(method, f"{self.base_path}/v1/cache/{key}",
-                         body=body)
+                         body=body, headers=headers or {})
             resp = conn.getresponse()
             return resp.status, resp.read()
         except (OSError, http.client.HTTPException):
@@ -184,16 +204,23 @@ class HttpCacheTier:
     def get(self, key: str) -> bytes | None:
         """Fetch a blob from the tier; ``None`` on miss or failure."""
         self.gets += 1
-        out = self._request("GET", key)
+        out = self._request("GET", key,
+                            headers={self.ACCEPT_HEADER: "rpt1, raw"})
         if out is None:
             return None
         status, data = out
-        return data if status == 200 else None
+        if status != 200:
+            return None
+        self.bytes_received += len(data)
+        return data
 
     def put(self, key: str, blob: bytes) -> str | None:
         """Publish a blob; ``"stored"``, ``"exists"`` or ``None``."""
         self.puts += 1
-        out = self._request("PUT", key, body=blob)
+        fmt = "rpt1" if transport.is_framed(blob) else "raw"
+        self.bytes_sent += len(blob)
+        out = self._request("PUT", key, body=blob,
+                            headers={self.FORMAT_HEADER: fmt})
         if out is None:
             return None
         status, _ = out
@@ -228,10 +255,14 @@ class RunCache:
     """
 
     #: Errors that mean "the entry exists but cannot be deserialized".
+    #: ``transport.TransportError`` is a ``ValueError`` (frame-header,
+    #: CRC, and digest mismatches); ``zlib.error``/``struct.error``
+    #: cover inflate failures and mangled frame headers that surface
+    #: below the transport's own checks.
     CORRUPTION_ERRORS = (
         OSError, pickle.UnpicklingError, EOFError, AttributeError,
         ImportError, IndexError, ValueError, TypeError,
-        UnicodeDecodeError,
+        UnicodeDecodeError, zlib.error, struct.error,
     )
 
     def __init__(self, root: str | Path | None = None, salt: str | None = None,
@@ -288,15 +319,25 @@ class RunCache:
                 if path.exists():
                     # Garble the real entry so the genuine corruption
                     # handling below (quarantine + miss) is exercised.
+                    # Framed entries get a single byte flipped deep in
+                    # the blob — the transport's CRC/digest coverage
+                    # must catch it; raw pickles are overwritten with
+                    # a truncated opcode stream.
                     try:
-                        path.write_bytes(b"\x80\x04chaos-corrupted")
+                        data = path.read_bytes()
+                        if transport.is_framed(data) and data:
+                            path.write_bytes(
+                                data[:-1] + bytes((data[-1] ^ 0xFF,))
+                            )
+                        else:
+                            path.write_bytes(b"\x80\x04chaos-corrupted")
                     except OSError:
                         pass
                     self.injector.recover(record, "quarantined")
                 else:
                     self.injector.recover(record, "already_miss")
         try:
-            fh = path.open("rb")
+            blob = path.read_bytes()
         except FileNotFoundError:
             return self._tier_get(key, path)
         except OSError:
@@ -304,8 +345,7 @@ class RunCache:
             self.misses += 1
             return MISS
         try:
-            with fh:
-                value = pickle.load(fh)
+            value = self.decode_blob(blob)
         except self.CORRUPTION_ERRORS:
             self._quarantine(key, path)
             self.misses += 1
@@ -320,7 +360,7 @@ class RunCache:
     def _tier_get(self, key: str, path: Path) -> Any:
         """Local miss: read through the shared tier, fill the L1.
 
-        A tier blob that will not unpickle counts as a ``tier_error``
+        A tier blob that will not decode counts as a ``tier_error``
         and stays out of the local store; a clean fetch fills the local
         disk (so the next read is local) and counts as a hit.
         """
@@ -333,7 +373,7 @@ class RunCache:
             self.misses += 1
             return MISS
         try:
-            value = pickle.loads(blob)
+            value = self.decode_blob(blob)
         except self.CORRUPTION_ERRORS:
             self.tier_errors += 1
             self.misses += 1
@@ -402,6 +442,21 @@ class RunCache:
         self.stores += 1
         return "stored"
 
+    @staticmethod
+    def encode_value(value: Any) -> bytes:
+        """A value's on-disk form: a framed RPT1 blob."""
+        return transport.dumps(value)
+
+    @staticmethod
+    def decode_blob(blob: bytes) -> Any:
+        """Decode an entry, sniffing the format: framed RPT1 blobs go
+        through the transport (CRC + digest verified), anything else is
+        treated as a legacy raw pickle — entries written before the
+        framed format keep loading."""
+        if transport.is_framed(blob):
+            return transport.loads(blob)
+        return pickle.loads(blob)
+
     def put(self, key: str, value: Any) -> None:
         """Store a result under ``key`` (atomic; last writer wins).
 
@@ -418,7 +473,22 @@ class RunCache:
                 self.write_failures += 1
                 self.injector.recover(record, "dropped_write")
                 return
-        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        self._put_blob(key, self.encode_value(value))
+
+    def put_encoded(self, key: str, blob: bytes) -> None:
+        """Store an already-framed blob (the executor's pool path hands
+        worker-encoded blobs straight through so results are framed
+        exactly once).  Same fault-site and write-through semantics as
+        :meth:`put`."""
+        if self.injector is not None:
+            record = self.injector.fire("cache.write", key)
+            if record is not None:
+                self.write_failures += 1
+                self.injector.recover(record, "dropped_write")
+                return
+        self._put_blob(key, blob)
+
+    def _put_blob(self, key: str, blob: bytes) -> None:
         self.write_blob(key, blob)
         if self.tier is not None:
             if self.tier.put(key, blob) is None:
@@ -452,6 +522,12 @@ class RunCache:
         (glob-and-sort plus a second quarantine glob) dominated the
         ``cache stats`` command.  Files that vanish mid-scan (a
         concurrent prune or clear) are skipped rather than raising.
+
+        Each live entry's first 48 bytes are peeked to classify it as
+        a framed RPT1 blob or a legacy raw pickle; framed entries
+        report their *logical* (pre-compression) size from the header,
+        so the blob-format breakdown carries an honest overall
+        compression ratio.
         """
         entries = 0
         total = 0
@@ -459,6 +535,11 @@ class RunCache:
         newest: float | None = None
         quarantined = 0
         quarantined_bytes = 0
+        framed_entries = 0
+        framed_bytes = 0
+        framed_logical_bytes = 0
+        raw_entries = 0
+        raw_bytes = 0
         try:
             subdirs = list(os.scandir(self.root))
         except OSError:
@@ -490,6 +571,22 @@ class RunCache:
                         oldest = mtime
                     if newest is None or mtime > newest:
                         newest = mtime
+                    logical = None
+                    try:
+                        with open(entry.path, "rb") as fh:
+                            logical = transport.peek_logical_bytes(
+                                fh.read(48)
+                            )
+                    except OSError:
+                        pass
+                    if logical is None:
+                        raw_entries += 1
+                        raw_bytes += st.st_size
+                    else:
+                        framed_entries += 1
+                        framed_bytes += st.st_size
+                        framed_logical_bytes += logical
+        logical_total = framed_logical_bytes + raw_bytes
         return {
             "root": str(self.root),
             "entries": entries,
@@ -504,6 +601,15 @@ class RunCache:
             "tier_misses": self.tier_misses,
             "tier_stores": self.tier_stores,
             "tier_errors": self.tier_errors,
+            "framed_entries": framed_entries,
+            "framed_bytes": framed_bytes,
+            "framed_logical_bytes": framed_logical_bytes,
+            "raw_entries": raw_entries,
+            "raw_bytes": raw_bytes,
+            "logical_bytes": logical_total,
+            "compression_ratio": (
+                logical_total / total if total else 1.0
+            ),
         }
 
     def prune(self, max_bytes: int) -> dict:

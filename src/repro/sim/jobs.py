@@ -37,9 +37,11 @@ results are byte-identical to an undisturbed run.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import heapq
 import importlib
+import multiprocessing
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -49,6 +51,7 @@ from typing import Any, Callable, Sequence
 from repro.chaos.clock import CLOCK
 from repro.errors import ConfigError
 from repro.metrics.profiling import Histogram
+from repro.sim import transport
 from repro.sim.cache import MISS, RunCache, spec_digest
 
 #: Compute-time / queue-wait buckets (seconds).  Cheap native cells sit
@@ -121,20 +124,52 @@ def execute_cell(c: Cell, dep_values: Sequence[Any] = ()) -> Any:
     return c.resolve()(*dep_values, **dict(c.kwargs))
 
 
-def _pool_run_batch(items: list[tuple[Cell, tuple]]) -> list[tuple[float, float, Any]]:
+def _pool_run_batch(
+    items: list[tuple[Cell, tuple]]
+) -> list[tuple[float, float, bytes]]:
     """Worker entry: run a batch of (cell, dep_values) sequentially.
 
-    Returns ``(started_wall, compute_seconds, value)`` per item so the
+    Returns ``(started_wall, compute_seconds, blob)`` per item so the
     submitting side can attribute queue wait (submit → start, wall
-    clocks are comparable across processes) and compute time.
+    clocks are comparable across processes) and compute time.  Results
+    cross the process boundary as framed RPT1 blobs
+    (:func:`repro.sim.transport.dumps`) rather than default futures
+    pickles: numpy-heavy results (chain stages hauling VM checkpoints)
+    shrink by orders of magnitude before they hit the pipe, and the
+    submitting side reuses the exact worker-encoded bytes for the cache
+    entry, so each result is framed once, ever.  Encoding happens
+    outside the timed section — it is transport cost, not compute.
     """
     out = []
     for c, dep_values in items:
         started_wall = time.time()
         t0 = time.perf_counter()
         value = execute_cell(c, dep_values)
-        out.append((started_wall, time.perf_counter() - t0, value))
+        seconds = time.perf_counter() - t0
+        out.append((started_wall, seconds, transport.dumps(value)))
     return out
+
+
+@functools.lru_cache(maxsize=None)
+def _mp_context() -> multiprocessing.context.BaseContext:
+    """The pinned start method for the persistent worker pool.
+
+    The stdlib default drifts by platform and version (``fork`` on
+    POSIX ≤3.13, ``spawn`` later) and ``fork`` is unsafe under the
+    serve layer's threads.  Pinning ``forkserver`` keeps behaviour
+    identical everywhere that has it, and preloading this module into
+    the forkserver template imports numpy and the repro package once —
+    every worker then forks from the warm template instead of paying
+    the interpreter+numpy import on each spawn.
+    """
+    if "forkserver" in multiprocessing.get_all_start_methods():
+        ctx = multiprocessing.get_context("forkserver")
+        try:
+            ctx.set_forkserver_preload(["repro.sim.jobs"])
+        except (AttributeError, ValueError):  # pragma: no cover
+            pass
+        return ctx
+    return multiprocessing.get_context("spawn")  # pragma: no cover
 
 
 @dataclass
@@ -261,7 +296,9 @@ class Executor:
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=_mp_context()
+            )
         return self._pool
 
     def _discard_pool(self) -> None:
@@ -376,12 +413,20 @@ class Executor:
         return tuple(results[key_of(d)] for d in c.deps)
 
     def _store(self, key: str, c: Cell, value: Any,
-               results: dict[str, Any]) -> None:
-        """Land one computed result: memoize immediately, then notify."""
+               results: dict[str, Any],
+               encoded: bytes | None = None) -> None:
+        """Land one computed result: memoize immediately, then notify.
+
+        ``encoded`` carries the worker's framed blob from the pool path
+        so the cache stores those exact bytes instead of re-framing the
+        value."""
         results[key] = value
         self.stats.computed += 1
         if self.cache is not None:
-            self.cache.put(key, value)
+            if encoded is not None:
+                self.cache.put_encoded(key, encoded)
+            else:
+                self.cache.put(key, value)
         self._notify("computed", c)
 
     def _run_serial(self, topo: list[str], univ: dict[str, Cell],
@@ -517,7 +562,7 @@ class Executor:
                 done, _ = wait(inflight, return_when=FIRST_COMPLETED)
                 for fut in done:
                     batch_keys, submitted_wall = inflight.pop(fut)
-                    for k, (started_wall, seconds, value) in zip(
+                    for k, (started_wall, seconds, blob) in zip(
                         batch_keys, fut.result()
                     ):
                         self.queue_wait_hist.observe(
@@ -525,11 +570,20 @@ class Executor:
                         )
                         self.compute_hist.observe(seconds)
                         c = univ[k]
+                        value = transport.loads(blob)
+                        crashes = self.stats.worker_crashes
                         value = self._attempt_cell(
                             k, c, value,
                             dep_values=self._dep_values(c, results, key_of),
                         )
-                        self._store(k, c, value, results)
+                        # Reuse the worker's bytes only if the result
+                        # survived harvest untouched (no injected crash
+                        # forced a local recompute).
+                        encoded = (
+                            blob if self.stats.worker_crashes == crashes
+                            else None
+                        )
+                        self._store(k, c, value, results, encoded=encoded)
                         for m in dependents[k]:
                             waiting[m] -= 1
                             if waiting[m] == 0:

@@ -3,12 +3,17 @@
 The first class is the satellite regression for real on-disk damage
 (garbage bytes, truncation, unreadable entries); the second drives the
 same machinery through injected ``cache.read``/``cache.write`` faults
-and checks results stay correct.
+and checks results stay correct; the third flips bytes *inside* framed
+RPT1 blobs — the transport's CRC/digest coverage must turn every flip
+into the same quarantine path raw-pickle garbage takes.
 """
 
 import pickle
 
+import numpy as np
+
 from repro.chaos import FaultInjector, FaultPlan
+from repro.sim import transport
 from repro.sim.cache import MISS, RunCache
 from repro.sim.jobs import Executor, cell
 
@@ -140,3 +145,88 @@ class TestInjectedCacheFaults:
                                  for r in injector.records))
         assert traces[0] == traces[1]
         assert traces[0]  # the 0.5 plan fired at least once over 8 keys
+
+
+NP_CELL = "tests.chaos.test_cache_chaos:_np_result"
+
+
+def _np_result(*, n):
+    return {
+        "col": np.repeat(np.arange(n, dtype=np.uint64), 4096),
+        "meta": n,
+    }
+
+
+class TestFramedBlobCorruption:
+    """Satellite: zlib/frame corruption quarantines like unpickling."""
+
+    KEY = "ab" + "0" * 62
+
+    def _warm(self, tmp_path):
+        cache = make_cache(tmp_path)
+        value = _np_result(n=16)
+        cache.put(self.KEY, value)
+        blob = cache.path_for(self.KEY).read_bytes()
+        assert transport.is_framed(blob)
+        return cache, value, blob
+
+    def test_byte_flips_anywhere_in_a_framed_entry_quarantine(
+        self, tmp_path
+    ):
+        cache, value, blob = self._warm(tmp_path)
+        rng = np.random.default_rng(42)
+        positions = sorted(
+            {0, 5, 47, 48, 60, len(blob) - 1}
+            | set(rng.integers(0, len(blob), 24).tolist())
+        )
+        for i, pos in enumerate(positions, start=1):
+            bad = bytearray(blob)
+            bad[pos] ^= 0xFF
+            cache.path_for(self.KEY).parent.mkdir(
+                parents=True, exist_ok=True
+            )
+            cache.path_for(self.KEY).write_bytes(bytes(bad))
+            cache.quarantine_path_for(self.KEY).unlink(missing_ok=True)
+            assert cache.get(self.KEY) is MISS, f"flip at byte {pos}"
+            assert cache.corrupt_evictions == i, f"flip at byte {pos}"
+            assert cache.quarantine_path_for(self.KEY).exists()
+
+    def test_pristine_framed_entry_still_round_trips(self, tmp_path):
+        cache, value, blob = self._warm(tmp_path)
+        out = cache.get(self.KEY)
+        assert out["meta"] == value["meta"]
+        assert np.array_equal(out["col"], value["col"])
+
+    def test_injected_read_fault_differential_with_numpy_cells(
+        self, tmp_path
+    ):
+        """The cache.read fault site flips a byte inside framed entries;
+        the run must still produce results identical to a clean pass."""
+        cells = [cell(NP_CELL, n=n) for n in (2, 3)]
+        clean = Executor().run(cells)
+
+        warm = make_cache(tmp_path)
+        Executor(cache=warm).run(cells)
+        injector = FaultInjector(FaultPlan((("cache.read", 1.0),)))
+        cache = make_cache(tmp_path, injector=injector)
+        executor = Executor(cache=cache, injector=injector)
+        chaotic = executor.run(cells)
+        assert cache.corrupt_evictions == len(cells)
+        assert {r.recovered for r in injector.records} == {"quarantined"}
+        assert executor.stats.computed == len(cells)
+        for a, b in zip(clean, chaotic):
+            assert a["meta"] == b["meta"]
+            assert np.array_equal(a["col"], b["col"])
+
+    def test_legacy_raw_pickle_entries_still_load(self, tmp_path):
+        cache = make_cache(tmp_path)
+        value = {"legacy": list(range(32))}
+        cache.write_blob(
+            self.KEY,
+            pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+        assert cache.get(self.KEY) == value
+        assert cache.corrupt_evictions == 0
+        stats = cache.stats()
+        assert stats["raw_entries"] == 1
+        assert stats["framed_entries"] == 0

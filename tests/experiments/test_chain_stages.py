@@ -1,8 +1,9 @@
 """Stage-checkpointed chains must be indistinguishable from monolithic.
 
 Every aging-VM chain experiment now splits into per-workload stages
-whose VM state is pickled, digested and cached between cells
-(:mod:`repro.experiments.common`).  These tests pin the contract:
+whose VM state is framed (RPT1 delta checkpoints), digested and cached
+between cells (:mod:`repro.experiments.common`).  These tests pin the
+contract:
 
 - *determinism* — the staged plan's assembled result serializes
   byte-identically to the monolithic single-cell chain, for every
@@ -22,12 +23,12 @@ crossing a checkpoint boundary.
 from __future__ import annotations
 
 import json
-import pickle
 
 import pytest
 
 from repro.experiments import common
 from repro.experiments.serialize import to_jsonable
+from repro.sim import transport
 from repro.sim.cache import RunCache
 from repro.sim.config import ScaleProfile
 from repro.sim.jobs import Executor
@@ -85,12 +86,47 @@ class TestCheckpoints:
         vm = common.virtual_machine("ca", "ca", SMOKE)
         pager = attach_shadow_paging(vm)
         blob, digest = common.checkpoint_vm(vm)
+        assert transport.is_framed(blob)
         assert digest == common.checkpoint_vm(vm)[1]
-        revived = pickle.loads(blob)
+        revived = transport.loads(blob)
         # The pager rode along, hooks and all.
         assert revived.shadow_pager is not None
         assert (revived.shadow_pager.stats.splintered_leaves
                 == pager.stats.splintered_leaves)
+
+    def test_delta_checkpoint_digest_matches_full(self):
+        """A stage written as a delta carries the same logical digest —
+        and resumes to the same VM — as the full framing of the same
+        state, for every kernel engine."""
+        for engine in ("fast", "scalar", "columnar"):
+            vm = common.virtual_machine("ca", "ca", SMOKE, engine=engine)
+            blob0, digest0 = common.checkpoint_vm(vm)
+            stage0 = common.ChainStage(
+                payload=None, state=blob0, state_digest=digest0
+            )
+            # Age the VM one workload past the checkpoint.
+            from repro.sim.runner import RunOptions, run_virtualized
+            from repro.workloads import make_workload
+
+            r = run_virtualized(
+                vm, make_workload("svm", SMOKE),
+                RunOptions(sample_every=None, exit_after=False),
+            )
+            vm.guest_exit_process(r.process)
+            vm.guest_kernel.drop_caches()
+            delta_blob, delta_digest = common.checkpoint_vm(vm, (stage0,))
+            full_blob, full_digest = common.checkpoint_vm(vm)
+            assert delta_digest == full_digest, engine
+            assert len(delta_blob) <= len(full_blob), engine
+            # Both resume to the same logical state.
+            stage1 = common.ChainStage(
+                payload=None, state=delta_blob, state_digest=delta_digest,
+                base_digest=digest0,
+            )
+            resumed_delta = common.resume_vm(stage0, stage1)
+            resumed_full = transport.loads(full_blob)
+            assert (common.checkpoint_vm(resumed_delta)[1]
+                    == common.checkpoint_vm(resumed_full)[1]), engine
 
     def test_stage_payloads_unwrap_in_order(self):
         stages = [

@@ -13,9 +13,11 @@ from __future__ import annotations
 import http.client
 import pickle
 
+import numpy as np
 import pytest
 
 from repro.serve.loadgen import ServerThread
+from repro.sim import transport
 from repro.sim.cache import MISS, HttpCacheTier, RunCache
 from repro.sim.jobs import Executor, cell
 
@@ -31,39 +33,40 @@ def tier_server(tmp_path_factory):
         yield server
 
 
-def _raw(server, method: str, path: str, body: bytes | None = None):
+def _raw(server, method: str, path: str, body: bytes | None = None,
+         headers: dict | None = None):
     conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
     try:
-        conn.request(method, path, body=body)
+        conn.request(method, path, body=body, headers=headers or {})
         resp = conn.getresponse()
-        return resp.status, resp.read()
+        return resp.status, resp.read(), dict(resp.getheaders())
     finally:
         conn.close()
 
 
 class TestEndpoint:
     def test_get_missing_key_is_404(self, tier_server):
-        status, _ = _raw(tier_server, "GET", f"/v1/cache/{'00' * 32}")
+        status, _, _ = _raw(tier_server, "GET", f"/v1/cache/{'00' * 32}")
         assert status == 404
 
     def test_malformed_keys_rejected(self, tier_server):
         for bad in ("short", "Z" * 64, "AB" * 32, "../../etc/passwd"):
-            status, _ = _raw(tier_server, "GET", f"/v1/cache/{bad}")
+            status, _, _ = _raw(tier_server, "GET", f"/v1/cache/{bad}")
             assert status == 400, bad
 
     def test_single_writer_promotion(self, tier_server):
         first = pickle.dumps({"winner": 1})
         second = pickle.dumps({"loser": 2})
-        status, _ = _raw(tier_server, "PUT", f"/v1/cache/{KEY}", first)
+        status, _, _ = _raw(tier_server, "PUT", f"/v1/cache/{KEY}", first)
         assert status == 201  # stored
-        status, _ = _raw(tier_server, "PUT", f"/v1/cache/{KEY}", second)
+        status, _, _ = _raw(tier_server, "PUT", f"/v1/cache/{KEY}", second)
         assert status == 200  # exists: first writer's copy kept
-        status, body = _raw(tier_server, "GET", f"/v1/cache/{KEY}")
+        status, body, _ = _raw(tier_server, "GET", f"/v1/cache/{KEY}")
         assert status == 200
         assert body == first
 
     def test_method_not_allowed(self, tier_server):
-        status, _ = _raw(tier_server, "POST", f"/v1/cache/{'cd' * 32}")
+        status, _, _ = _raw(tier_server, "POST", f"/v1/cache/{'cd' * 32}")
         assert status == 405
 
 
@@ -126,10 +129,95 @@ class TestFederatedRunCache:
         assert b.cache.tier_hits == 2
 
 
+class TestBlobFormatNegotiation:
+    """GET/PUT header negotiation for framed RPT1 blobs.
+
+    New peers advertise ``X-Repro-Blob-Accept: rpt1, raw`` and get the
+    stored framed bytes verbatim; an Accept-less old peer gets a
+    transparent transcode back to a raw pickle it can load directly.
+    """
+
+    def _value(self):
+        return {"col": np.repeat(np.arange(8, dtype=np.uint64), 2_048)}
+
+    def test_new_peer_gets_framed_bytes_verbatim(self, tier_server):
+        tier = HttpCacheTier(f"http://127.0.0.1:{tier_server.port}")
+        key = "1a" * 32
+        blob = transport.dumps(self._value())
+        assert tier.put(key, blob) == "stored"
+        assert tier.get(key) == blob
+        status, body, headers = _raw(
+            tier_server, "GET", f"/v1/cache/{key}",
+            headers={HttpCacheTier.ACCEPT_HEADER: "rpt1, raw"},
+        )
+        assert status == 200
+        assert body == blob
+        assert headers.get(HttpCacheTier.FORMAT_HEADER) == "rpt1"
+
+    def test_old_peer_gets_a_transcoded_raw_pickle(self, tier_server):
+        tier = HttpCacheTier(f"http://127.0.0.1:{tier_server.port}")
+        key = "2b" * 32
+        value = self._value()
+        tier.put(key, transport.dumps(value))
+        # No Accept header: the server must not hand back RPT1 framing.
+        status, body, headers = _raw(tier_server, "GET",
+                                     f"/v1/cache/{key}")
+        assert status == 200
+        assert headers.get(HttpCacheTier.FORMAT_HEADER) == "raw"
+        assert not transport.is_framed(body)
+        out = pickle.loads(body)
+        assert np.array_equal(out["col"], value["col"])
+
+    def test_legacy_raw_put_serves_both_peer_generations(
+        self, tier_server
+    ):
+        key = "3c" * 32
+        raw = pickle.dumps({"legacy": True},
+                           protocol=pickle.HIGHEST_PROTOCOL)
+        status, _, _ = _raw(tier_server, "PUT", f"/v1/cache/{key}", raw)
+        assert status == 201
+        # Old peer: raw in, raw out.
+        status, body, headers = _raw(tier_server, "GET",
+                                     f"/v1/cache/{key}")
+        assert status == 200
+        assert body == raw
+        assert headers.get(HttpCacheTier.FORMAT_HEADER) == "raw"
+        # New peer: the tier client decodes raw entries transparently.
+        tier = HttpCacheTier(f"http://127.0.0.1:{tier_server.port}")
+        assert RunCache.decode_blob(tier.get(key)) == {"legacy": True}
+
+    def test_tier_client_counts_bytes_on_wire(self, tier_server):
+        tier = HttpCacheTier(f"http://127.0.0.1:{tier_server.port}")
+        key = "4d" * 32
+        blob = transport.dumps(self._value())
+        tier.put(key, blob)
+        assert tier.bytes_sent == len(blob)
+        assert tier.get(key) == blob
+        assert tier.bytes_received == len(blob)
+
+    def test_federated_round_trip_of_a_framed_numpy_value(
+        self, tier_server, tmp_path
+    ):
+        url = f"http://127.0.0.1:{tier_server.port}"
+        a = RunCache(tmp_path / "a", tier=HttpCacheTier(url))
+        b = RunCache(tmp_path / "b", tier=HttpCacheTier(url))
+        key = "5e" * 32
+        value = self._value()
+        a.put(key, value)
+        out = b.get(key)
+        assert out is not MISS
+        assert np.array_equal(out["col"], value["col"])
+        # The wire carried the framed (compressed) blob, not logical
+        # bytes: on-wire size beats the raw pickle by a wide margin.
+        raw_len = len(pickle.dumps(value,
+                                   protocol=pickle.HIGHEST_PROTOCOL))
+        assert b.tier.bytes_received < raw_len / 2
+
+
 class TestNoCacheServer:
     def test_tier_endpoints_disabled_without_cache(self, tmp_path):
         with ServerThread(cache=None) as server:
-            status, _ = _raw(server, "GET", f"/v1/cache/{'11' * 32}")
+            status, _, _ = _raw(server, "GET", f"/v1/cache/{'11' * 32}")
             assert status == 404
             # The client degrades to local-only without raising.
             tier = HttpCacheTier(f"http://127.0.0.1:{server.port}")
