@@ -343,8 +343,10 @@ def bench_replay(scale: ScaleProfile, workload_name: str = "svm",
 def _sim_state_digest(sim: MmuSimulator) -> dict:
     """Every observable end state of one simulator, for cross-engine
     comparison: TLB sets in LRU order + counters, the SpOT table with
-    per-entry offset/confidence, resident vRMM ranges, DS counters and
-    (when present) the walk simulator's caches and float cycle sum."""
+    per-entry offset/confidence, resident vRMM ranges, DS counters,
+    coalesced-TLB entries with coverage, Utopia promotion state,
+    segmentation geometry/assignments and (when present) the walk
+    simulator's caches and float cycle sum."""
     tlb = sim.tlb
     digest: dict = {
         "tlb": {
@@ -364,6 +366,22 @@ def _sim_state_digest(sim: MmuSimulator) -> dict:
             list(sim.rmm._ranges.items()), vars(sim.rmm.stats)
         ),
         "ds": None if sim.ds is None else vars(sim.ds.stats),
+        "ctlb": None if sim.ctlb is None else (
+            [list(s.items()) for s in sim.ctlb._sets],
+            vars(sim.ctlb.stats),
+        ),
+        "utopia": None if sim.utopia is None else (
+            list(sim.utopia._promoted.items()),
+            list(sim.utopia._miss_counts.items()),
+            sim.utopia.free_pages,
+            vars(sim.utopia.stats),
+        ),
+        "seg": None if sim.seg is None else (
+            [list(s) for s in sim.seg._segments],
+            list(sim.seg._assigned.items()),
+            list(sim.seg._rejected),
+            vars(sim.seg.stats),
+        ),
     }
     if sim.walk_sim is not None:
         ws = sim.walk_sim

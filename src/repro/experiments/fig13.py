@@ -33,8 +33,14 @@ from repro.sim.jobs import Executor, Plan, cell
 #: Default trace length per configuration.
 TRACE_LEN = 200_000
 
-#: Bar names in figure order.
-BARS = ("4K", "THP", "4K+4K", "THP+THP", "SpOT", "vRMM", "DS")
+#: Bar names in figure order.  The last three extend the paper's
+#: comparison with schemes it never measured: the run-coalescing TLB,
+#: Utopia's hybrid mappings, and the segmentation baseline — all
+#: emulated on the same CA+CA state and miss stream as SpOT/vRMM/DS.
+BARS = (
+    "4K", "THP", "4K+4K", "THP+THP",
+    "SpOT", "vRMM", "DS", "cTLB", "Utopia", "Seg",
+)
 
 
 @dataclass
@@ -177,6 +183,9 @@ def plan(
             out.overheads[(name, "SpOT")] = schemes["spot"]
             out.overheads[(name, "vRMM")] = schemes["vrmm"]
             out.overheads[(name, "DS")] = schemes["ds"]
+            out.overheads[(name, "cTLB")] = schemes["ctlb"]
+            out.overheads[(name, "Utopia")] = schemes["utopia"]
+            out.overheads[(name, "Seg")] = schemes["seg"]
         return out
 
     return Plan(cells, assemble)

@@ -2,7 +2,10 @@
 
 For every last-level TLB miss under CA+CA virtualized execution:
 fraction predicted correctly, mispredicted, or not predicted (the
-confidence counters declined to speculate).
+confidence counters declined to speculate).  Alongside, the same miss
+stream's coverage under the other run-exploiting schemes (vRMM ranges,
+coalesced-TLB entries, Utopia's RestSeg, the segmentation baseline) —
+all read off the same simulation cells.
 
 Paper shapes: correct predictions exceed 99% for PageRank; the worst
 misprediction rate belongs to hashjoin's random probes and stays in the
@@ -27,6 +30,10 @@ class Fig14Result:
     """Per-workload (correct, mispredict, no_prediction) fractions."""
 
     breakdown: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: Per-workload miss-coverage fraction of each run-exploiting
+    #: scheme on the same CA+CA miss stream (vrmm/ctlb/seg: covered
+    #: misses; utopia: restrictive-region hits).
+    scheme_coverage: dict[str, dict[str, float]] = field(default_factory=dict)
 
     def correct(self, workload: str) -> float:
         return self.breakdown[workload]["correct"]
@@ -35,17 +42,27 @@ class Fig14Result:
         return self.breakdown[workload]["mispredict"]
 
     def report(self) -> str:
-        rows = [
-            (
-                wl,
-                common.pct(b["correct"]),
-                common.pct(b["mispredict"]),
-                common.pct(b["no_prediction"]),
+        rows = []
+        for wl, b in self.breakdown.items():
+            cov = self.scheme_coverage.get(wl, {})
+            rows.append(
+                (
+                    wl,
+                    common.pct(b["correct"]),
+                    common.pct(b["mispredict"]),
+                    common.pct(b["no_prediction"]),
+                    common.pct(cov.get("vrmm", 0.0)),
+                    common.pct(cov.get("ctlb", 0.0)),
+                    common.pct(cov.get("utopia", 0.0)),
+                    common.pct(cov.get("seg", 0.0)),
+                )
             )
-            for wl, b in self.breakdown.items()
-        ]
         return common.format_table(
-            ("workload", "correct", "mispredict", "no prediction"), rows
+            (
+                "workload", "correct", "mispredict", "no prediction",
+                "vrmm cov", "ctlb cov", "utopia rest", "seg cov",
+            ),
+            rows,
         )
 
     def chart(self) -> str:
@@ -103,6 +120,13 @@ def plan(
         out = Fig14Result()
         for name, (sim,) in zip(workloads, chain):
             out.breakdown[name] = sim.spot_breakdown()
+            walks = max(1, sim.walks)
+            out.scheme_coverage[name] = {
+                "vrmm": 1.0 - sim.rmm_uncovered / walks,
+                "ctlb": 1.0 - sim.ctlb_uncovered / walks,
+                "utopia": sim.utopia_rest / walks,
+                "seg": 1.0 - sim.seg_outside / walks,
+            }
         return out
 
     return Plan(cells, assemble)

@@ -13,28 +13,38 @@ the trace-driven equivalent:
 - :mod:`repro.hw.rmm` — vRMM range TLB + range-table coverage,
 - :mod:`repro.hw.direct_segment` — DS dual direct mode,
 - :mod:`repro.hw.hybrid_coalescing` — vHC anchor-entry model (Table I),
+- :mod:`repro.hw.coalesced_tlb` — run-coalescing TLB (Ban & Cheng),
+- :mod:`repro.hw.utopia` — Utopia hybrid restrictive/flexible mappings,
+- :mod:`repro.hw.segmentation` — per-VM base/limit segmentation,
 - :mod:`repro.hw.mmu_sim` — the simulator gluing it all together.
 """
 
+from repro.hw.coalesced_tlb import CoalescedTlb, ctlb_entries_for_coverage
 from repro.hw.direct_segment import DirectSegment
 from repro.hw.hybrid_coalescing import anchor_distance_for, vhc_entries_for_coverage
 from repro.hw.mmu_sim import MmuSimResult, MmuSimulator
 from repro.hw.rmm import RangeTlb
+from repro.hw.segmentation import SegmentationUnit
 from repro.hw.spot import SpotPredictor
 from repro.hw.tlb import SetAssocTlb, TlbHierarchy
 from repro.hw.translation import TranslationView
+from repro.hw.utopia import UtopiaMapper
 from repro.hw.walk import WalkLatencyModel
 
 __all__ = [
+    "CoalescedTlb",
     "DirectSegment",
     "MmuSimResult",
     "MmuSimulator",
     "RangeTlb",
+    "SegmentationUnit",
     "SetAssocTlb",
     "SpotPredictor",
     "TlbHierarchy",
     "TranslationView",
+    "UtopiaMapper",
     "WalkLatencyModel",
     "anchor_distance_for",
+    "ctlb_entries_for_coverage",
     "vhc_entries_for_coverage",
 ]

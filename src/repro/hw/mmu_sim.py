@@ -13,9 +13,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.hw.coalesced_tlb import CoalescedTlb
 from repro.hw.direct_segment import DirectSegment
 from repro.hw.rmm import RangeTlb
+from repro.hw.segmentation import OUTSIDE, SegmentationUnit
 from repro.hw.spot import CORRECT, MISPREDICT, NO_PREDICTION, SpotPredictor
+from repro.hw.utopia import REST_HIT, UtopiaMapper
 from repro.hw.tlb import TlbHierarchy
 from repro.hw.translation import ResolvedTrace, TranslationView
 from repro.metrics.perf_model import PerfModel, WalkCosts
@@ -43,6 +46,11 @@ class MmuSimResult:
     # vRMM / DS
     rmm_uncovered: int = 0
     ds_outside: int = 0
+    # Coalesced TLB / Utopia / segmentation
+    ctlb_uncovered: int = 0
+    utopia_rest: int = 0
+    utopia_flex: int = 0
+    seg_outside: int = 0
     #: Ideal execution cycles (denominator of every overhead).
     t_ideal_cycles: float = 1.0
     #: Mechanistically measured average walk cost (cycles), when the
@@ -76,6 +84,13 @@ class MmuSimResult:
             ),
             "vrmm": model.vrmm_overhead(self.rmm_uncovered, self.virtualized),
             "ds": model.ds_overhead(self.ds_outside, self.virtualized),
+            "ctlb": model.ctlb_overhead(
+                self.ctlb_uncovered, self.virtualized, self.huge
+            ),
+            "utopia": model.utopia_overhead(
+                self.utopia_flex, self.utopia_rest, self.virtualized, self.huge
+            ),
+            "seg": model.seg_overhead(self.seg_outside, self.virtualized),
         }
 
 
@@ -121,6 +136,27 @@ class MmuSimulator:
             RangeTlb(self.hw.range_tlb_entries) if self.hw.rmm_enabled else None
         )
         self.ds = DirectSegment() if self.hw.ds_enabled else None
+        self.ctlb = (
+            CoalescedTlb(
+                self.hw.ctlb_entries,
+                self.hw.ctlb_ways,
+                self.hw.ctlb_span_pages,
+            )
+            if self.hw.ctlb_enabled
+            else None
+        )
+        self.utopia = (
+            UtopiaMapper(
+                self.hw.utopia_restseg_pages, self.hw.utopia_promote_after
+            )
+            if self.hw.utopia_enabled
+            else None
+        )
+        self.seg = (
+            SegmentationUnit(self.hw.seg_max_segments)
+            if self.hw.seg_enabled
+            else None
+        )
 
     def run(
         self,
@@ -151,6 +187,9 @@ class MmuSimulator:
         spot_done = self.spot.on_walk_complete if self.spot else None
         rmm_on = self.rmm.on_miss if self.rmm else None
         ds_on = self.ds.on_miss if self.ds else None
+        ctlb_on = self.ctlb.on_miss if self.ctlb else None
+        utopia_on = self.utopia.on_miss if self.utopia else None
+        seg_on = self.seg.on_miss if self.seg else None
         pcs = t.pc.tolist()
         bases = t.entry_base.tolist()
         huges = t.entry_huge.tolist()
@@ -189,6 +228,22 @@ class MmuSimulator:
             # DS: segment check.
             if ds_on is not None and not ds_on(segs[i]):
                 result.ds_outside += 1
+            # Coalesced TLB: run-coalesced entry coverage.
+            if ctlb_on is not None and not ctlb_on(
+                vpn, run_starts[i], run_lens[i]
+            ):
+                result.ctlb_uncovered += 1
+            # Utopia: restrictive-region hit or flexible walk.
+            if utopia_on is not None:
+                if utopia_on(vpn, run_starts[i], run_lens[i]) == REST_HIT:
+                    result.utopia_rest += 1
+                else:
+                    result.utopia_flex += 1
+            # Segmentation: base/limit segment check.
+            if seg_on is not None and (
+                seg_on(vpn, run_starts[i], run_lens[i]) == OUTSIDE
+            ):
+                result.seg_outside += 1
 
     def _loop_vector(self, t: ResolvedTrace, result: MmuSimResult) -> None:
         """Vectorized replay: TLB outcomes *and* walk outcomes batched.
@@ -217,6 +272,9 @@ class MmuSimulator:
             and self.spot is None
             and self.rmm is None
             and self.ds is None
+            and self.ctlb is None
+            and self.utopia is None
+            and self.seg is None
         ):
             return  # nothing consumes the walk stream
         w = _walk_slice(t, walk_idx)
@@ -236,6 +294,20 @@ class MmuSimulator:
             result.rmm_uncovered += uncovered
         if self.ds is not None:
             result.ds_outside += self.ds.on_miss_batch(w.in_segment)
+        if self.ctlb is not None:
+            _, missed = self.ctlb.on_miss_batch(w.vpn, w.run_start, w.run_len)
+            result.ctlb_uncovered += missed
+        if self.utopia is not None:
+            rest, flex = self.utopia.on_miss_batch(
+                w.vpn, w.run_start, w.run_len
+            )
+            result.utopia_rest += rest
+            result.utopia_flex += flex
+        if self.seg is not None:
+            _, _, _, outside = self.seg.on_miss_batch(
+                w.vpn, w.run_start, w.run_len
+            )
+            result.seg_outside += outside
 
 
 def _walk_slice(t: ResolvedTrace, walk_idx: np.ndarray) -> ResolvedTrace:

@@ -26,6 +26,36 @@ RANGE_FILL = "range_fill"
 UNCOVERED = "uncovered"
 
 
+def exact_run_table(
+    vpns: np.ndarray, run_starts: np.ndarray, run_lens: np.ndarray
+):
+    """The unique sorted ``(starts, lens)`` run table when the stream
+    satisfies the batched schemes' shared invariants, else None.
+
+    Every batched per-miss machine that reasons per *run* instead of per
+    access (vRMM, the coalesced TLB, Utopia) relies on the same three
+    stream properties: each access lies inside its own run, equal run
+    starts imply equal lengths, and runs are disjoint.  All three hold
+    by construction for a :class:`~repro.hw.translation.ResolvedTrace`;
+    adversarial streams return None and the callers fall back to their
+    scalar loops.
+    """
+    if not ((run_starts <= vpns) & (vpns < run_starts + run_lens)).all():
+        return None
+    order = np.argsort(run_starts, kind="stable")
+    s = run_starts[order]
+    ln = run_lens[order]
+    same = s[1:] == s[:-1]
+    if (ln[1:][same] != ln[:-1][same]).any():
+        return None  # one start, two lengths
+    first = np.concatenate(([True], ~same))
+    su = s[first]
+    lu = ln[first]
+    if (su[1:] < su[:-1] + lu[:-1]).any():
+        return None  # overlapping runs
+    return su, lu
+
+
 @dataclass
 class RmmStats:
     """Range TLB counters."""
@@ -151,24 +181,8 @@ class RangeTlb:
         self.stats.uncovered += uncovered
         return (hits, fills, uncovered)
 
-    @staticmethod
-    def _batch_exact(vpns, run_starts, run_lens):
-        """The unique sorted ``(starts, lens)`` run table when the
-        stream satisfies the batched path's invariants, else None."""
-        if not ((run_starts <= vpns) & (vpns < run_starts + run_lens)).all():
-            return None
-        order = np.argsort(run_starts, kind="stable")
-        s = run_starts[order]
-        ln = run_lens[order]
-        same = s[1:] == s[:-1]
-        if (ln[1:][same] != ln[:-1][same]).any():
-            return None  # one start, two lengths
-        first = np.concatenate(([True], ~same))
-        su = s[first]
-        lu = ln[first]
-        if (su[1:] < su[:-1] + lu[:-1]).any():
-            return None  # overlapping runs
-        return su, lu
+    #: Shared stream validator (kept as an attribute for back-compat).
+    _batch_exact = staticmethod(exact_run_table)
 
 
 def ranges_for_coverage(run_sizes: list[int], footprint_pages: int,

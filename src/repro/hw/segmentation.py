@@ -1,0 +1,165 @@
+"""Per-VM base/limit segmentation baseline (Teabe et al.).
+
+Full segmentation for virtualized systems (arXiv 2006.00380) gives
+each VM a handful of contiguous physical segments; an address inside a
+segment translates with one base+limit computation — no walk at all —
+and anything the segments cannot absorb falls back to nested paging.
+
+The model: the unit of placement is an effective 2D contiguity run.
+The first miss to an unseen run tries to absorb it into the VM's
+segment set — growing an existing segment when the run overlaps or
+abuts one, else claiming a fresh segment while fewer than
+``max_segments`` exist.  A run that cannot be absorbed at first touch
+is *rejected permanently* (segments only ever grow over neighbouring
+space, they are never re-packed around scattered mappings), so every
+later miss to it pays the nested 4K walk — the same residual-overhead
+accounting DS gets for out-of-segment accesses.
+
+First-touch-decides makes the scheme batch-exact with no stream
+preconditions: an access's outcome depends only on its run's absorbed/
+rejected status, which :meth:`SegmentationUnit.on_miss_batch` resolves
+by replaying just the *distinct* runs (in first-appearance order)
+through the scalar classifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+INSIDE = "inside"
+GROW = "grow"
+FILL = "fill"
+OUTSIDE = "outside"
+
+
+@dataclass
+class SegStats:
+    """Segmentation counters."""
+
+    inside: int = 0
+    grows: int = 0
+    fills: int = 0
+    outside: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.inside + self.grows + self.fills + self.outside
+
+    @property
+    def inside_fraction(self) -> float:
+        return (self.inside + self.grows + self.fills) / max(1, self.total)
+
+
+class SegmentationUnit:
+    """Base/limit segment set with first-touch run placement."""
+
+    def __init__(self, max_segments: int = 16):
+        if max_segments < 1:
+            raise ValueError(f"need at least one segment, got {max_segments}")
+        self.max_segments = max_segments
+        #: ``[start, end)`` per segment, in creation order; grown in place.
+        self._segments: list[list[int]] = []
+        #: run_start -> segment index, in first-touch order.
+        self._assigned: dict[int, int] = {}
+        #: Permanently rejected run starts, in rejection order.
+        self._rejected: dict[int, None] = {}
+        self.stats = SegStats()
+
+    def on_miss(self, vpn: int, run_start: int, run_len: int) -> str:
+        """One last-level TLB miss; OUTSIDE pays the fallback walk."""
+        if run_start in self._assigned:
+            self.stats.inside += 1
+            return INSIDE
+        if run_start in self._rejected:
+            self.stats.outside += 1
+            return OUTSIDE
+        run_end = run_start + max(1, run_len)
+        for k, seg in enumerate(self._segments):
+            if run_start <= seg[1] and run_end >= seg[0]:
+                # Overlaps or abuts: grow the segment over the run.
+                seg[0] = min(seg[0], run_start)
+                seg[1] = max(seg[1], run_end)
+                self._assigned[run_start] = k
+                self.stats.grows += 1
+                return GROW
+        if len(self._segments) < self.max_segments:
+            self._segments.append([run_start, run_end])
+            self._assigned[run_start] = len(self._segments) - 1
+            self.stats.fills += 1
+            return FILL
+        self._rejected[run_start] = None
+        self.stats.outside += 1
+        return OUTSIDE
+
+    @property
+    def segment_pages(self) -> int:
+        """Pages currently spanned by the segment set."""
+        return sum(end - start for start, end in self._segments)
+
+    # -- batched miss path (the vector engine) -------------------------------
+
+    def on_miss_batch(
+        self,
+        vpns: np.ndarray,
+        run_starts: np.ndarray,
+        run_lens: np.ndarray,
+    ) -> tuple[int, int, int, int]:
+        """Batched :meth:`on_miss`; returns (inside, grows, fills, outside).
+
+        Exact for *every* stream: outcomes depend only on each run's
+        first touch (which this replays through the scalar classifier,
+        preserving stream order among distinct runs) — later accesses
+        to the same run are INSIDE if it was absorbed, OUTSIDE if not.
+        Scalar state (segment geometry, assignment and rejection
+        orders) is touched only by those first-touch calls, so it ends
+        bit-identical by construction.  Later accesses of an absorbed
+        run are INSIDE regardless of their own (possibly inconsistent)
+        run geometry — exactly like the scalar path, which ignores
+        geometry once a run is assigned.
+        """
+        n = int(len(vpns))
+        if n == 0:
+            return (0, 0, 0, 0)
+        run_starts = np.ascontiguousarray(run_starts, dtype=np.int64)
+        run_lens = np.ascontiguousarray(run_lens, dtype=np.int64)
+        vpns = np.ascontiguousarray(vpns, dtype=np.int64)
+
+        order = np.argsort(run_starts, kind="stable")
+        s_sorted = run_starts[order]
+        group_first = np.concatenate(([True], s_sorted[1:] != s_sorted[:-1]))
+        group_starts = np.flatnonzero(group_first)
+        group_ends = np.append(group_starts[1:], n)
+        by_stream = np.argsort(order[group_starts], kind="stable")
+
+        inside = grows = fills = outside = 0
+        for g in by_stream.tolist():
+            lo, hi = int(group_starts[g]), int(group_ends[g])
+            start = int(s_sorted[lo])
+            size = hi - lo
+            if start in self._assigned:
+                self.stats.inside += size
+                inside += size
+                continue
+            if start in self._rejected:
+                self.stats.outside += size
+                outside += size
+                continue
+            first = int(order[lo:hi].min())
+            outcome = self.on_miss(
+                int(vpns[first]), start, int(run_lens[first])
+            )
+            if outcome == GROW:
+                grows += 1
+            elif outcome == FILL:
+                fills += 1
+            else:
+                outside += 1
+            if outcome == OUTSIDE:
+                self.stats.outside += size - 1
+                outside += size - 1
+            else:
+                self.stats.inside += size - 1
+                inside += size - 1
+        return (inside, grows, fills, outside)

@@ -36,6 +36,9 @@ class WalkCosts:
     nested_4k: float = 120.0
     nested_thp: float = 81.0
     mispredict_penalty: float = 20.0
+    #: Utopia restrictive-region translation cost (cycles): a set-index
+    #: computation plus one tag fetch, far below any walk.
+    utopia_rest_cycles: float = 12.0
 
     def walk_cost(self, virtualized: bool, huge: bool) -> float:
         """AvgC for one configuration."""
@@ -79,6 +82,30 @@ class PerfModel:
         self._check()
         avg = self.costs.walk_cost(virtualized, huge=False)
         return outside_segment_walks * avg / self.t_ideal_cycles
+
+    def ctlb_overhead(self, uncovered_walks: int, virtualized: bool = True,
+                      huge: bool = True) -> float:
+        """O_cTLB: only misses no coalesced entry covers pay a walk
+        (the same only-uncovered accounting vRMM gets)."""
+        self._check()
+        avg = self.costs.walk_cost(virtualized, huge)
+        return uncovered_walks * avg / self.t_ideal_cycles
+
+    def utopia_overhead(self, flex_walks: int, rest_hits: int,
+                        virtualized: bool = True, huge: bool = True) -> float:
+        """O_Utopia: flexible misses pay the full walk, restrictive
+        misses pay the cheap RestSeg translation."""
+        self._check()
+        avg = self.costs.walk_cost(virtualized, huge)
+        cycles = flex_walks * avg + rest_hits * self.costs.utopia_rest_cycles
+        return cycles / self.t_ideal_cycles
+
+    def seg_overhead(self, outside_walks: int, virtualized: bool = True) -> float:
+        """O_Seg: misses outside every base/limit segment pay a 4K-table
+        walk (the DS residual accounting)."""
+        self._check()
+        avg = self.costs.walk_cost(virtualized, huge=False)
+        return outside_walks * avg / self.t_ideal_cycles
 
     def spot_overhead(
         self,

@@ -163,12 +163,26 @@ class HardwareConfig:
     range_tlb_entries: int = 32
     #: Pipeline-flush penalty on a SpOT misprediction (cycles, §V).
     mispredict_penalty: int = 20
+    #: Coalesced TLB (Ban & Cheng): geometry + aligned span window one
+    #: coalesced entry can cover (power of two, pages).
+    ctlb_entries: int = 64
+    ctlb_ways: int = 4
+    ctlb_span_pages: int = 16
+    #: Utopia: RestSeg capacity (pages) and flexible misses a run must
+    #: absorb before promotion into the restrictive region.
+    utopia_restseg_pages: int = 1 << 18
+    utopia_promote_after: int = 4
+    #: Segmentation baseline: base/limit segments per VM.
+    seg_max_segments: int = 16
     #: Scheme machine switches: experiments that never read a scheme's
     #: counters can turn it off and skip its state machine entirely
     #: (both engines honour these identically).
     spot_enabled: bool = True
     rmm_enabled: bool = True
     ds_enabled: bool = True
+    ctlb_enabled: bool = True
+    utopia_enabled: bool = True
+    seg_enabled: bool = True
 
     @classmethod
     def broadwell(cls) -> "HardwareConfig":

@@ -23,6 +23,9 @@ SCHEME_COLORS = {
     "spot": "#1f77b4",
     "vrmm": "#2ca02c",
     "ds": "#d62728",
+    "ctlb": "#9467bd",
+    "utopia": "#ff7f0e",
+    "seg": "#8c564b",
 }
 
 _STYLE = """

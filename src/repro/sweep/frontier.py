@@ -68,6 +68,13 @@ def point_metrics(point: GridPoint, native, sims,
         metrics["spot_breakdown"] = {
             k: _r(v) for k, v in sorted(sim.spot_breakdown().items())
         }
+    walks = max(1, sim.walks)
+    if point.scheme == "ctlb":
+        metrics["ctlb_coverage"] = _r(1.0 - sim.ctlb_uncovered / walks)
+    elif point.scheme == "utopia":
+        metrics["utopia_rest_fraction"] = _r(sim.utopia_rest / walks)
+    elif point.scheme == "seg":
+        metrics["seg_coverage"] = _r(1.0 - sim.seg_outside / walks)
     return metrics
 
 

@@ -105,6 +105,13 @@ class TestSimulator:
         assert over["spot"] <= over["paging"] + 1e-12
         assert over["vrmm"] <= over["paging"] + 1e-12
         assert over["ds"] <= over["paging"] + 1e-12
+        # cTLB charges only uncovered walks and Utopia's rest hits cost
+        # less than any walk, so neither can exceed baseline paging.
+        # (seg is exempt: out-of-segment misses pay the 4K-table rate,
+        # which can exceed paging's THP-rate baseline.)
+        assert over["ctlb"] <= over["paging"] + 1e-12
+        assert over["utopia"] <= over["paging"] + 1e-12
+        assert over["seg"] >= 0.0
 
     def test_4k_view_misses_more(self):
         machine, wl, result = native_state(policy="thp", workload_name="svm")

@@ -1,0 +1,108 @@
+"""Hypothesis invariants for the related-work scheme state machines.
+
+The conformance battery proves scalar/batched *identity*; these tests
+prove the scalar references themselves honour their design invariants
+on arbitrary streams — well-formed and invariant-violating alike
+(strategies shared with the battery via :mod:`tests.hw.conformance`):
+
+- **cTLB**: geometry bounds (ways per set, correct set hash), every
+  resident coverage interval non-empty and inside its window, and the
+  covered/missed/install accounting closed.
+- **Utopia**: RestSeg capacity only ever shrinks and exactly accounts
+  for the promoted runs; promotion is permanent (once a run rest-hits
+  it rest-hits forever); the rest/flex split partitions the stream.
+- **Segmentation**: segments only ever grow (never shrink, never
+  vanish), the segment count never exceeds ``max_segments`` and equals
+  the FILL count, and a rejected run stays outside forever.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.coalesced_tlb import CoalescedTlb, _HASH_MULT
+from repro.hw.segmentation import OUTSIDE, SegmentationUnit
+from repro.hw.utopia import REST_HIT, UtopiaMapper
+from tests.hw.conformance import raw_run_traces, run_traces
+
+ANY_TRACE = st.one_of(run_traces(), raw_run_traces())
+
+
+def events(stream):
+    return list(zip(*(a.tolist() for a in stream)))
+
+
+class TestCoalescedTlbInvariants:
+    @given(stream=ANY_TRACE)
+    @settings(max_examples=40, deadline=None)
+    def test_geometry_and_coverage(self, stream):
+        c = CoalescedTlb(entries=16, ways=4, span_pages=8)
+        for v, s, ln in events(stream):
+            c.on_miss(v, s, ln)
+        for set_idx, entries in enumerate(c._sets):
+            assert len(entries) <= c.ways
+            for window, (lo, hi) in entries.items():
+                assert set_idx == ((window * _HASH_MULT) >> 12) % c.n_sets
+                w_lo = window << c.span_order
+                assert w_lo <= lo < hi <= w_lo + c.span_pages
+        assert c.stats.total == len(stream[0])
+        # Every install covers at least the missing page itself.
+        assert c.stats.pages_covered_sum >= c.stats.missed
+        assert 0.0 <= c.stats.coverage_fraction <= 1.0
+
+
+class TestUtopiaInvariants:
+    @given(stream=ANY_TRACE)
+    @settings(max_examples=40, deadline=None)
+    def test_capacity_monotone_and_promotion_permanent(self, stream):
+        u = UtopiaMapper(restseg_pages=200, promote_after=3)
+        prev_free = u.free_pages
+        promoted = set()
+        for v, s, ln in events(stream):
+            if s in promoted:
+                assert u.on_miss(v, s, ln) == REST_HIT
+            else:
+                u.on_miss(v, s, ln)
+            assert u.free_pages <= prev_free
+            prev_free = u.free_pages
+            promoted = set(u._promoted)
+        assert u.free_pages == u.restseg_pages - sum(u._promoted.values())
+        assert u.free_pages >= 0
+        assert u.stats.rest_hits + u.stats.flex_walks == len(stream[0])
+        assert u.stats.promotions == len(u._promoted)
+        assert u.stats.promoted_pages == sum(u._promoted.values())
+
+    @given(stream=run_traces())
+    @settings(max_examples=30, deadline=None)
+    def test_promotion_exactly_at_threshold_when_well_formed(self, stream):
+        """With consistent run lengths, a promoted run's counter stopped
+        exactly at the threshold (counting halts once it rest-hits)."""
+        u = UtopiaMapper(restseg_pages=500, promote_after=3)
+        for v, s, ln in events(stream):
+            u.on_miss(v, s, ln)
+        for start in u._promoted:
+            assert u._miss_counts[start] == u.promote_after
+
+
+class TestSegmentationInvariants:
+    @given(stream=ANY_TRACE)
+    @settings(max_examples=40, deadline=None)
+    def test_segments_only_grow(self, stream):
+        sg = SegmentationUnit(max_segments=3)
+        prev = []
+        rejected = set()
+        for v, s, ln in events(stream):
+            if s in rejected:
+                assert sg.on_miss(v, s, ln) == OUTSIDE
+            else:
+                sg.on_miss(v, s, ln)
+            cur = [tuple(seg) for seg in sg._segments]
+            assert len(cur) >= len(prev)
+            assert len(cur) <= sg.max_segments
+            for (old_lo, old_hi), (new_lo, new_hi) in zip(prev, cur):
+                assert new_lo <= old_lo and new_hi >= old_hi
+            prev = cur
+            rejected = set(sg._rejected)
+        assert sg.stats.fills == len(sg._segments)
+        assert sg.stats.total == len(stream[0])
+        for lo, hi in prev:
+            assert lo < hi

@@ -1,323 +1,68 @@
-"""Differential tests for the batched walk-path machines.
+"""End-to-end engine differential for the MmuSimulator walk path.
 
-PR 4 extends the vector engine past the TLB into the walk path: SpOT,
-vRMM, DS and the mechanistic walk simulator each grew a batched method
-claiming *bit-identical* counters and end state versus their per-miss
-reference loops.  These tests drive both sides with the same random
-streams across the geometry space (table sizes/ways, confidence on/off,
-range-TLB sizes, PWC/nTLB sizes, radix depth) and compare every
-observable: outcome counts, stats, residency, LRU order, per-entry
-offset/confidence, cached ranges and float-accumulated cycles.
+The per-machine scalar-vs-batched differentials (SpOT, vRMM, DS, the
+walk simulator, cTLB, Utopia, segmentation, vHC) live in the scheme
+conformance battery — ``tests/hw/test_conformance.py`` over the
+:mod:`tests.hw.conformance` registry.  These tests cover the layer
+above: :class:`MmuSimulator` wiring every scheme machine into both
+engines with a bit-identical :class:`MmuSimResult` and end state,
+across the ``HardwareConfig`` switch matrix and with the mechanistic
+walk simulator attached.
 """
 
 from dataclasses import asdict
 
-import numpy as np
 import pytest
 
-from repro.hw.direct_segment import DirectSegment
 from repro.hw.mmu_sim import MmuSimulator
 from repro.hw.pwc import WalkSimulator
-from repro.hw.rmm import RangeTlb
-from repro.hw.spot import CORRECT, MISPREDICT, NO_PREDICTION, SpotPredictor
 from repro.hw.translation import TranslationView
 from repro.sim.config import HardwareConfig
+from tests.hw.conformance import (
+    ctlb_state,
+    rmm_state,
+    seg_state,
+    spot_state,
+    utopia_state,
+    walk_state,
+)
 from tests.hw.test_engine_differential import native_state
-
-
-# -- SpOT ---------------------------------------------------------------------
-
-
-def spot_state(p: SpotPredictor):
-    """Everything observable: residency + LRU order + entry values + stats."""
-    return (
-        [[(pc, e.offset, e.confidence) for pc, e in s.items()] for s in p._sets],
-        vars(p.stats).copy(),
-    )
-
-
-def spot_scalar(p: SpotPredictor, pcs, vpns, ppns, contigs):
-    counts = {CORRECT: 0, MISPREDICT: 0, NO_PREDICTION: 0}
-    for pc, v, pp, cb in zip(pcs, vpns, ppns, contigs):
-        counts[p.on_walk_complete(int(pc), int(v), int(pp), bool(cb))] += 1
-    return (counts[CORRECT], counts[MISPREDICT], counts[NO_PREDICTION])
-
-
-def spot_stream(rng, n, n_pcs=10, n_offsets=3, contig_p=0.7, sticky=0.8):
-    """A miss stream with PC reuse and sticky-but-flipping offsets.
-
-    Stickiness creates the match/mismatch runs the confidence closed
-    forms collapse; the contig probability interleaves bypass segments.
-    """
-    pcs = rng.integers(0, n_pcs, n).astype(np.int64) * 4 + 0x400000
-    offset_pool = (np.arange(n_offsets, dtype=np.int64) + 1) * 512
-    # Per-PC sticky offset choice: keep the previous offset with
-    # probability ``sticky``, else redraw.
-    choice = rng.integers(0, n_offsets, n)
-    keep = rng.random(n) < sticky
-    last = {}
-    offs = np.empty(n, dtype=np.int64)
-    for i in range(n):
-        pc = int(pcs[i])
-        if keep[i] and pc in last:
-            offs[i] = last[pc]
-        else:
-            offs[i] = offset_pool[choice[i]]
-            last[pc] = offs[i]
-    vpns = rng.integers(0, 2**20, n).astype(np.int64)
-    ppns = vpns - offs
-    contigs = rng.random(n) < contig_p
-    return pcs, vpns, ppns, contigs
-
-
-SPOT_GEOMETRIES = [
-    (32, 4),  # default (8 sets)
-    (16, 4),  # 4 sets
-    (24, 4),  # 6 sets: non-power-of-two exact set-index fallback
-    (8, 8),   # fully associative
-]
-
-
-class TestSpotBatchDifferential:
-    @pytest.mark.parametrize("entries,ways", SPOT_GEOMETRIES)
-    @pytest.mark.parametrize("use_confidence", [True, False])
-    def test_cold_random_streams(self, entries, ways, use_confidence):
-        rng = np.random.default_rng(entries * 10 + ways + int(use_confidence))
-        for trial in range(6):
-            pcs, vpns, ppns, contigs = spot_stream(
-                rng, 1500, n_pcs=6 + trial * 7, contig_p=0.3 + 0.1 * trial
-            )
-            ref = SpotPredictor(entries, ways, use_confidence=use_confidence)
-            vec = SpotPredictor(entries, ways, use_confidence=use_confidence)
-            expected = spot_scalar(ref, pcs, vpns, ppns, contigs)
-            got = vec.on_walks_batch(pcs, vpns, ppns, contigs)
-            assert got == expected, f"trial {trial}"
-            assert spot_state(vec) == spot_state(ref), f"trial {trial}"
-
-    def test_warm_chunked_calls(self):
-        rng = np.random.default_rng(99)
-        ref = SpotPredictor(32, 4)
-        vec = SpotPredictor(32, 4)
-        for chunk in range(5):
-            pcs, vpns, ppns, contigs = spot_stream(rng, 700, n_pcs=20)
-            expected = spot_scalar(ref, pcs, vpns, ppns, contigs)
-            got = vec.on_walks_batch(pcs, vpns, ppns, contigs)
-            assert got == expected, f"chunk {chunk}"
-            assert spot_state(vec) == spot_state(ref), f"chunk {chunk}"
-
-    @pytest.mark.parametrize("use_confidence", [True, False])
-    def test_single_pc_thrash(self, use_confidence):
-        """One PC, offsets flipping in short runs, contig bit toggling.
-
-        The hardest case for the episode bookkeeping: every eviction,
-        bypassed miss, confidence drain and offset flip lands on the
-        same table entry.
-        """
-        pc = np.int64(0x400010)
-        pcs_l, vpns_l, ppns_l, contig_l = [], [], [], []
-        vpn = 0
-        for block in range(120):
-            offset = 512 if block % 3 else 1024
-            for _ in range(1 + block % 4):
-                vpns_l.append(vpn)
-                ppns_l.append(vpn - offset)
-                pcs_l.append(pc)
-                contig_l.append(block % 5 != 0)
-                vpn += 1
-        pcs = np.asarray(pcs_l, dtype=np.int64)
-        vpns = np.asarray(vpns_l, dtype=np.int64)
-        ppns = np.asarray(ppns_l, dtype=np.int64)
-        contigs = np.asarray(contig_l, dtype=bool)
-        ref = SpotPredictor(8, 4, use_confidence=use_confidence)
-        vec = SpotPredictor(8, 4, use_confidence=use_confidence)
-        assert vec.on_walks_batch(pcs, vpns, ppns, contigs) == spot_scalar(
-            ref, pcs, vpns, ppns, contigs
-        )
-        assert spot_state(vec) == spot_state(ref)
-
-    def test_empty_batch_is_a_noop(self):
-        p = SpotPredictor(32, 4)
-        empty = np.empty(0, dtype=np.int64)
-        before = spot_state(p)
-        assert p.on_walks_batch(
-            empty, empty, empty, np.empty(0, dtype=bool)
-        ) == (0, 0, 0)
-        assert spot_state(p) == before
-
-
-# -- vRMM range TLB -----------------------------------------------------------
-
-
-def rmm_state(t: RangeTlb):
-    return (list(t._ranges.items()), vars(t.stats).copy())
-
-
-def rmm_scalar(t: RangeTlb, vpns, starts, lens):
-    outcomes = {"range_hit": 0, "range_fill": 0, "uncovered": 0}
-    for v, s, ln in zip(vpns, starts, lens):
-        outcomes[t.on_miss(int(v), int(s), int(ln))] += 1
-    return (outcomes["range_hit"], outcomes["range_fill"], outcomes["uncovered"])
-
-
-def rmm_stream(rng, n, n_runs=50, max_len=200, min_range_pages=32):
-    """Well-formed disjoint runs (the ResolvedTrace invariants)."""
-    runs = []
-    cur = 0
-    for _ in range(n_runs):
-        cur += int(rng.integers(1, 64))
-        # Mix lengths straddling the rangeability threshold.
-        ln = int(rng.integers(1, max_len))
-        runs.append((cur, ln))
-        cur += ln
-    idx = rng.integers(0, n_runs, n)
-    starts = np.asarray([runs[i][0] for i in idx], dtype=np.int64)
-    lens = np.asarray([runs[i][1] for i in idx], dtype=np.int64)
-    vpns = starts + (rng.random(n) * lens).astype(np.int64)
-    return vpns, starts, lens
-
-
-class TestRangeTlbBatchDifferential:
-    @pytest.mark.parametrize("entries", [4, 16, 32])
-    def test_cold_well_formed(self, entries):
-        rng = np.random.default_rng(entries)
-        for trial in range(6):
-            vpns, starts, lens = rmm_stream(rng, 1200, n_runs=10 + trial * 20)
-            ref = RangeTlb(entries)
-            vec = RangeTlb(entries)
-            assert vec.on_miss_batch(vpns, starts, lens) == rmm_scalar(
-                ref, vpns, starts, lens
-            ), f"trial {trial}"
-            assert rmm_state(vec) == rmm_state(ref), f"trial {trial}"
-
-    def test_warm_falls_back_identically(self):
-        rng = np.random.default_rng(5)
-        ref = RangeTlb(16)
-        vec = RangeTlb(16)
-        for chunk in range(3):
-            vpns, starts, lens = rmm_stream(rng, 500, n_runs=40)
-            assert vec.on_miss_batch(vpns, starts, lens) == rmm_scalar(
-                ref, vpns, starts, lens
-            ), f"chunk {chunk}"
-            assert rmm_state(vec) == rmm_state(ref), f"chunk {chunk}"
-
-    def test_adversarial_streams_fall_back_identically(self):
-        """Invariant-violating inputs must route to the scalar loop."""
-        rng = np.random.default_rng(13)
-        for trial in range(8):
-            # Random garbage: vpns outside runs, inconsistent lengths,
-            # overlapping runs — everything _batch_exact must reject.
-            vpns = rng.integers(0, 500, 300).astype(np.int64)
-            starts = rng.integers(0, 500, 300).astype(np.int64)
-            lens = rng.integers(0, 100, 300).astype(np.int64)
-            ref = RangeTlb(8)
-            vec = RangeTlb(8)
-            assert vec.on_miss_batch(vpns, starts, lens) == rmm_scalar(
-                ref, vpns, starts, lens
-            ), f"trial {trial}"
-            assert rmm_state(vec) == rmm_state(ref), f"trial {trial}"
-
-    def test_empty_batch_is_a_noop(self):
-        t = RangeTlb(8)
-        empty = np.empty(0, dtype=np.int64)
-        before = rmm_state(t)
-        assert t.on_miss_batch(empty, empty, empty) == (0, 0, 0)
-        assert rmm_state(t) == before
-
-
-# -- Direct segment -----------------------------------------------------------
-
-
-class TestDirectSegmentBatch:
-    def test_matches_scalar(self):
-        rng = np.random.default_rng(3)
-        mask = rng.random(2000) < 0.8
-        ref = DirectSegment()
-        vec = DirectSegment()
-        expected = sum(0 if ref.on_miss(bool(b)) else 1 for b in mask)
-        assert vec.on_miss_batch(mask) == expected
-        assert vars(vec.stats) == vars(ref.stats)
-
-    def test_empty_batch_is_a_noop(self):
-        ds = DirectSegment()
-        assert ds.on_miss_batch(np.empty(0, dtype=bool)) == 0
-        assert vars(ds.stats) == {"inside": 0, "outside": 0}
-
-
-# -- Walk simulator (PWC + nTLB) ---------------------------------------------
-
-
-def walk_state(ws: WalkSimulator):
-    cache = ws.pwc._cache
-    state = [
-        vars(ws.stats).copy(),
-        [list(s) for s in cache._sets],
-        (cache.hits, cache.misses),
-    ]
-    if ws.ntlb is not None:
-        state.append(
-            ([list(s) for s in ws.ntlb._sets], ws.ntlb.hits, ws.ntlb.misses)
-        )
-    return state
-
-
-def walk_scalar(ws: WalkSimulator, vpns, huges):
-    for v, h in zip(vpns, huges):
-        ws.walk(int(v), bool(h))
-
-
-WALK_CONFIGS = [
-    # (virtualized, levels, pwc_entries, ntlb_entries)
-    (False, 4, 32, 64),
-    (True, 4, 32, 64),
-    (True, 5, 16, 32),
-    (False, 5, 8, 64),
-    (True, 4, 12, 12),  # non-power-of-two set counts in both caches
-]
-
-
-class TestWalkSimulatorBatchDifferential:
-    @pytest.mark.parametrize("virtualized,levels,pwc_e,ntlb_e", WALK_CONFIGS)
-    def test_cold_random_streams(self, virtualized, levels, pwc_e, ntlb_e):
-        rng = np.random.default_rng(levels * 100 + pwc_e)
-        for universe, huge_frac in [(2**14, 0.0), (2**22, 0.5), (2**30, 1.0)]:
-            vpns = rng.integers(0, universe, 1500).astype(np.int64)
-            huges = rng.random(1500) < huge_frac
-            ref = WalkSimulator(virtualized, levels, pwc_e, ntlb_e)
-            vec = WalkSimulator(virtualized, levels, pwc_e, ntlb_e)
-            walk_scalar(ref, vpns, huges)
-            vec.walk_batch(vpns, huges)
-            assert walk_state(vec) == walk_state(ref), (universe, huge_frac)
-
-    def test_warm_chunked_calls(self):
-        rng = np.random.default_rng(21)
-        ref = WalkSimulator(True, 4, 32, 64)
-        vec = WalkSimulator(True, 4, 32, 64)
-        for chunk in range(4):
-            vpns = rng.integers(0, 2**20, 600).astype(np.int64)
-            huges = rng.random(600) < 0.4
-            walk_scalar(ref, vpns, huges)
-            vec.walk_batch(vpns, huges)
-            assert walk_state(vec) == walk_state(ref), f"chunk {chunk}"
-
-    def test_empty_batch_is_a_noop(self):
-        ws = WalkSimulator(True)
-        before = walk_state(ws)
-        ws.walk_batch(np.empty(0, dtype=np.int64), np.empty(0, dtype=bool))
-        assert walk_state(ws) == before
-
-
-# -- End-to-end through MmuSimulator -----------------------------------------
-
 
 HW_CONFIGS = [
     HardwareConfig(),
     HardwareConfig(spot_enabled=False),
     HardwareConfig(rmm_enabled=False, ds_enabled=False),
     HardwareConfig(spot_confidence=False, spot_entries=16),
+    # Tight geometries for the related-work schemes: small span,
+    # instant promotion, two segments — maximal divergence pressure.
+    HardwareConfig(ctlb_entries=16, ctlb_span_pages=8,
+                   utopia_restseg_pages=512, utopia_promote_after=1,
+                   seg_max_segments=2),
+    HardwareConfig(ctlb_enabled=False, utopia_enabled=False,
+                   seg_enabled=False),
     # All schemes off: the vector engine's empty-walk-consumer early
     # return must still agree on every TLB counter.
-    HardwareConfig(spot_enabled=False, rmm_enabled=False, ds_enabled=False),
+    HardwareConfig(spot_enabled=False, rmm_enabled=False, ds_enabled=False,
+                   ctlb_enabled=False, utopia_enabled=False,
+                   seg_enabled=False),
 ]
+
+HW_IDS = [
+    "default", "no-spot", "no-rmm-ds", "small-noconf",
+    "tight-new-schemes", "no-new-schemes", "all-off",
+]
+
+
+def sim_states(sim: MmuSimulator):
+    """Every scheme machine's observable state (None when disabled)."""
+    return (
+        spot_state(sim.spot) if sim.spot else None,
+        rmm_state(sim.rmm) if sim.rmm else None,
+        vars(sim.ds.stats).copy() if sim.ds else None,
+        ctlb_state(sim.ctlb) if sim.ctlb else None,
+        utopia_state(sim.utopia) if sim.utopia else None,
+        seg_state(sim.seg) if sim.seg else None,
+    )
 
 
 @pytest.fixture(scope="module")
@@ -327,10 +72,7 @@ def native():
 
 
 class TestMmuSimulatorWalkPath:
-    @pytest.mark.parametrize("hw", HW_CONFIGS, ids=lambda h: (
-        f"spot={h.spot_enabled}-rmm={h.rmm_enabled}-ds={h.ds_enabled}"
-        f"-conf={h.spot_confidence}"
-    ))
+    @pytest.mark.parametrize("hw", HW_CONFIGS, ids=HW_IDS)
     def test_scheme_switches_differential(self, native, hw):
         wl, r, trace = native
         view = TranslationView.native(r.process, force_4k=True)
@@ -339,16 +81,31 @@ class TestMmuSimulatorWalkPath:
         for engine in ("scalar", "vector"):
             sim = MmuSimulator(view, hw, engine=engine)
             results[engine] = asdict(sim.run(trace, r.vma_start_vpns, workload=wl))
-            states[engine] = (
-                spot_state(sim.spot) if sim.spot else None,
-                rmm_state(sim.rmm) if sim.rmm else None,
-                vars(sim.ds.stats).copy() if sim.ds else None,
-            )
+            states[engine] = sim_states(sim)
         assert results["scalar"] == results["vector"]
         assert states["scalar"] == states["vector"]
         if not hw.spot_enabled:
             assert results["vector"]["spot_correct"] == 0
             assert results["vector"]["spot_no_prediction"] == 0
+        if not hw.ctlb_enabled:
+            assert results["vector"]["ctlb_uncovered"] == 0
+        if not hw.utopia_enabled:
+            assert results["vector"]["utopia_rest"] == 0
+            assert results["vector"]["utopia_flex"] == 0
+        if not hw.seg_enabled:
+            assert results["vector"]["seg_outside"] == 0
+
+    def test_new_scheme_counters_cover_all_walks(self, native):
+        """Defaults-on schemes partition the walk stream."""
+        wl, r, trace = native
+        view = TranslationView.native(r.process, force_4k=True)
+        sim = MmuSimulator(view, HardwareConfig(), engine="vector")
+        res = sim.run(trace, r.vma_start_vpns, workload=wl)
+        assert res.utopia_rest + res.utopia_flex == res.walks
+        assert sim.ctlb.stats.total == res.walks
+        assert sim.seg.stats.total == res.walks
+        assert 0 <= res.ctlb_uncovered <= res.walks
+        assert 0 <= res.seg_outside <= res.walks
 
     def test_with_walk_simulator(self, native):
         wl, r, trace = native

@@ -44,12 +44,20 @@ class FakeSim:
     base: float
     measured_avg_walk_cycles: float | None = None
 
+    #: Per-scheme counters point_metrics reads for coverage extras.
+    ctlb_uncovered: int = 10
+    utopia_rest: int = 30
+    seg_outside: int = 5
+
     def overheads(self, costs) -> dict:
         return {
             "paging": self.base,
             "spot": self.base / 2,
             "vrmm": self.base / 4,
             "ds": self.base / 8,
+            "ctlb": self.base / 3,
+            "utopia": self.base / 5,
+            "seg": self.base / 1.5,
         }
 
     def spot_breakdown(self) -> dict:

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.sweep.grid import (
+    BASE_SCHEMES,
     MAX_POINTS,
     SCHEMES,
     GridPoint,
@@ -19,10 +20,20 @@ def spec(**overrides) -> SweepSpec:
 
 class TestValidation:
     def test_defaults_fill_in(self):
+        # The default scheme axis stays the paper's own comparison;
+        # the related-work schemes are opt-in (default-off guard).
         s = SweepSpec.from_request({})
         assert s.policies == ("thp", "ca")
-        assert s.schemes == SCHEMES
+        assert s.schemes == BASE_SCHEMES
         assert s.scale == "quick"
+        assert set(BASE_SCHEMES) < set(SCHEMES)
+
+    def test_new_schemes_opt_in(self):
+        s = spec(schemes=list(SCHEMES))
+        assert s.schemes == SCHEMES
+        # ... and can be excluded point-wise like any axis value.
+        s = spec(schemes=list(SCHEMES), exclude=[{"scheme": "utopia"}])
+        assert all(p.scheme != "utopia" for p in s.points())
 
     @pytest.mark.parametrize("field,value,fragment", [
         ("policies", ["nope"], "unknown policy"),
@@ -87,6 +98,31 @@ class TestExpansion:
         for p, r in zip(points, refs):
             by_pair.setdefault((p.workload, p.policy), set()).add(r)
         assert all(len(rs) == 1 for rs in by_pair.values())
+
+    def test_expanded_scheme_axis_still_shares_cells(self):
+        # All seven schemes: 2 policies x 7 schemes x 2 workloads = 28
+        # points, still one (native, sim) cell pair per (policy,
+        # workload) — the new schemes read their own overhead columns
+        # off the same shared simulations.
+        s = spec(schemes=list(SCHEMES))
+        points, cells, refs = s.expand()
+        assert len(points) == 2 * len(SCHEMES) * 2
+        assert len(cells) == 8
+        by_pair = {}
+        for p, r in zip(points, refs):
+            by_pair.setdefault((p.workload, p.policy), set()).add(r)
+        assert all(len(rs) == 1 for rs in by_pair.values())
+        # The base grid's cells are the *same* cells: widening the
+        # scheme axis adds zero new simulation work.
+        import json
+
+        from repro.sim.cache import encode_spec
+
+        def keys(cs):
+            return {json.dumps(encode_spec(c.spec()), sort_keys=True)
+                    for c in cs}
+
+        assert keys(cells) == keys(spec().expand()[1])
 
     def test_include_exclude(self):
         s = spec(include=[{"policy": "ca"}],
